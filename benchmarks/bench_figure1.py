@@ -1,0 +1,37 @@
+"""Figure 1 reproduction: max estimators under weight-oblivious sampling."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_variance_ratio_curves(benchmark):
+    result = run_once(benchmark, run_figure1, n_points=21)
+    series = result["series"]
+    rows = ["min/max   var[L]/var[HT]   var[U]/var[HT]"]
+    for fraction, l_ratio, u_ratio in zip(
+        series["min_over_max"],
+        series["var_ratio_L_over_HT"],
+        series["var_ratio_U_over_HT"],
+    ):
+        rows.append(f"{fraction:7.3f}   {l_ratio:14.4f}   {u_ratio:14.4f}")
+    print_series("Figure 1: variance ratios vs min/max (p1 = p2 = 1/2)", rows)
+    assert all(r <= 1.0 + 1e-9 for r in series["var_ratio_L_over_HT"])
+    assert all(r <= 1.0 + 1e-9 for r in series["var_ratio_U_over_HT"])
+
+
+def test_figure1_estimate_tables(benchmark):
+    result = run_once(benchmark, run_figure1, n_points=3)
+    tables = result["estimate_tables_at_(1.0,0.4)"]
+    rows = ["outcome      HT          L           U"]
+    for outcome in ("S={}", "S={1}", "S={2}", "S={1,2}"):
+        rows.append(
+            f"{outcome:<10}"
+            f"{tables['HT'][outcome]:10.4f}  "
+            f"{tables['L'][outcome]:10.4f}  "
+            f"{tables['U'][outcome]:10.4f}"
+        )
+    print_series("Figure 1: estimate tables on data (1.0, 0.4)", rows)
+    assert tables["HT"]["S={}"] == 0.0

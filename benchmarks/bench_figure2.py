@@ -1,0 +1,29 @@
+"""Figure 2 reproduction: variance of the OR estimators vs p."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_or_variances(benchmark):
+    result = run_once(benchmark, run_figure2)
+    series = result["series"]
+    rows = ["p        HT          L(1,1)      L(1,0)      U(1,1)      U(1,0)"]
+    for index, p in enumerate(series["p"]):
+        rows.append(
+            f"{p:7.3f} {series['HT_(1,1)'][index]:11.3f} "
+            f"{series['L_(1,1)'][index]:11.3f} "
+            f"{series['L_(1,0)'][index]:11.3f} "
+            f"{series['U_(1,1)'][index]:11.3f} "
+            f"{series['U_(1,0)'][index]:11.3f}"
+        )
+    print_series("Figure 2: Var[OR] on data (1,1) and (1,0) vs p", rows)
+    for name in ("L", "U"):
+        for label in ("(1,1)", "(1,0)"):
+            assert all(
+                v <= ht + 1e-9
+                for v, ht in zip(series[f"{name}_{label}"],
+                                 series[f"HT_{label}"])
+            )

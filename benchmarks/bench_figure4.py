@@ -1,0 +1,45 @@
+"""Figure 4 reproduction: Var[max^(HT)] vs Var[max^(L)] for PPS samples."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_variance_curves(benchmark):
+    result = run_once(
+        benchmark, run_figure4,
+        rho_values=(0.5, 0.01), n_points=11, grid_size=1001,
+    )
+    for rho, panel in result["panels"].items():
+        rows = ["min/max   var[HT]/tau^2   var[L]/tau^2   var[HT]/var[L]"]
+        for fraction, ht, l, ratio in zip(
+            panel["min_over_max"],
+            panel["normalized_var_HT"],
+            panel["normalized_var_L"],
+            panel["var_ratio_HT_over_L"],
+        ):
+            rows.append(
+                f"{fraction:7.3f}   {ht:13.5f}   {l:12.5f}   {ratio:13.3f}"
+            )
+        print_series(
+            f"Figure 4: normalised variances, rho = max/tau* = {rho}", rows
+        )
+        assert all(
+            l <= ht + 1e-9
+            for l, ht in zip(panel["normalized_var_L"],
+                             panel["normalized_var_HT"])
+        )
+
+
+def test_figure4_ratio_panel(benchmark):
+    result = run_once(
+        benchmark, run_figure4,
+        rho_values=(1.0, 0.99, 0.5, 0.1), n_points=6, grid_size=801,
+    )
+    rows = ["rho      ratio at min/max=0   ratio at min/max=1"]
+    for rho, panel in result["panels"].items():
+        ratios = panel["var_ratio_HT_over_L"]
+        rows.append(f"{rho:7.3f} {ratios[0]:18.3f} {ratios[-1]:20.3f}")
+    print_series("Figure 4 (C): Var[HT]/Var[L] at the curve end points", rows)

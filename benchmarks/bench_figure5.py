@@ -1,0 +1,25 @@
+"""Figure 5 reproduction: the worked example (ranks and bottom-3 samples)."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_worked_example(benchmark):
+    result = run_once(benchmark, run_figure5)
+    rows = ["instance  shared-seed bottom-3   independent bottom-3"]
+    for instance in (1, 2, 3):
+        rows.append(
+            f"{instance:<9} {sorted(result['bottom3_shared'][instance])!s:<22}"
+            f"{sorted(result['bottom3_independent'][instance])!s}"
+        )
+    rows.append("")
+    rows.append("shared-seed PPS ranks (instance 2): " + ", ".join(
+        f"key{key}={rank:.4f}" if rank != float("inf") else f"key{key}=inf"
+        for key, rank in sorted(result["shared_seed_ranks"][2].items())
+    ))
+    print_series("Figure 5: example data set, ranks and bottom-3 samples",
+                 rows)
+    assert result["matches_paper"]

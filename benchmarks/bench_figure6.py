@@ -1,0 +1,25 @@
+"""Figure 6 reproduction: required sample size for distinct counting."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_sample_sizes(benchmark):
+    result = run_once(benchmark, run_figure6)
+    for cv, panel in result["panels"].items():
+        rows = ["n            " + "".join(
+            f"HT J={j:<6}" f"L J={j:<7}" for j in (0.0, 0.5, 0.9, 1.0)
+        )]
+        for index, n in enumerate(panel["n"]):
+            cells = []
+            for jaccard in (0.0, 0.5, 0.9, 1.0):
+                cells.append(f"{panel['HT'][jaccard][index]:10.3g}")
+                cells.append(f"{panel['L'][jaccard][index]:10.3g}")
+            rows.append(f"{n:12.3g} " + " ".join(cells))
+        print_series(f"Figure 6: required sample size s vs n (cv = {cv})",
+                     rows)
+        for jaccard, ratios in panel["ratio"].items():
+            assert all(ratio <= 1.0 + 1e-9 for ratio in ratios)

@@ -1,0 +1,27 @@
+"""Section 6 reproduction: known vs unknown seeds feasibility."""
+
+from __future__ import annotations
+
+from conftest import print_series, run_once
+
+from repro.experiments.impossibility import run_impossibility
+
+
+def test_impossibility_table(benchmark):
+    result = run_once(benchmark, run_impossibility)
+    rows = ["p1, p2      OR unknown   OR known   XOR unknown   XOR known"]
+    for row in result["rows"]:
+        rows.append(
+            f"{row['p'][0]:.2f}, {row['p'][1]:.2f}   "
+            f"{str(row['or_unknown_seeds_feasible']):>10}   "
+            f"{str(row['or_known_seeds_feasible']):>8}   "
+            f"{str(row['xor_unknown_seeds_feasible']):>11}   "
+            f"{str(row['xor_known_seeds_feasible']):>9}"
+        )
+    print_series(
+        "Section 6: existence of unbiased nonnegative estimators", rows
+    )
+    for row in result["rows"]:
+        if row["p1_plus_p2"] < 1.0:
+            assert not row["or_unknown_seeds_feasible"]
+        assert row["or_known_seeds_feasible"]

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_figureN.py`` regenerates the corresponding table/figure of the
+paper through :mod:`repro.experiments` and prints the series the paper plots,
+so that ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+run.  Figures are timed by pytest-benchmark with a single round (the
+experiment functions are deterministic; timing them repeatedly would only
+slow the reproduction down).
+"""
+
+from __future__ import annotations
+
+BENCHMARK_OPTIONS = {"rounds": 1, "iterations": 1, "warmup_rounds": 0}
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its
+    result."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, **BENCHMARK_OPTIONS
+    )
+
+
+def print_series(title: str, rows: list[str]) -> None:
+    """Print a reproduction table underneath the benchmark output."""
+    print()
+    print(f"=== {title} ===")
+    for row in rows:
+        print(row)

@@ -1,0 +1,64 @@
+"""Quickstart: estimating the maximum of a dispersed value vector.
+
+A key takes the values (8, 3) in two instances that are sampled
+independently (weight-obliviously) with probability 1/2 each.  We compare
+the classical Horvitz-Thompson estimator with the paper's Pareto-optimal
+``max^(L)`` and ``max^(U)`` estimators: all three are unbiased, but the
+partial-information estimators have markedly lower variance.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MaxObliviousHT, MaxObliviousL, MaxObliviousU
+from repro.analysis.montecarlo import simulate_estimator
+from repro.core.variance import exact_moments
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+
+def main() -> None:
+    probabilities = (0.5, 0.5)
+    data = (8.0, 3.0)
+
+    scheme = ObliviousPoissonScheme(probabilities)
+    estimators = {
+        "max^(HT)": MaxObliviousHT(probabilities),
+        "max^(L)": MaxObliviousL(probabilities),
+        "max^(U)": MaxObliviousU(probabilities),
+    }
+
+    print(f"data vector v = {data},  true max(v) = {max(data)}\n")
+
+    print("Exact moments (enumerating the 4 possible outcomes):")
+    print(f"{'estimator':<10} {'E[estimate]':>12} {'Var[estimate]':>14}")
+    for name, estimator in estimators.items():
+        mean, variance = exact_moments(estimator, scheme, data)
+        print(f"{name:<10} {mean:>12.4f} {variance:>14.4f}")
+
+    print("\nOne concrete sampled outcome and the resulting estimates:")
+    outcome = scheme.sample(data, rng=7)
+    sampled = sorted(i + 1 for i in outcome.sampled)
+    print(f"  sampled entries: {sampled} "
+          f"with values {[outcome.values[i - 1] for i in sampled]}")
+    for name, estimator in estimators.items():
+        print(f"  {name:<10} -> {estimator.estimate(outcome):.4f}")
+
+    print("\nMonte-Carlo check (20,000 independent samples):")
+    for name, estimator in estimators.items():
+        result = simulate_estimator(estimator, scheme, data,
+                                    n_trials=20_000, rng=1)
+        print(f"  {name:<10} mean = {result.mean:7.4f}   "
+              f"variance = {result.variance:8.4f}   "
+              f"min estimate = {result.min_estimate:.4f}")
+
+    print(
+        "\nBoth max^(L) and max^(U) are unbiased and nonnegative and "
+        "dominate the HT estimator; max^(L) is the better choice when the "
+        "two values are usually close, max^(U) when one of them is often "
+        "zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

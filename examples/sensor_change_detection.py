@@ -1,0 +1,76 @@
+"""Change detection over sensor measurements collected in multiple periods.
+
+Battery-constrained sensors report only a weight-oblivious Poisson sample of
+their readings in each period.  We estimate, over all sensors, the sum of
+per-sensor maxima across four periods (a peak-load / anomaly indicator) with
+the uniform-probability ``max^(L)`` estimator of Theorem 4.2, and the L1
+distance between consecutive periods with the HT range estimator.
+
+Run with:  python examples/sensor_change_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregates.distance import l1_distance_ht
+from repro.aggregates.sum_estimator import sum_aggregate_oblivious
+from repro.core.functions import maximum
+from repro.core.max_oblivious import MaxObliviousHT, MaxObliviousL
+from repro.datasets.synthetic import sensor_measurements
+from repro.sampling.seeds import SeedAssigner
+
+
+def main() -> None:
+    n_periods = 4
+    probability = 0.35
+    dataset = sensor_measurements(
+        n_sensors=2000, n_periods=n_periods, spike_probability=0.03, rng=9
+    )
+    labels = dataset.instance_labels
+    probabilities = (probability,) * n_periods
+
+    truth = dataset.max_dominance(labels)
+    print(f"sensors: {len(dataset.active_keys())}, periods: {n_periods}")
+    print(f"true sum of per-sensor maxima: {truth:,.1f}\n")
+
+    estimators = {
+        "max^(HT)": MaxObliviousHT(probabilities),
+        "max^(L) (Theorem 4.2 coefficients)": MaxObliviousL(probabilities),
+    }
+    print(f"per-period sampling probability: {probability}")
+    for name, estimator in estimators.items():
+        errors = []
+        for salt in range(20):
+            result = sum_aggregate_oblivious(
+                dataset,
+                labels=labels,
+                probabilities=probabilities,
+                estimator=estimator,
+                seed_assigner=SeedAssigner(salt=salt),
+                true_function=maximum,
+            )
+            errors.append((result.estimate - truth) / truth)
+        rmse = float(np.sqrt(np.mean(np.square(errors))))
+        print(f"  {name:<36} relative RMSE over 20 samples: {rmse:.4f}")
+
+    print("\nL1 distance (total measurement change) between consecutive "
+          "periods, HT estimate vs truth:")
+    for first, second in zip(labels, labels[1:]):
+        result = l1_distance_ht(
+            dataset, (first, second), (probability, probability),
+            SeedAssigner(salt=1),
+        )
+        print(f"  {first} -> {second}: estimate {result.estimate:10,.1f}   "
+              f"truth {result.true_value:10,.1f}")
+
+    print(
+        "\nBecause the max^(L) estimator uses every sampled reading (not "
+        "only sensors sampled in all periods), it needs far fewer "
+        "transmissions for the same accuracy — exactly the battery saving "
+        "the paper's sensor scenario targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — reference reproduction of Cohen & Kaplan (PODS 2011).
+
+"Get the Most out of Your Sample: Optimal Unbiased Estimators using Partial
+Information" develops variance-optimal unbiased estimators for functions that
+span several independently sampled data instances (max, min, OR, range, ...),
+exploiting the *partial information* carried by outcomes that do not reveal
+the exact value.
+
+The package is organised as follows:
+
+``repro.sampling``
+    The sampling substrate: Poisson (weighted and weight-oblivious),
+    bottom-k / priority, and VarOpt sampling of single instances, hash based
+    reproducible seeds, and the per-key "dispersed vector" sampling schemes
+    used by the estimator derivations.
+
+``repro.core``
+    The paper's primary contribution: the Horvitz-Thompson baseline, the
+    generic order-based (Algorithm 1) and partition-based (Algorithm 2)
+    derivation engines, the closed-form optimal estimators
+    (max^(L), max^(U), OR^(L), OR^(U), PPS known-seed max^(L)), and the
+    LP feasibility checker behind the Section 6 impossibility results.
+
+``repro.aggregates``
+    Sum aggregates over an instances x keys data set: distinct count,
+    max/min dominance norms and L1 distance.
+
+``repro.analysis``
+    Variance analysis utilities: exact enumeration, Monte-Carlo simulation,
+    and the sample-size planning math behind Figure 6.
+
+``repro.datasets``
+    Synthetic workload generators and the worked example from Figure 5.
+
+``repro.experiments``
+    One module per figure/table of the paper's evaluation.
+"""
+
+from repro.core.functions import (
+    boolean_or,
+    boolean_xor,
+    exp_range,
+    lth_largest,
+    maximum,
+    minimum,
+    value_range,
+)
+from repro.core.ht import HorvitzThompsonOblivious, ht_variance
+from repro.core.max_oblivious import (
+    MaxObliviousHT,
+    MaxObliviousL,
+    MaxObliviousU,
+)
+from repro.core.max_weighted import MaxPpsHT, MaxPpsL
+from repro.core.or_estimators import (
+    OrKnownSeedsHT,
+    OrKnownSeedsL,
+    OrKnownSeedsU,
+    OrObliviousHT,
+    OrObliviousL,
+    OrObliviousU,
+)
+from repro.core.order_based import DiscreteModel, OrderBasedDeriver
+from repro.core.partition_based import PartitionBasedDeriver
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "boolean_or",
+    "boolean_xor",
+    "exp_range",
+    "lth_largest",
+    "maximum",
+    "minimum",
+    "value_range",
+    "HorvitzThompsonOblivious",
+    "ht_variance",
+    "MaxObliviousHT",
+    "MaxObliviousL",
+    "MaxObliviousU",
+    "MaxPpsHT",
+    "MaxPpsL",
+    "OrObliviousHT",
+    "OrObliviousL",
+    "OrObliviousU",
+    "OrKnownSeedsHT",
+    "OrKnownSeedsL",
+    "OrKnownSeedsU",
+    "DiscreteModel",
+    "OrderBasedDeriver",
+    "PartitionBasedDeriver",
+    "ObliviousPoissonScheme",
+    "PpsPoissonScheme",
+    "VectorOutcome",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Sum aggregates over an instances x keys data set (Sections 7-8).
+
+The data model is a matrix of instances (rows) by keys (columns); each
+instance is summarised independently (Poisson / bottom-k).  Multi-instance
+sum aggregates — distinct count, max/min dominance, L1 distance — are
+estimated by summing per-key single-vector estimates over the sampled keys.
+"""
+
+from repro.aggregates.dataset import MultiInstanceDataset
+from repro.aggregates.distinct import (
+    DistinctCountEstimate,
+    distinct_count_ht,
+    distinct_count_l,
+    distinct_ht_variance,
+    distinct_l_variance,
+)
+from repro.aggregates.dominance import (
+    MaxDominanceEstimate,
+    max_dominance_estimates,
+    max_dominance_exact_variances,
+)
+from repro.aggregates.distance import l1_distance_ht
+from repro.aggregates.sum_estimator import sum_aggregate_oblivious
+
+__all__ = [
+    "MultiInstanceDataset",
+    "DistinctCountEstimate",
+    "distinct_count_ht",
+    "distinct_count_l",
+    "distinct_ht_variance",
+    "distinct_l_variance",
+    "MaxDominanceEstimate",
+    "max_dominance_estimates",
+    "max_dominance_exact_variances",
+    "l1_distance_ht",
+    "sum_aggregate_oblivious",
+]

@@ -1,0 +1,189 @@
+"""The instances x keys data model (Section 7).
+
+A :class:`MultiInstanceDataset` holds, for a set of instances, an assignment
+of nonnegative values to keys.  The universe of keys is shared between
+instances; absent keys implicitly have value zero.  The class offers exact
+computation of the paper's sum aggregates, which the estimators are compared
+against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["MultiInstanceDataset"]
+
+KeyPredicate = Callable[[object], bool]
+
+
+class MultiInstanceDataset:
+    """Values assigned to keys across multiple instances.
+
+    Parameters
+    ----------
+    instances:
+        Mapping ``instance label -> {key: value}``.  Values must be
+        nonnegative; missing keys mean value zero.
+
+    Examples
+    --------
+    >>> data = MultiInstanceDataset({
+    ...     "monday": {"a": 3.0, "b": 1.0},
+    ...     "tuesday": {"a": 1.0, "c": 4.0},
+    ... })
+    >>> data.distinct_count(["monday", "tuesday"])
+    3
+    >>> data.max_dominance(["monday", "tuesday"])
+    8.0
+    """
+
+    def __init__(
+        self, instances: Mapping[object, Mapping[object, float]]
+    ) -> None:
+        if not instances:
+            raise InvalidParameterError("at least one instance is required")
+        self._instances: dict[object, dict[object, float]] = {}
+        for label, assignment in instances.items():
+            cleaned: dict[object, float] = {}
+            for key, value in assignment.items():
+                value = float(value)
+                if value < 0.0:
+                    raise InvalidParameterError(
+                        f"value of key {key!r} in instance {label!r} is "
+                        "negative"
+                    )
+                if value > 0.0:
+                    cleaned[key] = value
+            self._instances[label] = cleaned
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def instance_labels(self) -> list[object]:
+        """Labels of the instances, in insertion order."""
+        return list(self._instances)
+
+    @property
+    def n_instances(self) -> int:
+        """Number of instances."""
+        return len(self._instances)
+
+    def instance(self, label: object) -> dict[object, float]:
+        """The ``{key: value}`` assignment of one instance (positive values)."""
+        try:
+            return dict(self._instances[label])
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"unknown instance {label!r}"
+            ) from error
+
+    def active_keys(self, labels: Sequence[object] | None = None) -> set:
+        """Keys with a positive value in at least one selected instance."""
+        labels = self._resolve(labels)
+        keys: set = set()
+        for label in labels:
+            keys |= set(self._instances[label])
+        return keys
+
+    def value(self, label: object, key: object) -> float:
+        """Value of ``key`` in instance ``label`` (zero when absent)."""
+        if label not in self._instances:
+            raise InvalidParameterError(f"unknown instance {label!r}")
+        return self._instances[label].get(key, 0.0)
+
+    def value_vector(
+        self, key: object, labels: Sequence[object] | None = None
+    ) -> tuple[float, ...]:
+        """The vector of values ``key`` assumes across the selected instances."""
+        labels = self._resolve(labels)
+        return tuple(self._instances[label].get(key, 0.0) for label in labels)
+
+    # ------------------------------------------------------------------
+    # Exact sum aggregates
+    # ------------------------------------------------------------------
+    def distinct_count(
+        self,
+        labels: Sequence[object] | None = None,
+        predicate: KeyPredicate | None = None,
+    ) -> int:
+        """Number of distinct keys active in any selected instance."""
+        return sum(
+            1 for _ in self._selected_keys(labels, predicate)
+        )
+
+    def max_dominance(
+        self,
+        labels: Sequence[object] | None = None,
+        predicate: KeyPredicate | None = None,
+    ) -> float:
+        """Max-dominance norm: ``sum_h max_i v_i(h)`` over selected keys."""
+        labels = self._resolve(labels)
+        return sum(
+            max(self._instances[label].get(key, 0.0) for label in labels)
+            for key in self._selected_keys(labels, predicate)
+        )
+
+    def min_dominance(
+        self,
+        labels: Sequence[object] | None = None,
+        predicate: KeyPredicate | None = None,
+    ) -> float:
+        """Min-dominance norm: ``sum_h min_i v_i(h)`` over selected keys."""
+        labels = self._resolve(labels)
+        return sum(
+            min(self._instances[label].get(key, 0.0) for label in labels)
+            for key in self._selected_keys(labels, predicate)
+        )
+
+    def l1_distance(
+        self,
+        labels: Sequence[object] | None = None,
+        predicate: KeyPredicate | None = None,
+    ) -> float:
+        """L1 distance (sum aggregate of the range) over selected keys."""
+        labels = self._resolve(labels)
+        total = 0.0
+        for key in self._selected_keys(labels, predicate):
+            values = [self._instances[label].get(key, 0.0) for label in labels]
+            total += max(values) - min(values)
+        return total
+
+    def jaccard(self, label_a: object, label_b: object) -> float:
+        """Jaccard coefficient of the active-key sets of two instances."""
+        set_a = set(self._instances[label_a]) if label_a in self._instances \
+            else self._missing(label_a)
+        set_b = set(self._instances[label_b]) if label_b in self._instances \
+            else self._missing(label_b)
+        union = set_a | set_b
+        if not union:
+            return 1.0
+        return len(set_a & set_b) / len(union)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _missing(self, label: object) -> set:
+        raise InvalidParameterError(f"unknown instance {label!r}")
+
+    def _resolve(self, labels: Sequence[object] | None) -> list[object]:
+        if labels is None:
+            return self.instance_labels
+        labels = list(labels)
+        for label in labels:
+            if label not in self._instances:
+                raise InvalidParameterError(f"unknown instance {label!r}")
+        if not labels:
+            raise InvalidParameterError("at least one instance must be selected")
+        return labels
+
+    def _selected_keys(
+        self,
+        labels: Sequence[object] | None,
+        predicate: KeyPredicate | None,
+    ) -> Iterable[object]:
+        for key in self.active_keys(labels):
+            if predicate is None or predicate(key):
+                yield key

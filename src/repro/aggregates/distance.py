@@ -1,0 +1,64 @@
+"""Distance aggregates (L1 / range sums) over sampled instances.
+
+The L1 distance between two instances is the sum aggregate of the range
+``RG(v) = max(v) - min(v)``.  Over *weighted* samples there is no
+inverse-probability estimator for the range (Section 2.3) and, with unknown
+seeds, no unbiased nonnegative estimator at all (Section 6).  Over
+weight-oblivious Poisson samples the HT estimator (positive only when both
+entries are sampled) applies and is Pareto optimal for ``r = 2``; that is
+the estimator provided here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._validation import check_probability_vector
+from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
+from repro.aggregates.sum_estimator import SumAggregateResult
+from repro.exceptions import InvalidParameterError
+from repro.sampling.seeds import SeedAssigner
+
+__all__ = ["l1_distance_ht"]
+
+
+def l1_distance_ht(
+    dataset: MultiInstanceDataset,
+    labels: Sequence[object],
+    probabilities: Sequence[float],
+    seed_assigner: SeedAssigner,
+    predicate: KeyPredicate | None = None,
+) -> SumAggregateResult:
+    """HT estimate of the L1 distance from weight-oblivious Poisson samples.
+
+    A key contributes ``|v_1 - v_2| / (p_1 p_2)`` when it is sampled in both
+    instances and zero otherwise; for two instances this inverse-probability
+    estimator is Pareto optimal (Section 4).
+    """
+    if len(labels) != 2:
+        raise InvalidParameterError(
+            "the L1 distance is defined between exactly two instances"
+        )
+    probabilities = check_probability_vector(probabilities)
+    if len(probabilities) != 2:
+        raise InvalidParameterError("two inclusion probabilities are required")
+    estimate_total = 0.0
+    true_total = 0.0
+    contributing = 0
+    for key in dataset.active_keys(labels):
+        if predicate is not None and not predicate(key):
+            continue
+        v1, v2 = dataset.value_vector(key, labels)
+        true_total += abs(v1 - v2)
+        sampled1 = seed_assigner.seed(key, instance=labels[0]) <= probabilities[0]
+        sampled2 = seed_assigner.seed(key, instance=labels[1]) <= probabilities[1]
+        if sampled1 and sampled2:
+            value = abs(v1 - v2) / (probabilities[0] * probabilities[1])
+            if value != 0.0:
+                contributing += 1
+            estimate_total += value
+    return SumAggregateResult(
+        estimate=estimate_total,
+        true_value=true_total,
+        n_contributing_keys=contributing,
+    )

@@ -1,0 +1,135 @@
+"""Generic sum-aggregate estimation (Section 7).
+
+A sum aggregate ``sum_{h in K'} f(v(h))`` is estimated by the sum of per-key
+single-vector estimates.  Keys sampled in no instance contribute zero, so
+only sampled keys need to be visited.  Because the per-key estimators are
+unbiased and keys are sampled independently, the aggregate estimate is
+unbiased and its variance is the sum of the per-key variances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.estimator_base import VectorEstimator
+from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
+from repro.sampling.outcomes import VectorOutcome
+from repro.sampling.seeds import SeedAssigner
+
+__all__ = ["SumAggregateResult", "sum_aggregate_oblivious", "sum_aggregate_pps"]
+
+
+@dataclass(frozen=True)
+class SumAggregateResult:
+    """Result of a sum-aggregate estimation.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated aggregate.
+    true_value:
+        The exact aggregate computed from the full data (available because
+        the substrate holds the complete data set).
+    n_contributing_keys:
+        Number of keys with a nonzero per-key estimate.
+    """
+
+    estimate: float
+    true_value: float
+    n_contributing_keys: int
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error of the estimate (``inf`` when the truth is zero)."""
+        if self.true_value == 0.0:
+            return float("inf") if self.estimate != 0.0 else 0.0
+        return abs(self.estimate - self.true_value) / self.true_value
+
+
+def sum_aggregate_oblivious(
+    dataset: MultiInstanceDataset,
+    labels: Sequence[object],
+    probabilities: Sequence[float],
+    estimator: VectorEstimator,
+    seed_assigner: SeedAssigner,
+    true_function: Callable[[Sequence[float]], float],
+    predicate: KeyPredicate | None = None,
+) -> SumAggregateResult:
+    """Estimate a sum aggregate from weight-oblivious Poisson samples.
+
+    Every key of the (active) universe is sampled in instance ``i`` with
+    probability ``probabilities[i]`` using the reproducible seed of the
+    (key, instance) pair; the per-key outcomes are fed to ``estimator`` and
+    the estimates summed over keys matching ``predicate``.
+    """
+    labels = list(labels)
+    estimate_total = 0.0
+    true_total = 0.0
+    contributing = 0
+    for key in dataset.active_keys(labels):
+        if predicate is not None and not predicate(key):
+            continue
+        values = dataset.value_vector(key, labels)
+        true_total += float(true_function(values))
+        sampled = set()
+        for index, label in enumerate(labels):
+            seed = seed_assigner.seed(key, instance=label)
+            if seed <= probabilities[index]:
+                sampled.add(index)
+        if not sampled:
+            continue
+        outcome = VectorOutcome.from_vector(values, sampled)
+        value = estimator.estimate(outcome)
+        if value != 0.0:
+            contributing += 1
+        estimate_total += value
+    return SumAggregateResult(
+        estimate=estimate_total,
+        true_value=true_total,
+        n_contributing_keys=contributing,
+    )
+
+
+def sum_aggregate_pps(
+    dataset: MultiInstanceDataset,
+    labels: Sequence[object],
+    tau_star: Sequence[float],
+    estimator: VectorEstimator,
+    seed_assigner: SeedAssigner,
+    true_function: Callable[[Sequence[float]], float],
+    predicate: KeyPredicate | None = None,
+) -> SumAggregateResult:
+    """Estimate a sum aggregate from independent PPS samples with known seeds.
+
+    Instance ``i`` samples key ``h`` iff ``u_i(h) <= v_i(h) / tau_star[i]``;
+    the seeds of both instances are available to the per-key estimator.
+    """
+    labels = list(labels)
+    estimate_total = 0.0
+    true_total = 0.0
+    contributing = 0
+    for key in dataset.active_keys(labels):
+        if predicate is not None and not predicate(key):
+            continue
+        values = dataset.value_vector(key, labels)
+        true_total += float(true_function(values))
+        seeds = {}
+        sampled = set()
+        for index, label in enumerate(labels):
+            seed = seed_assigner.seed(key, instance=label)
+            seeds[index] = seed
+            if values[index] > 0.0 and values[index] >= seed * tau_star[index]:
+                sampled.add(index)
+        if not sampled:
+            continue
+        outcome = VectorOutcome.from_vector(values, sampled, seeds=seeds)
+        value = estimator.estimate(outcome)
+        if value != 0.0:
+            contributing += 1
+        estimate_total += value
+    return SumAggregateResult(
+        estimate=estimate_total,
+        true_value=true_total,
+        n_contributing_keys=contributing,
+    )

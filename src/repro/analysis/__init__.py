@@ -1,0 +1,27 @@
+"""Variance analysis, Monte-Carlo simulation and sample-size planning."""
+
+from repro.analysis.comparison import EstimatorComparison, compare_estimators
+from repro.analysis.confidence import (
+    ConfidenceInterval,
+    chebyshev_interval,
+    normal_interval,
+)
+from repro.analysis.montecarlo import SimulationResult, simulate_estimator
+from repro.analysis.samplesize import (
+    distinct_count_coefficient_of_variation,
+    required_probability,
+    required_sample_size,
+)
+
+__all__ = [
+    "EstimatorComparison",
+    "compare_estimators",
+    "ConfidenceInterval",
+    "chebyshev_interval",
+    "normal_interval",
+    "SimulationResult",
+    "simulate_estimator",
+    "distinct_count_coefficient_of_variation",
+    "required_probability",
+    "required_sample_size",
+]

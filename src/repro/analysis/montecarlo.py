@@ -1,0 +1,84 @@
+"""Monte-Carlo evaluation of estimators.
+
+Used to cross-validate the closed-form and exact-enumeration variances, to
+evaluate estimators whose exact variance is awkward to integrate, and by the
+examples to illustrate convergence of aggregate estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_rng
+from repro.core.estimator_base import VectorEstimator
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["SimulationResult", "simulate_estimator"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of a Monte-Carlo run of an estimator on fixed data.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean of the estimates.
+    variance:
+        Sample variance (unbiased, ``ddof=1``) of the estimates.
+    n_trials:
+        Number of simulated outcomes.
+    standard_error:
+        Standard error of the sample mean.
+    min_estimate / max_estimate:
+        Range of the observed estimates (useful to confirm nonnegativity).
+    """
+
+    mean: float
+    variance: float
+    n_trials: int
+    standard_error: float
+    min_estimate: float
+    max_estimate: float
+
+    def mean_within(self, target: float, n_sigma: float = 4.0) -> bool:
+        """Whether ``target`` lies within ``n_sigma`` standard errors of the
+        sample mean — the unbiasedness check used by the test-suite."""
+        return abs(self.mean - target) <= n_sigma * max(
+            self.standard_error, 1e-12
+        )
+
+
+def simulate_estimator(
+    estimator: VectorEstimator,
+    scheme,
+    values: Sequence[float],
+    n_trials: int = 20_000,
+    rng: np.random.Generator | int | None = None,
+) -> SimulationResult:
+    """Simulate ``estimator`` on data ``values`` under ``scheme``.
+
+    ``scheme`` must provide ``sample(values, rng)`` returning a
+    :class:`repro.sampling.outcomes.VectorOutcome`; both dispersed schemes
+    qualify.
+    """
+    if n_trials <= 1:
+        raise InvalidParameterError("n_trials must be at least 2")
+    generator = check_rng(rng)
+    estimates = np.empty(int(n_trials))
+    for index in range(int(n_trials)):
+        outcome = scheme.sample(values, rng=generator)
+        estimates[index] = estimator.estimate(outcome)
+    mean = float(np.mean(estimates))
+    variance = float(np.var(estimates, ddof=1))
+    return SimulationResult(
+        mean=mean,
+        variance=variance,
+        n_trials=int(n_trials),
+        standard_error=float(np.sqrt(variance / n_trials)),
+        min_estimate=float(np.min(estimates)),
+        max_estimate=float(np.max(estimates)),
+    )

@@ -1,0 +1,103 @@
+"""Sample-size planning for distinct-count estimation (Figure 6).
+
+Figure 6 of the paper plots, as a function of the per-instance set size
+``n``, the sample size ``s = p * n`` required so that the distinct-count
+estimator reaches a target coefficient of variation (cv), for the HT and the
+L estimators and several values of the Jaccard coefficient.
+
+With ``|N_1| = |N_2| = n``, Jaccard ``J`` and distinct count
+``N = 2 n / (1 + J)``:
+
+* ``Var[HT] = N (1 / p^2 - 1)``;
+* ``Var[L]  = N [ J Var[OR^L | (1,1)] + (1 - J) Var[OR^L | (1,0)] ]``,
+
+and ``cv = sqrt(Var) / N``.  Both variances are decreasing in ``p``, so the
+minimal ``p`` meeting the cv target is found by bisection.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_positive, check_unit_interval
+from repro.aggregates.distinct import distinct_ht_variance, distinct_l_variance
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "distinct_count_coefficient_of_variation",
+    "required_probability",
+    "required_sample_size",
+]
+
+
+def distinct_count_coefficient_of_variation(
+    estimator: str, n_per_set: float, jaccard: float, probability: float
+) -> float:
+    """Coefficient of variation of a distinct-count estimator.
+
+    Parameters
+    ----------
+    estimator:
+        ``"HT"`` or ``"L"``.
+    n_per_set:
+        Size ``n`` of each of the two (equal-sized) key sets.
+    jaccard:
+        Jaccard coefficient of the two sets.
+    probability:
+        Per-instance sampling probability ``p`` (equal for both instances).
+    """
+    n_per_set = check_positive(n_per_set, "n_per_set")
+    jaccard = check_unit_interval(jaccard, "jaccard")
+    distinct = 2.0 * n_per_set / (1.0 + jaccard)
+    if estimator.upper() == "HT":
+        variance = distinct_ht_variance(distinct, probability, probability)
+    elif estimator.upper() == "L":
+        variance = distinct_l_variance(
+            distinct, jaccard, probability, probability
+        )
+    else:
+        raise InvalidParameterError(
+            f"estimator must be 'HT' or 'L', got {estimator!r}"
+        )
+    return (variance ** 0.5) / distinct
+
+
+def required_probability(
+    estimator: str,
+    n_per_set: float,
+    jaccard: float,
+    target_cv: float,
+    tolerance: float = 1e-12,
+) -> float:
+    """Smallest sampling probability achieving ``target_cv``.
+
+    Returns 1.0 when even sampling everything does not reach the target
+    (which cannot happen for these estimators since ``p = 1`` gives zero
+    variance, but the guard keeps the bisection well defined).
+    """
+    target_cv = check_positive(target_cv, "target_cv")
+
+    def cv(probability: float) -> float:
+        return distinct_count_coefficient_of_variation(
+            estimator, n_per_set, jaccard, probability
+        )
+
+    low, high = 1e-12, 1.0
+    if cv(high) > target_cv:  # pragma: no cover - defensive
+        return 1.0
+    if cv(low) <= target_cv:
+        return low
+    while high - low > tolerance * max(high, 1.0):
+        mid = 0.5 * (low + high)
+        if cv(mid) > target_cv:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def required_sample_size(
+    estimator: str, n_per_set: float, jaccard: float, target_cv: float
+) -> float:
+    """Expected per-instance sample size ``s = p * n`` achieving the target
+    coefficient of variation (the quantity plotted in Figure 6)."""
+    probability = required_probability(estimator, n_per_set, jaccard, target_cv)
+    return probability * float(n_per_set)

@@ -1,0 +1,72 @@
+"""Core estimator framework and the paper's closed-form optimal estimators.
+
+Modules
+-------
+``functions``
+    Single-key multi-instance primitives: max, min, ℓ-th largest, range,
+    exponentiated range, OR, XOR.
+``estimator_base``
+    The estimator interface shared by all concrete estimators.
+``ht``
+    Horvitz-Thompson / inverse-probability estimators (Section 2.2).
+``order_based``
+    The generic Algorithm 1 derivation engine for finite discrete models.
+``partition_based``
+    The generic Algorithm 2 derivation engine (ordered partition with
+    nonnegativity constraints and per-batch local optimality).
+``coefficients``
+    Theorem 4.2 coefficient recursion for the uniform-probability
+    ``max^(L)`` estimator (Algorithm 3 of the paper).
+``max_oblivious``
+    ``max^(HT)``, ``max^(L)`` and ``max^(U)`` under weight-oblivious Poisson
+    sampling (Section 4).
+``or_estimators``
+    Boolean OR estimators, weight-oblivious and weighted with known seeds
+    (Sections 4.3 and 5.1).
+``max_weighted``
+    ``max^(HT)`` and ``max^(L)`` under Poisson PPS sampling with known seeds
+    (Section 5.2, Figure 3 and Appendix A).
+``feasibility``
+    LP feasibility checker used to reproduce the Section 6 impossibility
+    results and the Lemma 2.1 necessary conditions.
+``variance``
+    Closed-form and exact-enumeration variance utilities.
+"""
+
+from repro.core.derived import (
+    DerivedVectorEstimator,
+    derive_for_oblivious_scheme,
+)
+from repro.core.estimator_base import VectorEstimator
+from repro.core.functions import (
+    FUNCTIONS,
+    boolean_or,
+    boolean_xor,
+    exp_range,
+    lth_largest,
+    maximum,
+    minimum,
+    value_range,
+)
+from repro.core.ht import HorvitzThompsonOblivious, ht_variance
+from repro.core.order_based import DiscreteModel, OrderBasedDeriver
+from repro.core.partition_based import PartitionBasedDeriver
+
+__all__ = [
+    "DerivedVectorEstimator",
+    "derive_for_oblivious_scheme",
+    "VectorEstimator",
+    "FUNCTIONS",
+    "boolean_or",
+    "boolean_xor",
+    "exp_range",
+    "lth_largest",
+    "maximum",
+    "minimum",
+    "value_range",
+    "HorvitzThompsonOblivious",
+    "ht_variance",
+    "DiscreteModel",
+    "OrderBasedDeriver",
+    "PartitionBasedDeriver",
+]

@@ -1,0 +1,107 @@
+"""Coefficients of the uniform-probability ``max^(L)`` estimator.
+
+Theorem 4.1 of the paper shows that under weight-oblivious Poisson sampling
+the ``max^(L)`` estimate is a linear combination of the sorted entries of the
+determining vector, with coefficients that are rational expressions of the
+inclusion probabilities.  For a *uniform* inclusion probability ``p`` the
+prefix sums ``A_i`` of the coefficients obey the triangular recursion of
+Theorem 4.2 (Algorithm 3 in the paper), which lets the whole coefficient
+vector be computed in ``O(r^2)`` time:
+
+.. math::
+
+    A_r = \\frac{1}{1 - (1-p)^r}
+
+    A_{r-k-1} = \\frac{A_{r-k} + \\sum_{\\ell=1}^{k} \\binom{k}{\\ell}
+        \\left(\\frac{1-p}{p}\\right)^{\\ell}
+        \\bigl(A_{r-k+\\ell} - (1 - (1-p)^{r-k-1}) A_{r-k+\\ell-1}\\bigr)}
+        {1 - (1-p)^{r-k-1}}
+
+with ``alpha_1 = A_1`` and ``alpha_h = A_h - A_{h-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._validation import check_probability
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "uniform_prefix_sums",
+    "uniform_max_l_coefficients",
+    "max_l_r2_coefficients",
+]
+
+
+def uniform_prefix_sums(r: int, p: float) -> np.ndarray:
+    """Prefix sums ``A_1, ..., A_r`` of the ``max^(L)`` coefficients.
+
+    Parameters
+    ----------
+    r:
+        Number of instances (entries of the data vector), ``r >= 1``.
+    p:
+        Uniform inclusion probability in ``(0, 1]``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``A`` of length ``r`` with ``A[i-1] = A_i``.
+    """
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    p = check_probability(p)
+    q = 1.0 - p
+    prefix = np.zeros(r + 1)  # 1-based indexing: prefix[i] = A_i
+    prefix[r] = 1.0 / (1.0 - q ** r)
+    for k in range(0, r - 1):
+        correction = 0.0
+        for ell in range(1, k + 1):
+            correction += (
+                math.comb(k, ell)
+                * (q / p) ** ell
+                * (
+                    prefix[r - k + ell]
+                    - (1.0 - q ** (r - k - 1)) * prefix[r - k + ell - 1]
+                )
+            )
+        prefix[r - k - 1] = (prefix[r - k] + correction) / (
+            1.0 - q ** (r - k - 1)
+        )
+    return prefix[1:]
+
+
+def uniform_max_l_coefficients(r: int, p: float) -> np.ndarray:
+    """Coefficients ``alpha_1, ..., alpha_r`` of the uniform-p ``max^(L)``.
+
+    The estimate for an outcome with sorted determining vector
+    ``u_1 >= ... >= u_r`` is ``sum_i alpha_i u_i``.
+    """
+    prefix = uniform_prefix_sums(r, p)
+    alphas = np.empty(r)
+    alphas[0] = prefix[0]
+    alphas[1:] = np.diff(prefix)
+    return alphas
+
+
+def max_l_r2_coefficients(p1: float, p2: float) -> tuple[float, float]:
+    """Coefficients of ``max^(L)`` for ``r = 2`` with heterogeneous ``p``.
+
+    Eq. (12) of the paper: with a determining vector ``(v_1, v_2)`` sorted so
+    that ``v_1 >= v_2`` (and ``p`` permuted accordingly), the estimate is
+    ``alpha_1 v_1 + alpha_2 v_2`` with
+
+    .. math::
+
+        \\alpha_1 = \\frac{1}{p_1 (p_1 + p_2 - p_1 p_2)}, \\qquad
+        \\alpha_2 = -\\frac{1 - p_1}{p_1 (p_1 + p_2 - p_1 p_2)}.
+    """
+    p1 = check_probability(p1, "p1")
+    p2 = check_probability(p2, "p2")
+    union = p1 + p2 - p1 * p2
+    alpha_1 = 1.0 / (p1 * union)
+    alpha_2 = -(1.0 - p1) / (p1 * union)
+    return alpha_1, alpha_2

@@ -1,0 +1,178 @@
+"""Adapters that turn engine-derived estimators into reusable estimators.
+
+The generic derivation engines (Algorithms 1 and 2) produce a
+:class:`repro.core.order_based.DerivedEstimator` — a lookup table keyed by
+abstract outcome labels of a finite :class:`DiscreteModel`.  This module
+bridges that representation and the rest of the library:
+
+* :func:`derive_for_oblivious_scheme` builds the discrete model for a
+  weight-oblivious Poisson scheme over a finite value grid and runs either
+  engine;
+* :class:`DerivedVectorEstimator` wraps the result as a
+  :class:`repro.core.estimator_base.VectorEstimator`, so a derived estimator
+  can be plugged into the sum-aggregate machinery, the Monte-Carlo harness
+  and the comparison tables exactly like the closed-form estimators.
+
+This is the "automated tool" direction the paper's conclusion hints at:
+given a function and a (finite) sampling model, derive the optimal estimator
+mechanically instead of by hand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro.core.estimator_base import VectorEstimator
+from repro.core.order_based import (
+    DerivedEstimator,
+    DiscreteModel,
+    OrderBasedDeriver,
+)
+from repro.core.partition_based import PartitionBasedDeriver
+from repro.exceptions import InvalidOutcomeError, InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = [
+    "DerivedVectorEstimator",
+    "dense_first_order",
+    "sparse_first_batches",
+    "derive_for_oblivious_scheme",
+]
+
+
+def dense_first_order(vector: Sequence[float]) -> tuple:
+    """The ``max^(L)`` order ≺: the zero vector first, then by the number of
+    entries strictly below the maximum (dense vectors early)."""
+    if all(value == 0 for value in vector):
+        return (-1, 0)
+    top = max(vector)
+    return (0, sum(1 for value in vector if value < top))
+
+
+def sparse_first_batches(vector: Sequence[float]) -> int:
+    """The ``max^(U)`` ordered partition: by the number of positive entries
+    (sparse vectors early)."""
+    return sum(1 for value in vector if value > 0)
+
+
+def outcome_label(outcome: VectorOutcome) -> tuple:
+    """Canonical hashable label of a weight-oblivious outcome."""
+    indices = tuple(sorted(outcome.sampled))
+    return (indices, tuple(outcome.values[i] for i in indices))
+
+
+class DerivedVectorEstimator(VectorEstimator):
+    """A :class:`VectorEstimator` backed by an engine-derived lookup table.
+
+    Parameters
+    ----------
+    derived:
+        The derivation result.
+    r:
+        Number of entries of the vectors the estimator accepts.
+    function_name / variant:
+        Metadata used in reports.
+    strict:
+        When ``True`` (default) an outcome whose label is absent from the
+        derivation model raises; when ``False`` it returns 0.0 (useful when
+        the model's value grid only approximates the data).
+    """
+
+    def __init__(
+        self,
+        derived: DerivedEstimator,
+        r: int,
+        function_name: str = "derived",
+        variant: str = "derived",
+        strict: bool = True,
+    ) -> None:
+        self._derived = derived
+        self._r = int(r)
+        self.function_name = function_name
+        self.variant = variant
+        self.strict = bool(strict)
+        self.is_pareto_optimal = True
+
+    @property
+    def r(self) -> int:
+        return self._r
+
+    @property
+    def derived(self) -> DerivedEstimator:
+        """The underlying derivation result (lookup table + model)."""
+        return self._derived
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        if outcome.r != self._r:
+            raise InvalidOutcomeError(
+                f"outcome has {outcome.r} entries, estimator expects {self._r}"
+            )
+        label = outcome_label(outcome)
+        if label not in self._derived.estimates:
+            if self.strict:
+                raise InvalidOutcomeError(
+                    f"outcome {label!r} is outside the derivation domain"
+                )
+            return 0.0
+        return self._derived.estimate(label)
+
+    def variance(self, values: Sequence[float]) -> float:
+        """Exact variance for a data vector of the derivation domain."""
+        return self._derived.variance(tuple(float(v) for v in values))
+
+
+def derive_for_oblivious_scheme(
+    probabilities: Sequence[float],
+    function: Callable[[Sequence[float]], float],
+    value_grid: Sequence[float],
+    method: str = "order",
+    order_key: Callable[[Sequence[float]], object] | None = None,
+    batch_key: Callable[[Sequence[float]], object] | None = None,
+    function_name: str = "derived",
+) -> DerivedVectorEstimator:
+    """Derive an optimal estimator for ``function`` under weight-oblivious
+    Poisson sampling over a finite value grid.
+
+    Parameters
+    ----------
+    probabilities:
+        Per-entry inclusion probabilities.
+    function:
+        The estimated function, applied to full data vectors.
+    value_grid:
+        The finite set of values each entry may take (must include the
+        values of the data the estimator will be applied to).
+    method:
+        ``"order"`` runs Algorithm 1 (needs ``order_key``; defaults to the
+        dense-first ``max^(L)`` order), ``"partition"`` runs Algorithm 2
+        (needs ``batch_key``; defaults to the sparse-first partition).
+    """
+    scheme = ObliviousPoissonScheme(probabilities)
+    grid = sorted({float(v) for v in value_grid})
+    if not grid:
+        raise InvalidParameterError("value_grid must not be empty")
+    vectors = list(itertools.product(grid, repeat=scheme.r))
+    model = DiscreteModel.from_scheme(scheme, vectors)
+    if method == "order":
+        deriver = OrderBasedDeriver(
+            model, function, order_key or dense_first_order
+        )
+        variant = "derived-L"
+    elif method == "partition":
+        deriver = PartitionBasedDeriver(
+            model, function, batch_key or sparse_first_batches
+        )
+        variant = "derived-U"
+    else:
+        raise InvalidParameterError(
+            f"method must be 'order' or 'partition', got {method!r}"
+        )
+    derived = deriver.derive()
+    return DerivedVectorEstimator(
+        derived,
+        r=scheme.r,
+        function_name=function_name,
+        variant=variant,
+    )

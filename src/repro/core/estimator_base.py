@@ -1,0 +1,57 @@
+"""Common interface for single-vector estimators.
+
+Every concrete estimator in :mod:`repro.core` consumes a
+:class:`repro.sampling.outcomes.VectorOutcome` and returns a nonnegative
+estimate of its target function.  The interface also exposes the properties
+the paper cares about (unbiasedness, nonnegativity, monotonicity, Pareto
+optimality) as metadata so comparison harnesses can report them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = ["VectorEstimator"]
+
+
+class VectorEstimator(ABC):
+    """Base class for estimators of a function of a dispersed value vector."""
+
+    #: name of the estimated function ("max", "or", ...)
+    function_name: str = ""
+    #: short identifier of the estimator variant ("HT", "L", "U", ...)
+    variant: str = ""
+    #: whether the estimator is unbiased for every data vector
+    is_unbiased: bool = True
+    #: whether the estimator is nonnegative on every outcome
+    is_nonnegative: bool = True
+    #: whether the estimator is monotone (nondecreasing with information)
+    is_monotone: bool = False
+    #: whether the estimator is Pareto optimal (no unbiased nonnegative
+    #: estimator dominates it)
+    is_pareto_optimal: bool = False
+
+    @property
+    @abstractmethod
+    def r(self) -> int:
+        """Number of entries of the vectors the estimator accepts."""
+
+    @abstractmethod
+    def estimate(self, outcome: VectorOutcome) -> float:
+        """Return the estimate for one outcome."""
+
+    def estimate_many(self, outcomes: Iterable[VectorOutcome]) -> np.ndarray:
+        """Vector of estimates for an iterable of outcomes."""
+        return np.array([self.estimate(outcome) for outcome in outcomes],
+                        dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(function={self.function_name!r}, "
+            f"variant={self.variant!r}, r={self.r})"
+        )

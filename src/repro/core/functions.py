@@ -1,0 +1,97 @@
+"""Multi-instance function primitives f(v) (Section 2).
+
+Each primitive maps a value vector ``v = (v_1, ..., v_r)`` — the values one
+key assumes across ``r`` instances — to a nonnegative number.  Sum
+aggregates (Section 7) sum a primitive over selected keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "maximum",
+    "minimum",
+    "lth_largest",
+    "value_range",
+    "exp_range",
+    "boolean_or",
+    "boolean_xor",
+    "FUNCTIONS",
+]
+
+
+def maximum(values: Sequence[float]) -> float:
+    """The maximum entry ``max(v)``."""
+    _check_nonempty(values)
+    return float(max(values))
+
+
+def minimum(values: Sequence[float]) -> float:
+    """The minimum entry ``min(v)``."""
+    _check_nonempty(values)
+    return float(min(values))
+
+
+def lth_largest(values: Sequence[float], ell: int) -> float:
+    """The ``ell``-th largest entry (``ell = 1`` is the maximum)."""
+    _check_nonempty(values)
+    if not 1 <= ell <= len(values):
+        raise InvalidParameterError(
+            f"ell must be in [1, {len(values)}], got {ell}"
+        )
+    return float(sorted(values, reverse=True)[ell - 1])
+
+
+def value_range(values: Sequence[float]) -> float:
+    """The range ``RG(v) = max(v) - min(v)``."""
+    _check_nonempty(values)
+    return float(max(values) - min(values))
+
+
+def exp_range(values: Sequence[float], exponent: float = 1.0) -> float:
+    """The exponentiated range ``RG^d(v) = (max(v) - min(v))^d``."""
+    if exponent <= 0.0:
+        raise InvalidParameterError(
+            f"exponent must be positive, got {exponent}"
+        )
+    return float(value_range(values) ** exponent)
+
+
+def boolean_or(values: Sequence[float]) -> float:
+    """Boolean OR of the entries: 1 if any entry is nonzero, else 0."""
+    _check_nonempty(values)
+    _check_binary(values)
+    return 1.0 if any(float(v) != 0.0 for v in values) else 0.0
+
+
+def boolean_xor(values: Sequence[float]) -> float:
+    """Boolean XOR (parity) of the entries."""
+    _check_nonempty(values)
+    _check_binary(values)
+    return float(sum(1 for v in values if float(v) != 0.0) % 2)
+
+
+def _check_nonempty(values: Sequence[float]) -> None:
+    if len(values) == 0:
+        raise InvalidParameterError("value vector must not be empty")
+
+
+def _check_binary(values: Sequence[float]) -> None:
+    for v in values:
+        if float(v) not in (0.0, 1.0):
+            raise InvalidParameterError(
+                f"Boolean primitives require values in {{0, 1}}, got {v!r}"
+            )
+
+
+#: Registry of named primitives used by the experiment harness and examples.
+FUNCTIONS: dict[str, Callable[[Sequence[float]], float]] = {
+    "max": maximum,
+    "min": minimum,
+    "range": value_range,
+    "or": boolean_or,
+    "xor": boolean_xor,
+}

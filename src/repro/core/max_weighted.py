@@ -1,0 +1,342 @@
+"""Maximum estimators for Poisson PPS sampling with known seeds (Section 5.2).
+
+Entry ``i`` with value ``v_i`` is sampled iff ``v_i >= u_i * tau_star_i``
+where ``u_i`` is a uniform seed known to the estimator.  An unsampled entry
+therefore reveals the upper bound ``v_i < u_i * tau_star_i``, which is the
+partial information exploited by ``max^(L)``.
+
+:class:`MaxPpsHT`
+    The optimal inverse-probability estimator of [Cohen-Kaplan-Sen 2009]:
+    positive only on outcomes where the upper bounds of all unsampled
+    entries are below the largest sampled value (so ``max(v)`` is known).
+
+:class:`MaxPpsL`
+    The order-based optimal estimator derived in the paper for ``r = 2``
+    (Figure 3 and Appendix A), which dominates :class:`MaxPpsHT` — the
+    variance ratio is at least ``(1 + rho) / rho`` with
+    ``rho = max(v) / tau_star``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import check_positive_vector
+from repro.core.estimator_base import VectorEstimator
+from repro.exceptions import InvalidOutcomeError, UnsupportedConfigurationError
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = ["MaxPpsHT", "MaxPpsL"]
+
+
+class MaxPpsHT(VectorEstimator):
+    """Inverse-probability max estimator for PPS samples with known seeds.
+
+    The outcome is in ``S*`` when ``max_{i not in S} u_i tau_star_i <=
+    max_{i in S} v_i``; the estimate is then
+    ``M / prod_i min(1, M / tau_star_i)`` with ``M`` the largest sampled
+    value, and zero otherwise.
+    """
+
+    function_name = "max"
+    variant = "HT"
+    is_monotone = True
+
+    def __init__(self, tau_star: Sequence[float]) -> None:
+        self.tau_star = check_positive_vector(tau_star, "tau_star")
+
+    @property
+    def r(self) -> int:
+        return len(self.tau_star)
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        self._check(outcome)
+        if outcome.is_empty:
+            return 0.0
+        top = outcome.max_sampled()
+        if top <= 0.0:
+            return 0.0
+        for i in range(self.r):
+            if i not in outcome.sampled:
+                if outcome.seeds[i] * self.tau_star[i] > top:
+                    return 0.0
+        probability = math.prod(
+            min(1.0, top / tau) for tau in self.tau_star
+        )
+        return top / probability
+
+    def variance(self, values: Sequence[float]) -> float:
+        """Exact variance for data ``values``."""
+        values = [float(v) for v in values]
+        top = max(values)
+        if top <= 0.0:
+            return 0.0
+        probability = math.prod(
+            min(1.0, top / tau) for tau in self.tau_star
+        )
+        return top ** 2 * (1.0 / probability - 1.0)
+
+    def _check(self, outcome: VectorOutcome) -> None:
+        if outcome.r != self.r:
+            raise InvalidOutcomeError(
+                f"outcome has {outcome.r} entries, estimator expects {self.r}"
+            )
+        if outcome.seeds is None:
+            raise InvalidOutcomeError(
+                "PPS max estimators require known seeds in the outcome"
+            )
+
+
+class MaxPpsL(VectorEstimator):
+    """The ``max^(L)`` estimator for two PPS samples with known seeds.
+
+    The estimate is a function of the *determining vector* ``phi(S)``: the
+    smallest (in the paper's order) data vector consistent with the outcome.
+    For ``r = 2`` (Figure 3):
+
+    * ``S = {}``      -> ``phi = (0, 0)``;
+    * ``S = {0}``     -> ``phi = (v_1, min(u_2 tau_2, v_1))``;
+    * ``S = {1}``     -> ``phi = (min(u_1 tau_1, v_2), v_2)``;
+    * ``S = {0, 1}``  -> ``phi = (v_1, v_2)``.
+
+    and the closed forms of the bottom table of Figure 3 (equations (25),
+    (26), (29) and (30) of the paper) give the estimate as a function of the
+    determining vector.
+    """
+
+    function_name = "max"
+    variant = "L"
+    is_monotone = True
+    is_pareto_optimal = True
+
+    def __init__(self, tau_star: Sequence[float]) -> None:
+        self.tau_star = check_positive_vector(tau_star, "tau_star")
+        if len(self.tau_star) != 2:
+            raise UnsupportedConfigurationError(
+                "the paper derives the PPS known-seed max^(L) for r = 2 only"
+            )
+
+    @property
+    def r(self) -> int:
+        return 2
+
+    def determining_vector(self, outcome: VectorOutcome) -> tuple[float, float]:
+        """The determining vector ``phi(S)`` of a known-seed PPS outcome."""
+        self._check(outcome)
+        tau1, tau2 = self.tau_star
+        if outcome.is_empty:
+            return (0.0, 0.0)
+        if outcome.sampled == frozenset({0, 1}):
+            return (outcome.values[0], outcome.values[1])
+        if outcome.sampled == frozenset({0}):
+            v1 = outcome.values[0]
+            return (v1, min(outcome.seeds[1] * tau2, v1))
+        v2 = outcome.values[1]
+        return (min(outcome.seeds[0] * tau1, v2), v2)
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        phi = self.determining_vector(outcome)
+        return self.estimate_from_determining(*phi)
+
+    def estimate_from_determining(self, phi1: float, phi2: float) -> float:
+        """Estimate as a function of the determining vector (Figure 3)."""
+        phi1, phi2 = float(phi1), float(phi2)
+        if phi1 < 0.0 or phi2 < 0.0:
+            raise InvalidOutcomeError("determining vector must be nonnegative")
+        if phi1 == 0.0 and phi2 == 0.0:
+            return 0.0
+        if min(phi1, phi2) <= 0.0:
+            # A determining vector of a nonempty outcome always has two
+            # positive entries (zero values are never sampled and the seed
+            # bound of an unsampled entry is positive).
+            raise InvalidOutcomeError(
+                "determining vector entries must be positive unless both are zero"
+            )
+        if phi1 >= phi2:
+            return self._sorted_estimate(
+                phi1, phi2, self.tau_star[0], self.tau_star[1]
+            )
+        return self._sorted_estimate(
+            phi2, phi1, self.tau_star[1], self.tau_star[0]
+        )
+
+    @staticmethod
+    def _sorted_estimate(a: float, b: float, tau_a: float, tau_b: float) -> float:
+        """Figure 3 closed forms with ``a >= b``; ``tau_a``/``tau_b`` are the
+        thresholds of the entries holding ``a`` and ``b``."""
+        if a == b:
+            # Equal entries: Eq. (25).
+            q_a = min(1.0, a / tau_a)
+            q_b = min(1.0, a / tau_b)
+            return a / (q_a + (1.0 - q_a) * q_b)
+        if b >= tau_b:
+            # Eq. (26).
+            return b + (a - b) / min(1.0, a / tau_a)
+        if a >= tau_a:
+            # Case ``v >= tau_1``: the estimate equals the larger entry.
+            return a
+        total = tau_a + tau_b
+        if a <= tau_b:
+            # Eq. (29): both entries below both thresholds.
+            return (
+                tau_a * tau_b / (total - a)
+                + tau_a * tau_b * (tau_a - a) / (a * total)
+                * math.log((total - b) * a / (b * (total - a)))
+                + (a - b) * tau_a * tau_b * (tau_a - a)
+                / (a * (total - b) * (total - a))
+            )
+        # Eq. (30): b <= tau_b <= a <= tau_a.  Note: the log argument printed
+        # in the paper, ((tau_a + tau_b - b) tau_a) / (tau_b (tau_a + tau_b -
+        # a)), is a typo — re-deriving the appendix integral (footnote 2 with
+        # lower limit v - tau_2) gives ((tau_a + tau_b - b) tau_b) /
+        # (b tau_a), which is the unique choice that keeps the estimator
+        # continuous across the case boundaries and unbiased.
+        return (
+            tau_a + tau_b - tau_a * tau_b / a
+            + tau_a * tau_b * (tau_a - a) / (a * total)
+            * math.log((total - b) * tau_b / (b * tau_a))
+            + tau_b * (tau_a - a) * (tau_b - b) / ((total - b) * a)
+        )
+
+    @staticmethod
+    def _sorted_estimate_vector(
+        a: float, b: np.ndarray, tau_a: float, tau_b: float
+    ) -> np.ndarray:
+        """Vectorised Figure 3 closed forms for a fixed larger entry ``a``
+        and an array of smaller entries ``b`` (all ``0 < b <= a``)."""
+        b = np.asarray(b, dtype=float)
+        result = np.empty_like(b)
+        total = tau_a + tau_b
+
+        high = b >= tau_b                      # Eq. (26)
+        result[high] = b[high] + (a - b[high]) / min(1.0, a / tau_a)
+        low = ~high
+        if not np.any(low):
+            return result
+        if a >= tau_a:                         # the larger entry is certain
+            result[low] = a
+            return result
+        b_low = b[low]
+        if a <= tau_b:                         # Eq. (29)
+            values = (
+                tau_a * tau_b / (total - a)
+                + tau_a * tau_b * (tau_a - a) / (a * total)
+                * np.log((total - b_low) * a / (b_low * (total - a)))
+                + (a - b_low) * tau_a * tau_b * (tau_a - a)
+                / (a * (total - b_low) * (total - a))
+            )
+        else:                                  # Eq. (30), corrected log term
+            values = (
+                tau_a + tau_b - tau_a * tau_b / a
+                + tau_a * tau_b * (tau_a - a) / (a * total)
+                * np.log((total - b_low) * tau_b / (b_low * tau_a))
+                + tau_b * (tau_a - a) * (tau_b - b_low) / ((total - b_low) * a)
+            )
+        result[low] = values
+        return result
+
+    # ------------------------------------------------------------------
+    # Exact moments via one-dimensional numerical integration.
+    # ------------------------------------------------------------------
+    def moments(
+        self, values: Sequence[float], grid_size: int = 2001
+    ) -> tuple[float, float]:
+        """Exact mean and variance of the estimator for data ``values``.
+
+        The expectation over outcomes decomposes into the four inclusion
+        patterns; the patterns with exactly one sampled entry require an
+        integral over the seed of the unsampled entry, evaluated with the
+        trapezoidal rule on ``grid_size`` points.
+        """
+        v1, v2 = (float(values[0]), float(values[1]))
+        if v1 < 0.0 or v2 < 0.0:
+            raise InvalidOutcomeError("values must be nonnegative")
+        tau1, tau2 = self.tau_star
+        q1 = min(1.0, v1 / tau1)
+        q2 = min(1.0, v2 / tau2)
+
+        mean = 0.0
+        second = 0.0
+
+        if q1 > 0.0 and q2 > 0.0:
+            est = self.estimate_from_determining(v1, v2)
+            weight = q1 * q2
+            mean += weight * est
+            second += weight * est ** 2
+
+        # Only entry 1 sampled: u2 uniform on (q2, 1].
+        if q1 > 0.0 and q2 < 1.0:
+            mean_piece, second_piece = self._one_sampled_moments(
+                sampled_value=v1, tau_sampled=tau1, tau_unsampled=tau2,
+                q_unsampled=q2, grid_size=grid_size,
+            )
+            weight = q1 * (1.0 - q2)
+            mean += weight * mean_piece
+            second += weight * second_piece
+
+        # Only entry 2 sampled: u1 uniform on (q1, 1].
+        if q2 > 0.0 and q1 < 1.0:
+            mean_piece, second_piece = self._one_sampled_moments(
+                sampled_value=v2, tau_sampled=tau2, tau_unsampled=tau1,
+                q_unsampled=q1, grid_size=grid_size,
+            )
+            weight = q2 * (1.0 - q1)
+            mean += weight * mean_piece
+            second += weight * second_piece
+
+        variance = second - mean ** 2
+        return mean, max(variance, 0.0)
+
+    def variance(self, values: Sequence[float], grid_size: int = 2001) -> float:
+        """Exact variance of the estimator for data ``values``."""
+        return self.moments(values, grid_size=grid_size)[1]
+
+    def _one_sampled_moments(
+        self,
+        sampled_value: float,
+        tau_sampled: float,
+        tau_unsampled: float,
+        q_unsampled: float,
+        grid_size: int,
+    ) -> tuple[float, float]:
+        """Conditional moments given that exactly one entry is sampled.
+
+        Conditioned on the other entry not being sampled, its seed is
+        uniform on ``(q_unsampled, 1]`` and the determining vector pairs the
+        sampled value with ``min(seed * tau_unsampled, sampled_value)``.
+        """
+        # The estimate diverges only logarithmically as the seed approaches
+        # zero.  A geometric grid near the lower end point followed by a
+        # uniform grid captures the log-shaped integrand accurately while
+        # avoiding the singular end point itself.
+        lower = max(q_unsampled, 1e-12)
+        knee = min(max(lower * 10.0, 0.02), 1.0)
+        if knee > lower:
+            log_part = np.geomspace(lower, knee, max(grid_size // 4, 64))
+            linear_part = np.linspace(knee, 1.0, grid_size)
+            seeds = np.unique(np.concatenate([log_part, linear_part]))
+        else:
+            seeds = np.linspace(lower, 1.0, grid_size)
+        bounds = np.minimum(seeds * tau_unsampled, sampled_value)
+        estimates = self._sorted_estimate_vector(
+            sampled_value, bounds, tau_sampled, tau_unsampled
+        )
+        width = 1.0 - q_unsampled
+        if width <= 0.0:  # pragma: no cover - guarded by caller
+            return 0.0, 0.0
+        mean = float(np.trapezoid(estimates, seeds) / width)
+        second = float(np.trapezoid(estimates ** 2, seeds) / width)
+        return mean, second
+
+    def _check(self, outcome: VectorOutcome) -> None:
+        if outcome.r != 2:
+            raise InvalidOutcomeError(
+                f"outcome has {outcome.r} entries, estimator expects 2"
+            )
+        if outcome.seeds is None:
+            raise InvalidOutcomeError(
+                "PPS max estimators require known seeds in the outcome"
+            )

@@ -1,0 +1,192 @@
+"""Boolean OR estimators (Sections 4.3 and 5.1).
+
+``OR(v)`` is 1 when any entry is nonzero.  Its sum aggregate over keys is the
+distinct-element count (size of the union of the instances viewed as sets),
+the application developed in Section 8.1.
+
+Two sampling models are covered:
+
+* **weight-oblivious Poisson** sampling (Section 4.3): entry ``i`` is
+  sampled with probability ``p_i`` regardless of its value — estimators
+  :class:`OrObliviousHT`, :class:`OrObliviousL`, :class:`OrObliviousU`.
+* **weighted Poisson with known seeds** (Section 5.1): only ``1``-valued
+  entries can be sampled (with probability ``p_i``), but the seed ``u_i`` of
+  each entry is known, so ``i not in S`` together with ``u_i <= p_i``
+  certifies ``v_i = 0``.  The paper shows this model is outcome-equivalent
+  to the weight-oblivious one; estimators
+  :class:`OrKnownSeedsHT`, :class:`OrKnownSeedsL`, :class:`OrKnownSeedsU`
+  apply the mapping and delegate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._validation import check_probability_vector
+from repro.core.estimator_base import VectorEstimator
+from repro.core.functions import boolean_or
+from repro.core.ht import HorvitzThompsonOblivious
+from repro.core.max_oblivious import MaxObliviousL, MaxObliviousU
+from repro.exceptions import InvalidOutcomeError
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = [
+    "OrObliviousHT",
+    "OrObliviousL",
+    "OrObliviousU",
+    "OrKnownSeedsHT",
+    "OrKnownSeedsL",
+    "OrKnownSeedsU",
+    "map_known_seed_outcome_to_oblivious",
+]
+
+
+class OrObliviousHT(HorvitzThompsonOblivious):
+    """HT estimator of Boolean OR under weight-oblivious Poisson sampling."""
+
+    function_name = "or"
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        super().__init__(
+            probabilities, function=boolean_or, function_name="or"
+        )
+
+
+class OrObliviousL(VectorEstimator):
+    """``OR^(L)``: the dense-first optimal OR estimator (Section 4.3).
+
+    Obtained by specialising ``max^(L)`` to the Boolean domain; optimal also
+    on that restricted domain.
+    """
+
+    function_name = "or"
+    variant = "L"
+    is_monotone = True
+    is_pareto_optimal = True
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        self.probabilities = check_probability_vector(probabilities)
+        self._max_l = MaxObliviousL(probabilities)
+
+    @property
+    def r(self) -> int:
+        return len(self.probabilities)
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        _check_binary_outcome(outcome)
+        return self._max_l.estimate(outcome)
+
+
+class OrObliviousU(VectorEstimator):
+    """``OR^(U)``: the sparse-first optimal OR estimator (Section 4.3),
+    ``r = 2`` (specialisation of ``max^(U)``)."""
+
+    function_name = "or"
+    variant = "U"
+    is_pareto_optimal = True
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        self.probabilities = check_probability_vector(probabilities)
+        self._max_u = MaxObliviousU(probabilities)
+
+    @property
+    def r(self) -> int:
+        return 2
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        _check_binary_outcome(outcome)
+        return self._max_u.estimate(outcome)
+
+
+def map_known_seed_outcome_to_oblivious(
+    outcome: VectorOutcome, probabilities: Sequence[float]
+) -> VectorOutcome:
+    """Map a known-seed weighted outcome over binary data to the equivalent
+    weight-oblivious outcome (Section 5).
+
+    The mapping (per entry ``i`` with sampling probability ``p_i`` for a
+    ``1`` value):
+
+    * ``i in S``                          -> sampled with value 1;
+    * ``i not in S`` and ``u_i <= p_i``   -> sampled with value 0
+      (the known seed certifies the value is 0);
+    * ``i not in S`` and ``u_i > p_i``    -> not sampled.
+    """
+    if outcome.seeds is None:
+        raise InvalidOutcomeError(
+            "known-seed OR estimators require outcomes that carry seeds"
+        )
+    sampled: set[int] = set()
+    values: dict[int, float] = {}
+    for i in range(outcome.r):
+        if i in outcome.sampled:
+            sampled.add(i)
+            values[i] = 1.0
+        elif outcome.seeds[i] <= probabilities[i]:
+            sampled.add(i)
+            values[i] = 0.0
+    return VectorOutcome(
+        r=outcome.r, sampled=frozenset(sampled), values=values
+    )
+
+
+class _KnownSeedsOrBase(VectorEstimator):
+    """Shared plumbing of the known-seed OR estimators."""
+
+    function_name = "or"
+
+    #: class of the weight-oblivious estimator to delegate to
+    _oblivious_class: type[VectorEstimator] = OrObliviousHT
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        self.probabilities = check_probability_vector(probabilities)
+        self._oblivious = self._oblivious_class(probabilities)
+
+    @property
+    def r(self) -> int:
+        return len(self.probabilities)
+
+    def estimate(self, outcome: VectorOutcome) -> float:
+        _check_binary_outcome(outcome, allow_missing_values=True)
+        mapped = map_known_seed_outcome_to_oblivious(
+            outcome, self.probabilities
+        )
+        return self._oblivious.estimate(mapped)
+
+
+class OrKnownSeedsHT(_KnownSeedsOrBase):
+    """``OR^(HT)`` for weighted sampling with known seeds (Section 5.1)."""
+
+    variant = "HT"
+    is_monotone = True
+    _oblivious_class = OrObliviousHT
+
+
+class OrKnownSeedsL(_KnownSeedsOrBase):
+    """``OR^(L)`` for weighted sampling with known seeds (Section 5.1)."""
+
+    variant = "L"
+    is_monotone = True
+    is_pareto_optimal = True
+    _oblivious_class = OrObliviousL
+
+
+class OrKnownSeedsU(_KnownSeedsOrBase):
+    """``OR^(U)`` for weighted sampling with known seeds (Section 5.1)."""
+
+    variant = "U"
+    is_pareto_optimal = True
+    _oblivious_class = OrObliviousU
+
+
+def _check_binary_outcome(
+    outcome: VectorOutcome, allow_missing_values: bool = False
+) -> None:
+    for value in outcome.values.values():
+        if float(value) not in (0.0, 1.0):
+            raise InvalidOutcomeError(
+                "OR estimators require binary values; got "
+                f"{value!r} in the outcome"
+            )
+    if allow_missing_values:
+        return

@@ -1,0 +1,244 @@
+"""Generic order-based estimator derivation — Algorithm 1 of the paper.
+
+The derivation works over a *finite discrete model*: a finite set of data
+vectors, a finite set of outcomes, and the conditional probabilities
+``P[outcome | vector]``.  Given a total (or linearised partial) order on the
+data vectors, Algorithm 1 processes vectors from smallest to largest and
+assigns to the not-yet-processed outcomes consistent with the current vector
+the unique value that keeps the estimator unbiased for that vector:
+
+    fhat <- (f(v) - f0) / P[S' | v]
+
+where ``f0`` is the contribution of already-processed outcomes.  The result,
+when it exists, is the unique order-based estimator ``f^(≺)``, which is
+unbiased and Pareto optimal (Lemma 3.1).
+
+This engine is used both to *derive* estimators numerically for small
+domains (cross-validating the closed forms of Sections 4 and 5) and to build
+estimators for functions the paper leaves as exercises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import EstimatorDerivationError, InvalidParameterError
+
+__all__ = ["DiscreteModel", "OrderBasedDeriver", "DerivedEstimator"]
+
+Vector = tuple
+Outcome = Hashable
+
+
+@dataclass(frozen=True)
+class DiscreteModel:
+    """A finite sampling model.
+
+    Attributes
+    ----------
+    vectors:
+        The data domain ``V`` as a tuple of value vectors.
+    outcomes:
+        All possible outcomes (hashable labels).
+    probabilities:
+        ``probabilities[vector][outcome]`` is ``P[outcome | vector]``;
+        omitted outcomes have probability zero.
+    """
+
+    vectors: tuple[Vector, ...]
+    outcomes: tuple[Outcome, ...]
+    probabilities: Mapping[Vector, Mapping[Outcome, float]] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        for vector in self.vectors:
+            distribution = self.probabilities.get(vector)
+            if distribution is None:
+                raise InvalidParameterError(
+                    f"no outcome distribution for vector {vector!r}"
+                )
+            total = float(sum(distribution.values()))
+            if not np.isclose(total, 1.0, atol=1e-9):
+                raise InvalidParameterError(
+                    f"outcome probabilities for {vector!r} sum to {total}, "
+                    "expected 1"
+                )
+
+    def probability(self, vector: Vector, outcome: Outcome) -> float:
+        """Return ``P[outcome | vector]`` (zero when not listed)."""
+        return float(self.probabilities.get(vector, {}).get(outcome, 0.0))
+
+    def consistent_vectors(self, outcome: Outcome) -> list[Vector]:
+        """The set ``V*(outcome)`` of vectors that can produce ``outcome``."""
+        return [
+            vector
+            for vector in self.vectors
+            if self.probability(vector, outcome) > 0.0
+        ]
+
+    def consistent_outcomes(self, vector: Vector) -> list[Outcome]:
+        """Outcomes with positive probability under ``vector``."""
+        distribution = self.probabilities.get(vector, {})
+        return [
+            outcome
+            for outcome in self.outcomes
+            if distribution.get(outcome, 0.0) > 0.0
+        ]
+
+    @classmethod
+    def from_scheme(
+        cls,
+        scheme,
+        vectors: Iterable[Sequence[float]],
+        outcome_key: Callable | None = None,
+    ) -> "DiscreteModel":
+        """Build a model by enumerating a scheme's outcomes on each vector.
+
+        ``scheme`` must offer ``iter_outcomes(vector)`` yielding
+        ``(VectorOutcome, probability)`` pairs (the weight-oblivious Poisson
+        scheme does).  Outcomes are keyed by ``(sampled indices, sampled
+        values)`` unless a custom ``outcome_key`` is given.
+        """
+        if outcome_key is None:
+            def outcome_key(outcome):  # noqa: D401 - small local helper
+                return (
+                    tuple(sorted(outcome.sampled)),
+                    tuple(outcome.values[i] for i in sorted(outcome.sampled)),
+                )
+
+        vectors = tuple(tuple(float(v) for v in vector) for vector in vectors)
+        probabilities: dict[Vector, dict[Outcome, float]] = {}
+        outcome_labels: dict[Outcome, None] = {}
+        for vector in vectors:
+            distribution: dict[Outcome, float] = {}
+            for outcome, probability in scheme.iter_outcomes(vector):
+                label = outcome_key(outcome)
+                distribution[label] = distribution.get(label, 0.0) + probability
+                outcome_labels.setdefault(label, None)
+            probabilities[vector] = distribution
+        return cls(
+            vectors=vectors,
+            outcomes=tuple(outcome_labels),
+            probabilities=probabilities,
+        )
+
+
+@dataclass(frozen=True)
+class DerivedEstimator:
+    """Result of a derivation: a lookup table from outcomes to estimates."""
+
+    estimates: Mapping[Outcome, float]
+    model: DiscreteModel
+    function: Callable[[Vector], float] = field(repr=False)
+
+    def __call__(self, outcome: Outcome) -> float:
+        return self.estimate(outcome)
+
+    def estimate(self, outcome: Outcome) -> float:
+        """Estimate for a (hashable) outcome label."""
+        if outcome not in self.estimates:
+            raise InvalidParameterError(
+                f"outcome {outcome!r} was not part of the derivation model"
+            )
+        return float(self.estimates[outcome])
+
+    def expectation(self, vector: Vector) -> float:
+        """Expected estimate under data ``vector`` (should equal f(vector))."""
+        return float(
+            sum(
+                self.model.probability(vector, outcome) * estimate
+                for outcome, estimate in self.estimates.items()
+            )
+        )
+
+    def variance(self, vector: Vector) -> float:
+        """Exact variance of the estimator under data ``vector``."""
+        mean = self.expectation(vector)
+        second_moment = float(
+            sum(
+                self.model.probability(vector, outcome) * estimate ** 2
+                for outcome, estimate in self.estimates.items()
+            )
+        )
+        return second_moment - mean ** 2
+
+    def is_nonnegative(self, tolerance: float = 1e-9) -> bool:
+        """Whether every outcome estimate is (numerically) nonnegative."""
+        return all(value >= -tolerance for value in self.estimates.values())
+
+
+class OrderBasedDeriver:
+    """Derive the order-based estimator ``f^(≺)`` on a discrete model.
+
+    Parameters
+    ----------
+    model:
+        The finite sampling model.
+    function:
+        The estimated function, called on data vectors.
+    order_key:
+        Key function defining the order ``≺`` on data vectors (smaller keys
+        first).  Ties are processed in an arbitrary but deterministic order;
+        per Section 3 the result does not depend on the linearisation when
+        tied vectors are independent.
+    """
+
+    def __init__(
+        self,
+        model: DiscreteModel,
+        function: Callable[[Vector], float],
+        order_key: Callable[[Vector], object],
+    ) -> None:
+        self.model = model
+        self.function = function
+        self.order_key = order_key
+
+    def derive(self, atol: float = 1e-9) -> DerivedEstimator:
+        """Run Algorithm 1 and return the derived estimator.
+
+        Raises
+        ------
+        EstimatorDerivationError
+            If for some vector the unprocessed outcomes have zero probability
+            while the processed contribution does not already match ``f``.
+        """
+        estimates: dict[Outcome, float] = {}
+        processed: set[Outcome] = set()
+        ordered_vectors = sorted(
+            self.model.vectors, key=lambda v: (self.order_key(v), v)
+        )
+        for vector in ordered_vectors:
+            f_value = float(self.function(vector))
+            consistent = self.model.consistent_outcomes(vector)
+            unprocessed = [o for o in consistent if o not in processed]
+            contribution = sum(
+                self.model.probability(vector, outcome) * estimates[outcome]
+                for outcome in consistent
+                if outcome in processed
+            )
+            unprocessed_probability = sum(
+                self.model.probability(vector, outcome)
+                for outcome in unprocessed
+            )
+            if unprocessed_probability <= atol:
+                if abs(f_value - contribution) > 1e-7:
+                    raise EstimatorDerivationError(
+                        "no unbiased order-based estimator exists: vector "
+                        f"{vector!r} has no unprocessed outcomes but its "
+                        f"processed contribution {contribution} differs from "
+                        f"f(v) = {f_value}"
+                    )
+                value = 0.0
+            else:
+                value = (f_value - contribution) / unprocessed_probability
+            for outcome in unprocessed:
+                estimates[outcome] = value
+                processed.add(outcome)
+        # Outcomes never consistent with any vector keep a zero estimate.
+        for outcome in self.model.outcomes:
+            estimates.setdefault(outcome, 0.0)
+        return DerivedEstimator(
+            estimates=estimates, model=self.model, function=self.function
+        )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the package."""
+
+
+class EstimatorDerivationError(ReproError):
+    """Raised when an estimator derivation fails.
+
+    Algorithm 1 of the paper declares *failure* when the constraints have no
+    solution (a data vector whose unprocessed outcomes have probability zero
+    while the contribution of the processed outcomes does not match the
+    target expectation).  The generic derivation engines raise this exception
+    in that situation, and also when a numerical optimisation backend does
+    not converge.
+    """
+
+
+class UnsupportedConfigurationError(ReproError):
+    """Raised when an estimator is asked for a configuration the paper
+    (and therefore this reproduction) does not define.
+
+    Example: the closed-form ``max^(L)`` estimator for weight-oblivious
+    Poisson sampling is only available for two entries with heterogeneous
+    inclusion probabilities, or for any number of entries with a uniform
+    inclusion probability (Theorem 4.2).
+    """
+
+
+class InvalidOutcomeError(ReproError):
+    """Raised when an outcome does not match the sampling scheme of an
+    estimator (wrong dimension, missing seeds, values outside the domain)."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a constructor or function argument is out of range."""

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each ``figureN`` module exposes a ``run_figureN`` function that returns the
+numeric series the paper plots (plus the configuration used), and the
+benchmarks in ``benchmarks/`` wrap these functions so that
+``pytest benchmarks/ --benchmark-only`` regenerates every figure.
+"""
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.impossibility import run_impossibility
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_impossibility",
+    "run_all_experiments",
+]

@@ -1,0 +1,74 @@
+"""Figure 1: max estimators over two weight-oblivious Poisson samples.
+
+The paper fixes ``p_1 = p_2 = 1/2`` and plots the variance ratios
+``Var[max^(L)] / Var[max^(HT)]`` and ``Var[max^(U)] / Var[max^(HT)]`` as a
+function of ``min(v) / max(v)``, alongside the estimate tables of the three
+estimators.  This module regenerates both the ratio curves (by exact
+enumeration of the four outcomes) and the estimate tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.max_oblivious import MaxObliviousHT, MaxObliviousL, MaxObliviousU
+from repro.core.variance import exact_moments
+from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = ["run_figure1"]
+
+
+def _estimate_table(estimator, v1: float, v2: float) -> dict[str, float]:
+    """Estimates of an estimator on the four possible outcomes."""
+    outcomes = {
+        "S={}": VectorOutcome.from_vector((v1, v2), set()),
+        "S={1}": VectorOutcome.from_vector((v1, v2), {0}),
+        "S={2}": VectorOutcome.from_vector((v1, v2), {1}),
+        "S={1,2}": VectorOutcome.from_vector((v1, v2), {0, 1}),
+    }
+    return {label: estimator.estimate(outcome) for label, outcome in outcomes.items()}
+
+
+def run_figure1(
+    probability: float = 0.5,
+    n_points: int = 41,
+    max_value: float = 1.0,
+) -> dict:
+    """Regenerate Figure 1.
+
+    Returns a dictionary with the ``min/max`` grid, the variance of each
+    estimator along the grid (with ``max(v)`` fixed to ``max_value``), the
+    two variance-ratio series the paper plots, and the estimate tables for a
+    representative data vector.
+    """
+    probabilities = (probability, probability)
+    scheme = ObliviousPoissonScheme(probabilities)
+    estimators = {
+        "HT": MaxObliviousHT(probabilities),
+        "L": MaxObliviousL(probabilities),
+        "U": MaxObliviousU(probabilities),
+    }
+    ratios = np.linspace(0.0, 1.0, n_points)
+    variances: dict[str, list[float]] = {name: [] for name in estimators}
+    for ratio in ratios:
+        vector = (max_value, float(ratio) * max_value)
+        for name, estimator in estimators.items():
+            _, variance = exact_moments(estimator, scheme, vector)
+            variances[name].append(variance)
+    var_ht = np.array(variances["HT"])
+    series = {
+        "min_over_max": ratios.tolist(),
+        "variance": {name: values for name, values in variances.items()},
+        "var_ratio_L_over_HT": (np.array(variances["L"]) / var_ht).tolist(),
+        "var_ratio_U_over_HT": (np.array(variances["U"]) / var_ht).tolist(),
+    }
+    tables = {
+        name: _estimate_table(estimator, 1.0, 0.4)
+        for name, estimator in estimators.items()
+    }
+    return {
+        "probability": probability,
+        "series": series,
+        "estimate_tables_at_(1.0,0.4)": tables,
+    }

@@ -1,0 +1,92 @@
+"""Figure 7: max-dominance estimation on two traffic instances.
+
+The paper samples two consecutive hours of destination-IP flow counts with
+independent Poisson PPS samples (known seeds) and plots the normalised
+variance ``sum_h Var[max-hat(h)] / (sum_h max(h))^2`` of the HT and the L
+estimators as a function of the percentage of sampled keys; the measured
+variance ratio on that data set is between 2.45 and 2.7.
+
+The proprietary trace is replaced by a matched synthetic Zipf workload (see
+DESIGN.md); the experiment computes the exact per-key variances (numerical
+integration over the unsampled entry's seed) and, optionally, one concrete
+sample-based estimate per sampling rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregates.dominance import (
+    max_dominance_estimates,
+    max_dominance_exact_variances,
+    tau_star_for_sampling_fraction,
+)
+from repro.datasets.synthetic import zipf_traffic_pair
+from repro.sampling.seeds import SeedAssigner
+
+__all__ = ["run_figure7"]
+
+
+def run_figure7(
+    sampled_fractions: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5),
+    n_keys_per_instance: int = 3000,
+    n_common_keys: int | None = None,
+    total_flows: float = 6.0e4,
+    grid_size: int = 801,
+    include_point_estimates: bool = True,
+    rng_seed: int = 7,
+) -> dict:
+    """Regenerate Figure 7 on the synthetic traffic substitute.
+
+    Parameters are scaled down by default so the experiment runs in seconds;
+    pass ``n_keys_per_instance=24_500`` and ``total_flows=5.5e5`` for the
+    paper-scale workload.
+    """
+    if n_common_keys is None:
+        n_common_keys = int(round(n_keys_per_instance * 0.45))
+    dataset = zipf_traffic_pair(
+        n_keys_per_instance=n_keys_per_instance,
+        n_common_keys=n_common_keys,
+        total_flows=total_flows,
+        rng=rng_seed,
+    )
+    labels = ("hour1", "hour2")
+    true_dominance = dataset.max_dominance(labels)
+    rows = []
+    for fraction in sampled_fractions:
+        tau_star = tuple(
+            tau_star_for_sampling_fraction(
+                dataset.instance(label).values(), fraction
+            )
+            for label in labels
+        )
+        var_ht, var_l = max_dominance_exact_variances(
+            dataset, labels, tau_star, grid_size=grid_size
+        )
+        row = {
+            "sampled_fraction": fraction,
+            "tau_star": tau_star,
+            "normalized_var_HT": var_ht / true_dominance ** 2,
+            "normalized_var_L": var_l / true_dominance ** 2,
+            "var_ratio_HT_over_L": var_ht / var_l if var_l > 0 else float("inf"),
+        }
+        if include_point_estimates:
+            estimate = max_dominance_estimates(
+                dataset,
+                labels,
+                tau_star,
+                seed_assigner=SeedAssigner(salt=rng_seed),
+            )
+            row["point_estimate_HT"] = estimate.ht
+            row["point_estimate_L"] = estimate.l
+            row["n_sampled_keys"] = estimate.n_sampled_keys
+        rows.append(row)
+    return {
+        "true_max_dominance": true_dominance,
+        "n_distinct_keys": dataset.distinct_count(labels),
+        "rows": rows,
+        "ratio_range": (
+            min(row["var_ratio_HT_over_L"] for row in rows),
+            max(row["var_ratio_HT_over_L"] for row in rows),
+        ),
+    }

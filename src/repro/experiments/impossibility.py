@@ -1,0 +1,56 @@
+"""Section 6: impossibility of estimation with unknown seeds.
+
+Theorem 6.1 shows that, over independent weighted samples with *unknown*
+seeds and ``p_1 + p_2 < 1``, no unbiased nonnegative estimator exists for OR
+(and more generally the ``ell``-th largest entry, ``ell < r``), and none
+exists for XOR / the exponentiated range regardless of the probabilities.
+
+The experiment phrases existence as an LP feasibility problem over the
+finite binary model and contrasts the unknown-seed and known-seed regimes,
+quantifying the estimation power of reproducible randomization.
+"""
+
+from __future__ import annotations
+
+from repro.core.feasibility import (
+    binary_known_seed_model,
+    binary_unknown_seed_model,
+    unbiased_nonnegative_exists,
+)
+from repro.core.functions import boolean_or, boolean_xor
+
+__all__ = ["run_impossibility"]
+
+
+def run_impossibility(
+    probability_pairs: tuple[tuple[float, float], ...] = (
+        (0.3, 0.3),
+        (0.2, 0.5),
+        (0.6, 0.6),
+        (0.7, 0.4),
+    ),
+) -> dict:
+    """Check existence of unbiased nonnegative OR / XOR estimators."""
+    rows = []
+    for p1, p2 in probability_pairs:
+        unknown = binary_unknown_seed_model((p1, p2))
+        known = binary_known_seed_model((p1, p2))
+        rows.append(
+            {
+                "p": (p1, p2),
+                "p1_plus_p2": p1 + p2,
+                "or_unknown_seeds_feasible": unbiased_nonnegative_exists(
+                    unknown, boolean_or
+                ).feasible,
+                "or_known_seeds_feasible": unbiased_nonnegative_exists(
+                    known, boolean_or
+                ).feasible,
+                "xor_unknown_seeds_feasible": unbiased_nonnegative_exists(
+                    unknown, boolean_xor
+                ).feasible,
+                "xor_known_seeds_feasible": unbiased_nonnegative_exists(
+                    known, boolean_xor
+                ).feasible,
+            }
+        )
+    return {"rows": rows}

@@ -1,0 +1,62 @@
+"""Run every reproduced experiment and collect the results.
+
+Used by the examples and by ``EXPERIMENTS.md`` regeneration; the benchmark
+harness calls the per-figure functions individually instead so that
+pytest-benchmark can time them separately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.impossibility import run_impossibility
+
+__all__ = ["EXPERIMENTS", "run_all_experiments"]
+
+#: Registry of experiment name -> callable returning the result dictionary.
+EXPERIMENTS: dict[str, Callable[[], dict]] = {
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "impossibility": run_impossibility,
+}
+
+
+def run_all_experiments(
+    names: list[str] | None = None, fast: bool = True
+) -> dict[str, dict]:
+    """Run the selected experiments (all by default) and return their
+    results keyed by experiment name.
+
+    With ``fast=True`` the heavier experiments use reduced grids / workload
+    sizes so the full suite completes within a couple of minutes on a
+    laptop.
+    """
+    selected = names if names is not None else list(EXPERIMENTS)
+    results: dict[str, dict] = {}
+    for name in selected:
+        runner = EXPERIMENTS[name]
+        if fast and name == "figure4":
+            results[name] = runner(n_points=9, grid_size=801)
+        elif fast and name == "figure7":
+            results[name] = runner(
+                sampled_fractions=(0.01, 0.05, 0.25),
+                n_keys_per_instance=1200,
+                include_point_estimates=False,
+            )
+        elif fast and name == "figure3":
+            results[name] = runner(n_grid=5)
+        else:
+            results[name] = runner()
+    return results

@@ -1,0 +1,45 @@
+"""Sampling substrate: single-instance summaries and dispersed-vector schemes.
+
+The paper's estimators take the sampling scheme as a given.  This subpackage
+implements every scheme the paper relies on:
+
+* hash-based reproducible seeds (:mod:`repro.sampling.seeds`), which give the
+  "known seeds" model and enable coordinated (shared-seed) sampling;
+* PPS and exponential rank families (:mod:`repro.sampling.ranks`);
+* Poisson sampling of a single instance, weighted and weight-oblivious
+  (:mod:`repro.sampling.poisson`);
+* bottom-k / priority sampling and the rank-conditioning subset-sum
+  estimator (:mod:`repro.sampling.bottomk`);
+* VarOpt sampling (:mod:`repro.sampling.varopt`);
+* the per-key "dispersed vector" schemes used by the single-key estimator
+  derivations (:mod:`repro.sampling.dispersed`), producing
+  :class:`repro.sampling.outcomes.VectorOutcome` objects.
+"""
+
+from repro.sampling.bottomk import BottomKSample, bottom_k_sample
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+from repro.sampling.poisson import (
+    PoissonSample,
+    poisson_pps_sample,
+    poisson_uniform_sample,
+)
+from repro.sampling.ranks import ExpRanks, PpsRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.sampling.varopt import VarOptSample, varopt_sample
+
+__all__ = [
+    "SeedAssigner",
+    "PpsRanks",
+    "ExpRanks",
+    "PoissonSample",
+    "poisson_pps_sample",
+    "poisson_uniform_sample",
+    "BottomKSample",
+    "bottom_k_sample",
+    "VarOptSample",
+    "varopt_sample",
+    "ObliviousPoissonScheme",
+    "PpsPoissonScheme",
+    "VectorOutcome",
+]

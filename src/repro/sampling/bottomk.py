@@ -1,0 +1,175 @@
+"""Bottom-k (order) sampling and subset-sum estimation (Section 7.1).
+
+A bottom-k sample keeps the ``k`` keys of smallest rank.  With PPS ranks this
+is priority sampling; with exponential ranks it is successive weighted
+sampling without replacement.  The subset-sum estimator uses *rank
+conditioning* (RC): conditioned on the ranks of all other keys being fixed,
+the inclusion probability of a sampled key ``h`` is ``F_{v(h)}(tau)`` where
+``tau`` is the ``(k+1)``-st smallest rank, and the per-key estimate is the
+inverse of that probability times the value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.ranks import ExpRanks, PpsRanks, RankFamily
+from repro.sampling.seeds import SeedAssigner
+
+__all__ = ["BottomKSample", "bottom_k_sample", "priority_sample"]
+
+
+@dataclass(frozen=True)
+class BottomKSample:
+    """A bottom-k sample of one instance.
+
+    Attributes
+    ----------
+    instance:
+        Label of the summarised instance.
+    entries:
+        Mapping ``key -> value`` for the ``k`` lowest-ranked keys.
+    ranks:
+        Mapping ``key -> rank`` for the sampled keys.
+    threshold:
+        The ``(k+1)``-st smallest rank (``inf`` when fewer than ``k+1`` keys
+        exist), used by the rank-conditioning estimator.
+    k:
+        The nominal sample size.
+    rank_family:
+        The rank family used (needed to compute conditional inclusion
+        probabilities).
+    seed_assigner:
+        Seed assigner when seeds are known, else ``None``.
+    """
+
+    instance: object
+    entries: Mapping[object, float]
+    ranks: Mapping[object, float]
+    threshold: float
+    k: int
+    rank_family: RankFamily = field(repr=False)
+    seed_assigner: SeedAssigner | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.entries
+
+    @property
+    def keys(self) -> set:
+        """Set of sampled keys."""
+        return set(self.entries)
+
+    def conditional_inclusion_probability(self, key: object) -> float:
+        """RC inclusion probability ``F_{v(key)}(tau)`` of a sampled key."""
+        if key not in self.entries:
+            raise InvalidParameterError(f"key {key!r} is not in the sample")
+        if not np.isfinite(self.threshold):
+            return 1.0
+        return float(
+            self.rank_family.cdf(self.entries[key], self.threshold)
+        )
+
+    def rank_conditioning_total(
+        self, predicate: Callable[[object], bool] | None = None
+    ) -> float:
+        """Rank-conditioning (RC) estimate of a subset-sum of values."""
+        total = 0.0
+        for key, value in self.entries.items():
+            if predicate is not None and not predicate(key):
+                continue
+            total += value / self.conditional_inclusion_probability(key)
+        return total
+
+    def priority_total(
+        self, predicate: Callable[[object], bool] | None = None
+    ) -> float:
+        """Priority-sampling estimate ``sum max(v, 1/tau)`` (PPS ranks only)."""
+        if not isinstance(self.rank_family, PpsRanks):
+            raise InvalidParameterError(
+                "the priority estimator is defined for PPS ranks only"
+            )
+        if not np.isfinite(self.threshold):
+            adjusted = dict(self.entries)
+        else:
+            adjusted = {
+                key: max(value, 1.0 / self.threshold)
+                for key, value in self.entries.items()
+            }
+        return sum(
+            value
+            for key, value in adjusted.items()
+            if predicate is None or predicate(key)
+        )
+
+
+def bottom_k_sample(
+    values: Mapping[object, float],
+    k: int,
+    rank_family: RankFamily | None = None,
+    seed_assigner: SeedAssigner | None = None,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> BottomKSample:
+    """Draw a bottom-k sample of ``values``.
+
+    Keys with value zero receive infinite rank and are never sampled, as
+    required by weighted sampling.  When fewer than ``k`` keys have positive
+    value, all of them are kept and the threshold is infinite.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if rank_family is None:
+        rank_family = ExpRanks()
+    keys = list(values.keys())
+    vals = np.asarray([float(values[key]) for key in keys], dtype=float)
+    if np.any(vals < 0.0):
+        raise InvalidParameterError("values must be nonnegative")
+    if seed_assigner is not None:
+        seeds = seed_assigner.seeds(keys, instance=instance)
+    else:
+        generator = np.random.default_rng(rng)
+        seeds = generator.random(len(keys))
+    ranks = rank_family.rank(vals, seeds)
+    order = np.argsort(ranks, kind="stable")
+    finite = [i for i in order if np.isfinite(ranks[i])]
+    chosen = finite[:k]
+    if len(finite) > k:
+        threshold = float(ranks[finite[k]])
+    else:
+        threshold = float("inf")
+    entries = {keys[i]: float(vals[i]) for i in chosen}
+    sample_ranks = {keys[i]: float(ranks[i]) for i in chosen}
+    return BottomKSample(
+        instance=instance,
+        entries=entries,
+        ranks=sample_ranks,
+        threshold=threshold,
+        k=int(k),
+        rank_family=rank_family,
+        seed_assigner=seed_assigner,
+    )
+
+
+def priority_sample(
+    values: Mapping[object, float],
+    k: int,
+    seed_assigner: SeedAssigner | None = None,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> BottomKSample:
+    """Priority sample: bottom-k sample with PPS ranks."""
+    return bottom_k_sample(
+        values,
+        k,
+        rank_family=PpsRanks(),
+        seed_assigner=seed_assigner,
+        instance=instance,
+        rng=rng,
+    )

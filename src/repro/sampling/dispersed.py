@@ -1,0 +1,240 @@
+"""Sampling schemes for dispersed value vectors (Section 2).
+
+A *dispersed* vector is sampled entry by entry: the inclusion of entry ``i``
+may depend on ``v_i`` (weighted sampling) and on independent randomness, but
+never on the other entries.  The two schemes used throughout the paper are:
+
+:class:`ObliviousPoissonScheme`
+    Weight-oblivious Poisson sampling: entry ``i`` is sampled with a fixed
+    probability ``p_i`` independently of its value (Section 4).
+
+:class:`PpsPoissonScheme`
+    Weighted Poisson PPS sampling with per-entry thresholds ``tau_star``:
+    entry ``i`` is sampled iff ``u_i <= v_i / tau_star_i`` where ``u_i`` is a
+    uniform seed (Section 5).  When ``known_seeds`` is true the outcome
+    carries the seeds, which is what gives the optimal estimators their
+    extra power.
+
+Both schemes expose:
+
+* ``sample(v, rng)`` — draw a random :class:`VectorOutcome` for data ``v``;
+* ``inclusion_probability(i, v_i)`` — marginal inclusion probability;
+* for the oblivious scheme, exact enumeration of the (finite) outcome space
+  conditioned on a data vector, which the generic derivation engines and the
+  exact-variance utilities rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from itertools import product
+
+import numpy as np
+
+from repro._validation import (
+    check_positive_vector,
+    check_probability_vector,
+    check_rng,
+)
+from repro.exceptions import InvalidParameterError
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = ["ObliviousPoissonScheme", "PpsPoissonScheme"]
+
+
+class ObliviousPoissonScheme:
+    """Independent weight-oblivious Poisson sampling of a vector.
+
+    Parameters
+    ----------
+    probabilities:
+        Inclusion probability ``p_i`` of each entry, all in ``(0, 1]``.
+
+    Examples
+    --------
+    >>> scheme = ObliviousPoissonScheme((0.5, 0.5))
+    >>> outcome = scheme.sample((3.0, 7.0), rng=0)
+    >>> outcome.r
+    2
+    """
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        self.probabilities = check_probability_vector(probabilities)
+
+    @property
+    def r(self) -> int:
+        """Number of entries."""
+        return len(self.probabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ObliviousPoissonScheme(probabilities={self.probabilities})"
+
+    def inclusion_probability(self, index: int, value: float | None = None) -> float:
+        """Marginal inclusion probability of entry ``index`` (value ignored)."""
+        return self.probabilities[index]
+
+    def sample(
+        self,
+        values: Sequence[float],
+        rng: np.random.Generator | int | None = None,
+        seeds: Sequence[float] | None = None,
+    ) -> VectorOutcome:
+        """Draw an outcome for data ``values``.
+
+        ``seeds`` may be supplied explicitly (values in ``[0, 1]``) to make
+        the draw deterministic; entry ``i`` is sampled iff
+        ``seeds[i] <= p_i``.
+        """
+        values = self._check_values(values)
+        if seeds is None:
+            generator = check_rng(rng)
+            seeds = generator.random(self.r)
+        sampled = {
+            i for i in range(self.r) if float(seeds[i]) <= self.probabilities[i]
+        }
+        return VectorOutcome.from_vector(values, sampled)
+
+    def sample_many(
+        self,
+        values: Sequence[float],
+        n_samples: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Vectorised sampling: return an ``(n_samples, r)`` boolean mask."""
+        self._check_values(values)
+        generator = check_rng(rng)
+        draws = generator.random((int(n_samples), self.r))
+        return draws <= np.asarray(self.probabilities)
+
+    def iter_outcomes(
+        self, values: Sequence[float]
+    ) -> Iterator[tuple[VectorOutcome, float]]:
+        """Enumerate all outcomes for ``values`` with their probabilities."""
+        values = self._check_values(values)
+        for mask in product((False, True), repeat=self.r):
+            probability = 1.0
+            sampled = set()
+            for i, included in enumerate(mask):
+                p = self.probabilities[i]
+                probability *= p if included else (1.0 - p)
+                if included:
+                    sampled.add(i)
+            if probability > 0.0:
+                yield VectorOutcome.from_vector(values, sampled), probability
+
+    def outcome_probability(
+        self, outcome: VectorOutcome, values: Sequence[float]
+    ) -> float:
+        """Probability of observing ``outcome`` given data ``values``."""
+        values = self._check_values(values)
+        probability = 1.0
+        for i in range(self.r):
+            p = self.probabilities[i]
+            if i in outcome.sampled:
+                if not np.isclose(outcome.values[i], values[i]):
+                    return 0.0
+                probability *= p
+            else:
+                probability *= 1.0 - p
+        return probability
+
+    def _check_values(self, values: Sequence[float]) -> tuple[float, ...]:
+        if len(values) != self.r:
+            raise InvalidParameterError(
+                f"expected a vector with {self.r} entries, got {len(values)}"
+            )
+        return tuple(float(v) for v in values)
+
+
+class PpsPoissonScheme:
+    """Independent Poisson PPS sampling with per-entry thresholds.
+
+    Entry ``i`` with value ``v_i`` and uniform seed ``u_i`` is sampled iff
+    ``v_i >= u_i * tau_star_i`` — equivalently with probability
+    ``min(1, v_i / tau_star_i)``.
+
+    Parameters
+    ----------
+    tau_star:
+        Per-entry thresholds ``tau_star_i > 0``.
+    known_seeds:
+        When ``True`` (default) the produced outcomes carry the seed vector,
+        modelling reproducible (hash-generated) randomization.
+    """
+
+    def __init__(
+        self, tau_star: Sequence[float], known_seeds: bool = True
+    ) -> None:
+        self.tau_star = check_positive_vector(tau_star, "tau_star")
+        self.known_seeds = bool(known_seeds)
+
+    @property
+    def r(self) -> int:
+        """Number of entries."""
+        return len(self.tau_star)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PpsPoissonScheme(tau_star={self.tau_star}, "
+            f"known_seeds={self.known_seeds})"
+        )
+
+    def inclusion_probability(self, index: int, value: float) -> float:
+        """Marginal inclusion probability ``min(1, v / tau_star_i)``."""
+        value = float(value)
+        if value < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
+        return min(1.0, value / self.tau_star[index])
+
+    def sample(
+        self,
+        values: Sequence[float],
+        rng: np.random.Generator | int | None = None,
+        seeds: Sequence[float] | None = None,
+    ) -> VectorOutcome:
+        """Draw an outcome for data ``values``.
+
+        ``seeds`` may be supplied explicitly to make the draw deterministic.
+        """
+        values = self._check_values(values)
+        if seeds is None:
+            generator = check_rng(rng)
+            seeds = generator.random(self.r)
+        seeds = [float(u) for u in seeds]
+        sampled = {
+            i
+            for i in range(self.r)
+            if values[i] >= seeds[i] * self.tau_star[i] and values[i] > 0.0
+        }
+        seed_payload = (
+            {i: seeds[i] for i in range(self.r)} if self.known_seeds else None
+        )
+        return VectorOutcome.from_vector(values, sampled, seeds=seed_payload)
+
+    def sample_many(
+        self,
+        values: Sequence[float],
+        n_samples: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised sampling.
+
+        Returns ``(mask, seeds)`` where ``mask`` is an ``(n_samples, r)``
+        boolean inclusion matrix and ``seeds`` the matching uniform seeds.
+        """
+        values = np.asarray(self._check_values(values), dtype=float)
+        generator = check_rng(rng)
+        seeds = generator.random((int(n_samples), self.r))
+        thresholds = np.asarray(self.tau_star, dtype=float)
+        mask = (values >= seeds * thresholds) & (values > 0.0)
+        return mask, seeds
+
+    def _check_values(self, values: Sequence[float]) -> tuple[float, ...]:
+        if len(values) != self.r:
+            raise InvalidParameterError(
+                f"expected a vector with {self.r} entries, got {len(values)}"
+            )
+        values = tuple(float(v) for v in values)
+        if any(v < 0.0 for v in values):
+            raise InvalidParameterError("values must be nonnegative")
+        return values

@@ -1,0 +1,122 @@
+"""Outcomes of sampling a dispersed value vector (Section 2).
+
+The single-key estimators of the paper act on the outcome of sampling the
+vector ``v = (v_1, ..., v_r)`` of values a key assumes in ``r`` instances.
+An outcome records which entries were sampled, their values, and — in the
+known-seeds model — the seeds of all entries, which reveal upper bounds on
+the unsampled values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidOutcomeError
+
+__all__ = ["VectorOutcome"]
+
+
+@dataclass(frozen=True)
+class VectorOutcome:
+    """The outcome of sampling one value vector.
+
+    Attributes
+    ----------
+    r:
+        Number of entries (instances) of the vector.
+    sampled:
+        The set ``S`` of sampled entry indices (0-based).
+    values:
+        Mapping ``index -> value`` for the sampled entries.
+    seeds:
+        Mapping ``index -> uniform seed`` for *all* entries when seeds are
+        known, otherwise ``None``.  With PPS sampling and known seeds, an
+        unsampled entry ``i`` satisfies ``v_i < seeds[i] * tau_star[i]``.
+    """
+
+    r: int
+    sampled: frozenset[int]
+    values: dict[int, float] = field(default_factory=dict)
+    seeds: dict[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.r <= 0:
+            raise InvalidOutcomeError(f"r must be positive, got {self.r}")
+        if not isinstance(self.sampled, frozenset):
+            object.__setattr__(self, "sampled", frozenset(self.sampled))
+        for index in self.sampled:
+            if not 0 <= index < self.r:
+                raise InvalidOutcomeError(
+                    f"sampled index {index} outside [0, {self.r})"
+                )
+            if index not in self.values:
+                raise InvalidOutcomeError(
+                    f"sampled index {index} has no value in the outcome"
+                )
+        for index in self.values:
+            if index not in self.sampled:
+                raise InvalidOutcomeError(
+                    f"value given for unsampled index {index}"
+                )
+        if self.seeds is not None:
+            missing = set(range(self.r)) - set(self.seeds)
+            if missing:
+                raise InvalidOutcomeError(
+                    f"known-seed outcome is missing seeds for entries {sorted(missing)}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no entry was sampled."""
+        return not self.sampled
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every entry was sampled."""
+        return len(self.sampled) == self.r
+
+    @property
+    def knows_seeds(self) -> bool:
+        """Whether the outcome carries seeds for all entries."""
+        return self.seeds is not None
+
+    def sampled_values(self) -> list[float]:
+        """Values of the sampled entries, in index order."""
+        return [self.values[i] for i in sorted(self.sampled)]
+
+    def max_sampled(self) -> float:
+        """Maximum sampled value (0 for an empty outcome)."""
+        if not self.sampled:
+            return 0.0
+        return max(self.values.values())
+
+    def value_or_none(self, index: int) -> float | None:
+        """Value of entry ``index`` when sampled, otherwise ``None``."""
+        return self.values.get(index)
+
+    def seed_of(self, index: int) -> float:
+        """Seed of entry ``index`` (known-seed outcomes only)."""
+        if self.seeds is None:
+            raise InvalidOutcomeError(
+                "outcome does not carry seeds (unknown-seed model)"
+            )
+        return self.seeds[index]
+
+    @classmethod
+    def from_vector(
+        cls,
+        values: list[float] | tuple[float, ...],
+        sampled: set[int] | frozenset[int],
+        seeds: dict[int, float] | list[float] | None = None,
+    ) -> "VectorOutcome":
+        """Build an outcome from a full data vector and a sampled index set.
+
+        Convenience constructor used heavily in tests and simulations where
+        the true vector is known.
+        """
+        r = len(values)
+        sampled = frozenset(sampled)
+        outcome_values = {i: float(values[i]) for i in sampled}
+        if seeds is not None and not isinstance(seeds, dict):
+            seeds = {i: float(seeds[i]) for i in range(r)}
+        return cls(r=r, sampled=sampled, values=outcome_values, seeds=seeds)

@@ -1,0 +1,233 @@
+"""Poisson sampling of a single instance (Section 7.1).
+
+In a Poisson sample every key is included independently.  Two flavours are
+provided:
+
+* **weighted** Poisson sampling via a rank family and threshold ``tau``:
+  key ``h`` is included iff its rank ``F_{v(h)}^{-1}(u(h))`` is below ``tau``.
+  With PPS ranks the inclusion probability is ``min(1, v(h) * tau)``, i.e.
+  probability proportional to size.
+* **weight-oblivious** Poisson sampling: key ``h`` is included iff
+  ``u(h) <= p``, regardless of its value.
+
+Both produce :class:`PoissonSample` objects that retain the per-key inclusion
+probabilities (and, for known-seed estimation, the seed assigner), and offer
+the classic Horvitz-Thompson subset-sum estimator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import check_positive, check_probability
+from repro.exceptions import InvalidParameterError
+from repro.sampling.ranks import (
+    PpsRanks,
+    RankFamily,
+    poisson_threshold_for_expected_size,
+)
+from repro.sampling.seeds import SeedAssigner
+
+__all__ = [
+    "PoissonSample",
+    "poisson_pps_sample",
+    "poisson_uniform_sample",
+    "poisson_weighted_sample",
+]
+
+
+@dataclass(frozen=True)
+class PoissonSample:
+    """A Poisson sample of one instance.
+
+    Attributes
+    ----------
+    instance:
+        Label of the instance the sample summarises.
+    entries:
+        Mapping ``key -> value`` of the sampled keys.
+    inclusion_probabilities:
+        Mapping ``key -> probability`` for the sampled keys.
+    threshold:
+        The sampling threshold ``tau`` (``None`` for weight-oblivious
+        sampling with fixed probability).
+    probability:
+        The fixed inclusion probability for weight-oblivious sampling
+        (``None`` for weighted sampling).
+    seed_assigner:
+        The :class:`SeedAssigner` used, when seeds are *known* and therefore
+        available to downstream estimators.  ``None`` models unknown seeds.
+    rank_family_name:
+        Name of the rank family used for weighted sampling.
+    """
+
+    instance: object
+    entries: Mapping[object, float]
+    inclusion_probabilities: Mapping[object, float]
+    threshold: float | None = None
+    probability: float | None = None
+    seed_assigner: SeedAssigner | None = field(default=None, repr=False)
+    rank_family_name: str = "pps"
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.entries
+
+    @property
+    def keys(self) -> set:
+        """Set of sampled keys."""
+        return set(self.entries)
+
+    @property
+    def knows_seeds(self) -> bool:
+        """Whether downstream estimators may query seeds of unsampled keys."""
+        return self.seed_assigner is not None
+
+    def seed_of(self, key: object) -> float:
+        """Return the (known) seed of ``key`` in this instance."""
+        if self.seed_assigner is None:
+            raise InvalidParameterError(
+                "seeds are not available for this sample (unknown-seed model)"
+            )
+        return self.seed_assigner.seed(key, instance=self.instance)
+
+    def inclusion_probability_of(self, key: object, value: float) -> float:
+        """Inclusion probability of a key given its (hypothetical) value.
+
+        For weight-oblivious sampling this is the fixed probability; for
+        weighted PPS sampling it is ``min(1, value * tau)``.
+        """
+        if self.probability is not None:
+            return self.probability
+        if self.threshold is None:  # pragma: no cover - defensive
+            raise InvalidParameterError("sample lacks a threshold")
+        return float(min(1.0, float(value) * self.threshold))
+
+    def horvitz_thompson_total(
+        self, predicate: Callable[[object], bool] | None = None
+    ) -> float:
+        """HT estimate of the subset-sum of values over selected keys."""
+        total = 0.0
+        for key, value in self.entries.items():
+            if predicate is not None and not predicate(key):
+                continue
+            total += value / self.inclusion_probabilities[key]
+        return total
+
+
+def _as_items(values: Mapping[object, float]) -> tuple[list, np.ndarray]:
+    keys = list(values.keys())
+    vals = np.asarray([float(values[k]) for k in keys], dtype=float)
+    if np.any(vals < 0.0):
+        raise InvalidParameterError("values must be nonnegative")
+    return keys, vals
+
+
+def poisson_uniform_sample(
+    values: Mapping[object, float],
+    probability: float,
+    seed_assigner: SeedAssigner | None = None,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> PoissonSample:
+    """Weight-oblivious Poisson sample: every key kept with ``probability``.
+
+    When ``seed_assigner`` is provided the inclusion decision is the
+    deterministic test ``u(key) <= probability`` (known seeds); otherwise a
+    fresh pseudo-random draw from ``rng`` is used (unknown seeds).
+    """
+    probability = check_probability(probability)
+    keys, vals = _as_items(values)
+    if seed_assigner is not None:
+        seeds = seed_assigner.seeds(keys, instance=instance)
+    else:
+        generator = np.random.default_rng(rng)
+        seeds = generator.random(len(keys))
+    mask = seeds <= probability
+    entries = {k: float(v) for k, v, m in zip(keys, vals, mask) if m}
+    probs = {k: probability for k in entries}
+    return PoissonSample(
+        instance=instance,
+        entries=entries,
+        inclusion_probabilities=probs,
+        probability=probability,
+        seed_assigner=seed_assigner,
+        rank_family_name="uniform",
+    )
+
+
+def poisson_weighted_sample(
+    values: Mapping[object, float],
+    rank_family: RankFamily,
+    threshold: float | None = None,
+    expected_size: float | None = None,
+    seed_assigner: SeedAssigner | None = None,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> PoissonSample:
+    """Weighted Poisson sample defined by ``rank_family`` and ``threshold``.
+
+    Exactly one of ``threshold`` and ``expected_size`` must be given; with
+    ``expected_size`` the threshold is solved so that the expected sample
+    size matches.
+    """
+    if (threshold is None) == (expected_size is None):
+        raise InvalidParameterError(
+            "exactly one of threshold and expected_size must be provided"
+        )
+    keys, vals = _as_items(values)
+    if threshold is None:
+        threshold = poisson_threshold_for_expected_size(
+            rank_family, vals, float(expected_size)
+        )
+    else:
+        threshold = check_positive(threshold, "threshold")
+    if seed_assigner is not None:
+        seeds = seed_assigner.seeds(keys, instance=instance)
+    else:
+        generator = np.random.default_rng(rng)
+        seeds = generator.random(len(keys))
+    ranks = rank_family.rank(vals, seeds)
+    mask = ranks < threshold
+    entries = {k: float(v) for k, v, m in zip(keys, vals, mask) if m}
+    inclusion = rank_family.inclusion_probability(vals, threshold)
+    probs = {
+        k: float(p) for k, p, m in zip(keys, inclusion, mask) if m
+    }
+    return PoissonSample(
+        instance=instance,
+        entries=entries,
+        inclusion_probabilities=probs,
+        threshold=float(threshold),
+        seed_assigner=seed_assigner,
+        rank_family_name=rank_family.name,
+    )
+
+
+def poisson_pps_sample(
+    values: Mapping[object, float],
+    threshold: float | None = None,
+    expected_size: float | None = None,
+    seed_assigner: SeedAssigner | None = None,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> PoissonSample:
+    """Poisson PPS sample: key kept with probability ``min(1, v(h) * tau)``.
+
+    This is the scheme used by the paper's Section 5.2 and Section 8
+    experiments (with ``tau = 1 / tau_star``).
+    """
+    return poisson_weighted_sample(
+        values,
+        rank_family=PpsRanks(),
+        threshold=threshold,
+        expected_size=expected_size,
+        seed_assigner=seed_assigner,
+        instance=instance,
+        rng=rng,
+    )

@@ -1,0 +1,157 @@
+"""Rank families for weighted sampling (Section 7.1 of the paper).
+
+A *rank assignment* maps each key ``h`` with value ``w = v(h)`` and uniform
+seed ``u`` to a rank ``r(h) = F_w^{-1}(u)`` where ``F_w`` is the CDF of a
+family of distributions parameterised by the value.  Bottom-k and Poisson
+samples are then defined in terms of the ranks:
+
+* a Poisson-``tau`` sample keeps every key with ``r(h) < tau``;
+* a bottom-k sample keeps the ``k`` keys of smallest rank.
+
+The two families used throughout the paper are implemented here:
+
+:class:`PpsRanks`
+    ``F_w(x) = min(1, w x)`` — ranks are ``u / w``.  Poisson sampling with
+    these ranks is PPS (probability proportional to size); bottom-k sampling
+    is priority sampling.
+
+:class:`ExpRanks`
+    ``F_w(x) = 1 - exp(-w x)`` — ranks are ``-ln(1 - u) / w``.  Bottom-k
+    sampling with these ranks is weighted sampling without replacement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._validation import check_nonnegative
+
+__all__ = ["RankFamily", "PpsRanks", "ExpRanks"]
+
+
+class RankFamily(ABC):
+    """Interface of a rank family ``{F_w}``.
+
+    All methods are vectorised: scalars broadcast against arrays following
+    normal NumPy rules.
+    """
+
+    #: short name used in reprs and reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(self, values, seeds):
+        """Return ranks ``F_w^{-1}(u)`` for values ``w`` and seeds ``u``."""
+
+    @abstractmethod
+    def cdf(self, values, x):
+        """Return ``F_w(x)``, the probability that the rank is below ``x``."""
+
+    @abstractmethod
+    def inverse_cdf(self, values, quantiles):
+        """Return ``F_w^{-1}(q)``."""
+
+    def inclusion_probability(self, values, threshold: float):
+        """Probability that a key with value ``w`` enters a Poisson-``tau``
+        sample, i.e. ``P[r < tau] = F_w(tau)``."""
+        return self.cdf(values, threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"
+
+
+class PpsRanks(RankFamily):
+    """PPS ranks: ``r = u / w``; Poisson sampling becomes PPS sampling.
+
+    A value of ``0`` receives rank ``+inf`` (never sampled), matching the
+    weighted-sampling requirement ``v_i = 0 => i not in S``.
+    """
+
+    name = "pps"
+
+    def rank(self, values, seeds):
+        values = np.asarray(values, dtype=float)
+        seeds = np.asarray(seeds, dtype=float)
+        with np.errstate(divide="ignore"):
+            return np.where(values > 0.0, seeds / np.maximum(values, 1e-300),
+                            np.inf)
+
+    def cdf(self, values, x):
+        values = np.asarray(values, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.clip(values * x, 0.0, 1.0)
+
+    def inverse_cdf(self, values, quantiles):
+        values = np.asarray(values, dtype=float)
+        quantiles = np.asarray(quantiles, dtype=float)
+        with np.errstate(divide="ignore"):
+            return np.where(values > 0.0,
+                            quantiles / np.maximum(values, 1e-300), np.inf)
+
+
+class ExpRanks(RankFamily):
+    """Exponential ranks: ``r ~ EXP[w]``; bottom-k becomes successive
+    weighted sampling without replacement.
+
+    The minimum of EXP ranks over a subpopulation is EXP distributed with
+    parameter equal to the total value of the subpopulation, the property
+    used by bottom-k sketches.
+    """
+
+    name = "exp"
+
+    def rank(self, values, seeds):
+        values = np.asarray(values, dtype=float)
+        seeds = np.asarray(seeds, dtype=float)
+        with np.errstate(divide="ignore"):
+            raw = -np.log1p(-seeds) / np.maximum(values, 1e-300)
+        return np.where(values > 0.0, raw, np.inf)
+
+    def cdf(self, values, x):
+        values = np.asarray(values, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.where(
+            np.asarray(values) > 0.0, -np.expm1(-values * x), 0.0
+        )
+
+    def inverse_cdf(self, values, quantiles):
+        values = np.asarray(values, dtype=float)
+        quantiles = np.asarray(quantiles, dtype=float)
+        with np.errstate(divide="ignore"):
+            raw = -np.log1p(-quantiles) / np.maximum(values, 1e-300)
+        return np.where(values > 0.0, raw, np.inf)
+
+
+def poisson_threshold_for_expected_size(
+    rank_family: RankFamily, values, expected_size: float,
+    tolerance: float = 1e-10, max_iterations: int = 200,
+) -> float:
+    """Find the Poisson threshold ``tau`` with expected sample size ``k``.
+
+    Solves ``sum_h F_{v(h)}(tau) = k`` by bisection.  The left-hand side is
+    nondecreasing in ``tau`` for both rank families used in the paper.
+    """
+    values = np.asarray(values, dtype=float)
+    check_nonnegative(expected_size, "expected_size")
+    positive = values[values > 0.0]
+    if expected_size >= positive.size:
+        return float("inf")
+    if expected_size == 0.0:
+        return 0.0
+    low, high = 0.0, 1.0
+    while float(np.sum(rank_family.cdf(values, high))) < expected_size:
+        high *= 2.0
+        if high > 1e30:  # pragma: no cover - defensive
+            return float("inf")
+    for _ in range(max_iterations):
+        mid = 0.5 * (low + high)
+        size = float(np.sum(rank_family.cdf(values, mid)))
+        if abs(size - expected_size) <= tolerance:
+            return mid
+        if size < expected_size:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

@@ -1,0 +1,216 @@
+"""VarOpt sampling (Chao 1982; Cohen, Duffield, Kaplan, Lund, Thorup 2009).
+
+VarOpt_k draws a fixed-size sample of ``k`` keys with PPS (threshold)
+inclusion probabilities and non-positively correlated inclusions, which makes
+the Horvitz-Thompson subset-sum estimator variance optimal among fixed-size
+unbiased schemes.  The paper lists VarOpt as one of the single-instance
+sampling schemes its multi-instance estimators can sit on top of (it is not
+clear how to add "known seeds" to VarOpt, which the paper also notes).
+
+The implementation below is the classic streaming reservoir algorithm: keep
+a set ``L`` of "large" keys (kept with probability one, estimate equals the
+true value) and a uniform-threshold set ``T`` of "small" keys (kept with
+probability ``w / tau``, estimate ``tau``), maintaining ``|L| + |T| = k``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_rng
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["VarOptSample", "varopt_sample", "varopt_threshold"]
+
+
+@dataclass(frozen=True)
+class VarOptSample:
+    """A VarOpt_k sample.
+
+    Attributes
+    ----------
+    entries:
+        Mapping ``key -> value`` of sampled keys.
+    adjusted_weights:
+        Mapping ``key -> HT adjusted weight`` (``max(value, tau)``).
+    threshold:
+        Final threshold ``tau``; keys with value below ``tau`` were kept with
+        probability ``value / tau``.
+    k:
+        Nominal sample size.
+    instance:
+        Label of the summarised instance.
+    """
+
+    entries: Mapping[object, float]
+    adjusted_weights: Mapping[object, float]
+    threshold: float
+    k: int
+    instance: object = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.entries
+
+    @property
+    def keys(self) -> set:
+        """Set of sampled keys."""
+        return set(self.entries)
+
+    def inclusion_probability_of(self, value: float) -> float:
+        """Inclusion probability of a key with ``value`` under the final
+        threshold."""
+        if self.threshold <= 0.0:
+            return 1.0
+        return float(min(1.0, float(value) / self.threshold))
+
+    def total(
+        self, predicate: Callable[[object], bool] | None = None
+    ) -> float:
+        """HT estimate of the subset-sum of values over selected keys."""
+        return sum(
+            weight
+            for key, weight in self.adjusted_weights.items()
+            if predicate is None or predicate(key)
+        )
+
+
+def varopt_threshold(values: np.ndarray, k: int) -> float:
+    """Return the threshold ``tau`` with ``sum min(1, v / tau) = k``.
+
+    ``tau`` is zero when there are at most ``k`` positive values (everything
+    is kept exactly).
+    """
+    values = np.sort(np.asarray(values, dtype=float))[::-1]
+    positive = values[values > 0.0]
+    if positive.size <= k:
+        return 0.0
+    # With the key values sorted in decreasing order, assume the t largest
+    # values exceed tau; then tau = (sum of the rest) / (k - t).
+    suffix_sums = np.concatenate(
+        [np.cumsum(positive[::-1])[::-1], [0.0]]
+    )
+    for t in range(0, k + 1):
+        if t >= positive.size:
+            break
+        remaining = suffix_sums[t]
+        denominator = k - t
+        if denominator <= 0:
+            break
+        tau = remaining / denominator
+        largest_rest = positive[t]
+        if largest_rest <= tau and (t == 0 or positive[t - 1] >= tau):
+            return float(tau)
+    # Fallback: bisection (should not normally be reached).
+    low, high = 0.0, float(positive[0])
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        size = float(np.sum(np.minimum(1.0, positive / mid)))
+        if size > k:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def varopt_sample(
+    values: Mapping[object, float],
+    k: int,
+    instance: object = 0,
+    rng: np.random.Generator | int | None = None,
+) -> VarOptSample:
+    """Draw a VarOpt_k sample of ``values`` using the streaming algorithm.
+
+    The returned sample has exactly ``min(k, #positive keys)`` keys, PPS
+    inclusion probabilities with respect to the final threshold, and HT
+    adjusted weights ``max(value, tau)``.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    generator = check_rng(rng)
+
+    large: dict[object, float] = {}      # kept exactly (value > tau)
+    small: dict[object, float] = {}      # kept with probability value / tau
+    tau = 0.0
+
+    for key, raw_value in values.items():
+        value = float(raw_value)
+        if value < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
+        if value == 0.0:
+            continue
+        large[key] = value
+        if len(large) + len(small) <= k:
+            continue
+        # One key too many: raise the threshold until one key (in
+        # expectation) leaves the small set.
+        candidates = sorted(large.items(), key=lambda item: item[1])
+        moved = dict(small)
+        remaining_large = dict(candidates)
+        # Move small-valued "large" keys into the threshold pool until the
+        # threshold determined by the pool no longer exceeds the smallest
+        # remaining large value.
+        pool_sum = sum(moved.values())
+        pool_count = len(moved)
+        index = 0
+        while True:
+            slots = k - (len(remaining_large) - index)
+            # slots available for the threshold pool if we move `index`
+            # smallest large keys into it
+            tau_candidate = (
+                (pool_sum) / slots if slots > 0 else float("inf")
+            )
+            if index < len(candidates) and candidates[index][1] <= tau_candidate:
+                pool_sum += candidates[index][1]
+                pool_count += 1
+                index += 1
+                continue
+            break
+        slots = k - (len(candidates) - index)
+        tau = pool_sum / slots if slots > 0 else pool_sum
+        new_small_candidates = dict(moved)
+        for key2, value2 in candidates[:index]:
+            new_small_candidates[key2] = value2
+        remaining = {key2: value2 for key2, value2 in candidates[index:]}
+        # Drop one key from the pool with VarOpt probabilities: key j is
+        # dropped with probability proportional to (1 - w_j / tau) for keys
+        # previously in `large`, and, for keys already in `small` (which were
+        # at the old threshold), proportional to (1 - tau_old / tau).  The
+        # classic implementation uses a single uniform draw over the pool.
+        pool_keys = list(new_small_candidates.keys())
+        drop_probabilities = np.array(
+            [
+                max(0.0, 1.0 - new_small_candidates[key2] / tau)
+                if key2 not in small
+                else max(0.0, 1.0 - min(small[key2], tau) / tau)
+                for key2 in pool_keys
+            ]
+        )
+        total_drop = float(drop_probabilities.sum())
+        if total_drop <= 0.0:
+            # Degenerate (all pool values equal tau): drop uniformly.
+            drop_index = int(generator.integers(len(pool_keys)))
+        else:
+            drop_probabilities = drop_probabilities / total_drop
+            drop_index = int(
+                generator.choice(len(pool_keys), p=drop_probabilities)
+            )
+        dropped_key = pool_keys[drop_index]
+        del new_small_candidates[dropped_key]
+        small = {key2: tau for key2 in new_small_candidates}
+        large = remaining
+
+    entries = {**large, **{key: float(values[key]) for key in small}}
+    adjusted = {**large, **{key: tau for key in small}}
+    return VarOptSample(
+        entries=entries,
+        adjusted_weights=adjusted,
+        threshold=float(tau),
+        k=int(k),
+        instance=instance,
+    )

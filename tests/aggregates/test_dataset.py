@@ -1,0 +1,88 @@
+"""Tests for the instances x keys data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.dataset import MultiInstanceDataset
+from repro.exceptions import InvalidParameterError
+
+
+class TestConstruction:
+    def test_zero_values_dropped(self):
+        data = MultiInstanceDataset({"a": {"x": 0.0, "y": 2.0}})
+        assert data.instance("a") == {"y": 2.0}
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiInstanceDataset({"a": {"x": -1.0}})
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiInstanceDataset({})
+
+    def test_unknown_instance(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            small_dataset.instance("nope")
+        with pytest.raises(InvalidParameterError):
+            small_dataset.value("nope", "a")
+
+
+class TestQueries:
+    def test_value_and_vector(self, small_dataset):
+        assert small_dataset.value("day1", "a") == 4.0
+        assert small_dataset.value("day1", "d") == 0.0
+        assert small_dataset.value_vector("a") == (4.0, 5.0)
+        assert small_dataset.value_vector("c", ["day2", "day1"]) == (0.0, 7.0)
+
+    def test_active_keys(self, small_dataset):
+        assert small_dataset.active_keys(["day1"]) == {"a", "b", "c", "e"}
+        assert small_dataset.active_keys() == {"a", "b", "c", "d", "e"}
+
+    def test_instance_labels(self, small_dataset):
+        assert small_dataset.instance_labels == ["day1", "day2"]
+        assert small_dataset.n_instances == 2
+
+
+class TestAggregates:
+    def test_distinct_count(self, small_dataset):
+        assert small_dataset.distinct_count() == 5
+        assert small_dataset.distinct_count(["day1"]) == 4
+
+    def test_max_dominance(self, small_dataset):
+        # max per key: a 5, b 1, c 7, d 3, e 2 -> 18
+        assert small_dataset.max_dominance() == pytest.approx(18.0)
+
+    def test_min_dominance(self, small_dataset):
+        # min per key: a 4, b 0.5, c 0, d 0, e 2 -> 6.5
+        assert small_dataset.min_dominance() == pytest.approx(6.5)
+
+    def test_l1_distance(self, small_dataset):
+        # |4-5| + |1-0.5| + |7-0| + |0-3| + |2-2| = 11.5
+        assert small_dataset.l1_distance() == pytest.approx(11.5)
+
+    def test_l1_is_max_minus_min_dominance(self, small_dataset):
+        assert small_dataset.l1_distance() == pytest.approx(
+            small_dataset.max_dominance() - small_dataset.min_dominance()
+        )
+
+    def test_predicate_selection(self, small_dataset):
+        vowels = {"a", "e"}
+        assert small_dataset.distinct_count(
+            predicate=lambda key: key in vowels
+        ) == 2
+        assert small_dataset.max_dominance(
+            predicate=lambda key: key in vowels
+        ) == pytest.approx(7.0)
+
+    def test_jaccard(self, small_dataset):
+        # |{a, b, e}| / |{a, b, c, d, e}| = 3/5
+        assert small_dataset.jaccard("day1", "day2") == pytest.approx(0.6)
+
+    def test_jaccard_unknown_instance(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            small_dataset.jaccard("day1", "nope")
+
+    def test_empty_selection_rejected(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            small_dataset.max_dominance([])

@@ -1,0 +1,50 @@
+"""Tests for the L1 distance estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates.distance import l1_distance_ht
+from repro.datasets.synthetic import correlated_instance_pair
+from repro.exceptions import InvalidParameterError
+from repro.sampling.seeds import SeedAssigner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return correlated_instance_pair(n_keys=250, correlation=0.5, rng=3)
+
+
+class TestL1Distance:
+    def test_full_sampling_exact(self, dataset):
+        result = l1_distance_ht(
+            dataset, ("a", "b"), (1.0, 1.0), SeedAssigner(salt=0)
+        )
+        assert result.estimate == pytest.approx(dataset.l1_distance(("a", "b")))
+
+    def test_unbiased(self, dataset):
+        estimates = []
+        for salt in range(80):
+            result = l1_distance_ht(
+                dataset, ("a", "b"), (0.5, 0.5), SeedAssigner(salt=salt)
+            )
+            estimates.append(result.estimate)
+        assert np.mean(estimates) == pytest.approx(
+            dataset.l1_distance(("a", "b")), rel=0.08
+        )
+
+    def test_requires_two_instances(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            l1_distance_ht(dataset, ("a",), (0.5,), SeedAssigner())
+        with pytest.raises(InvalidParameterError):
+            l1_distance_ht(dataset, ("a", "b"), (0.5,), SeedAssigner())
+
+    def test_predicate(self, dataset):
+        result = l1_distance_ht(
+            dataset, ("a", "b"), (1.0, 1.0), SeedAssigner(salt=0),
+            predicate=lambda key: key < 100,
+        )
+        assert result.estimate == pytest.approx(
+            dataset.l1_distance(("a", "b"), predicate=lambda key: key < 100)
+        )

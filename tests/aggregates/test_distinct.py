@@ -1,0 +1,178 @@
+"""Tests for distinct-count estimation (Section 8.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates.distinct import (
+    categorize_keys,
+    distinct_count_ht,
+    distinct_count_l,
+    distinct_ht_variance,
+    distinct_l_variance,
+)
+from repro.datasets.synthetic import set_pair_with_jaccard
+from repro.exceptions import InvalidParameterError
+from repro.sampling.seeds import SeedAssigner
+
+
+def draw_samples(set1, set2, p1, p2, seeds):
+    """Weighted sampling of binary sets with reproducible seeds."""
+    sample1 = {key for key in set1 if seeds.seed(key, instance=1) <= p1}
+    sample2 = {key for key in set2 if seeds.seed(key, instance=2) <= p2}
+    return sample1, sample2
+
+
+def seed_lookups(seeds):
+    return (
+        lambda key: seeds.seed(key, instance=1),
+        lambda key: seeds.seed(key, instance=2),
+    )
+
+
+class TestCategorisation:
+    def test_categories_are_disjoint_and_cover(self):
+        set1, set2 = set_pair_with_jaccard(500, 0.5)
+        seeds = SeedAssigner(salt=3)
+        p1 = p2 = 0.4
+        sample1, sample2 = draw_samples(set1, set2, p1, p2, seeds)
+        lookup1, lookup2 = seed_lookups(seeds)
+        categories = categorize_keys(
+            sample1, sample2, p1, p2, lookup1, lookup2
+        )
+        all_keys = set().union(*categories.values())
+        assert all_keys == sample1 | sample2
+        total = sum(len(keys) for keys in categories.values())
+        assert total == len(all_keys)
+
+    def test_f10_certifies_absence(self):
+        set1, set2 = set_pair_with_jaccard(500, 0.0)
+        seeds = SeedAssigner(salt=5)
+        p1 = p2 = 0.5
+        sample1, sample2 = draw_samples(set1, set2, p1, p2, seeds)
+        lookup1, lookup2 = seed_lookups(seeds)
+        categories = categorize_keys(
+            sample1, sample2, p1, p2, lookup1, lookup2
+        )
+        for key in categories["F10"]:
+            assert key not in set2
+        for key in categories["F01"]:
+            assert key not in set1
+
+    def test_dict_seed_lookup(self):
+        categories = categorize_keys(
+            {"a"}, set(), 0.5, 0.5, {"a": 0.1}, {"a": 0.9}
+        )
+        assert categories["F1?"] == {"a"}
+
+    def test_missing_seed_raises(self):
+        with pytest.raises(InvalidParameterError):
+            categorize_keys({"a"}, set(), 0.5, 0.5, {}, {})
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("jaccard", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("p", [0.2, 0.5])
+    def test_both_estimators_unbiased(self, jaccard, p):
+        set1, set2 = set_pair_with_jaccard(2000, jaccard)
+        true_distinct = len(set1 | set2)
+        estimates_ht = []
+        estimates_l = []
+        for salt in range(60):
+            seeds = SeedAssigner(salt=salt)
+            sample1, sample2 = draw_samples(set1, set2, p, p, seeds)
+            lookup1, lookup2 = seed_lookups(seeds)
+            estimates_ht.append(
+                distinct_count_ht(sample1, sample2, p, p, lookup1, lookup2).estimate
+            )
+            estimates_l.append(
+                distinct_count_l(sample1, sample2, p, p, lookup1, lookup2).estimate
+            )
+        standard_error = np.sqrt(
+            distinct_ht_variance(true_distinct, p, p) / 60
+        )
+        assert abs(np.mean(estimates_ht) - true_distinct) < 5 * standard_error
+        standard_error_l = np.sqrt(
+            distinct_l_variance(true_distinct, jaccard, p, p) / 60
+        )
+        assert abs(np.mean(estimates_l) - true_distinct) < 5 * max(
+            standard_error_l, 1.0
+        )
+
+    def test_l_has_smaller_empirical_error(self):
+        set1, set2 = set_pair_with_jaccard(3000, 0.5)
+        true_distinct = len(set1 | set2)
+        p = 0.1
+        errors_ht = []
+        errors_l = []
+        for salt in range(40):
+            seeds = SeedAssigner(salt=1000 + salt)
+            sample1, sample2 = draw_samples(set1, set2, p, p, seeds)
+            lookup1, lookup2 = seed_lookups(seeds)
+            errors_ht.append(
+                (distinct_count_ht(sample1, sample2, p, p, lookup1,
+                                   lookup2).estimate - true_distinct) ** 2
+            )
+            errors_l.append(
+                (distinct_count_l(sample1, sample2, p, p, lookup1,
+                                  lookup2).estimate - true_distinct) ** 2
+            )
+        assert np.mean(errors_l) < np.mean(errors_ht)
+
+    def test_full_sampling_exact(self):
+        set1, set2 = set_pair_with_jaccard(200, 0.4)
+        seeds = SeedAssigner(salt=2)
+        sample1, sample2 = draw_samples(set1, set2, 1.0, 1.0, seeds)
+        lookup1, lookup2 = seed_lookups(seeds)
+        for estimate in (
+            distinct_count_ht(sample1, sample2, 1.0, 1.0, lookup1, lookup2),
+            distinct_count_l(sample1, sample2, 1.0, 1.0, lookup1, lookup2),
+        ):
+            assert estimate.estimate == pytest.approx(len(set1 | set2))
+
+    def test_predicate_restricts_count(self):
+        set1, set2 = set_pair_with_jaccard(400, 0.5)
+        seeds = SeedAssigner(salt=9)
+        sample1, sample2 = draw_samples(set1, set2, 1.0, 1.0, seeds)
+        lookup1, lookup2 = seed_lookups(seeds)
+        even = distinct_count_l(
+            sample1, sample2, 1.0, 1.0, lookup1, lookup2,
+            predicate=lambda key: key % 2 == 0,
+        )
+        assert even.estimate == pytest.approx(
+            sum(1 for key in set1 | set2 if key % 2 == 0)
+        )
+
+    def test_counts_reported(self):
+        set1, set2 = set_pair_with_jaccard(100, 0.3)
+        seeds = SeedAssigner(salt=4)
+        sample1, sample2 = draw_samples(set1, set2, 0.5, 0.5, seeds)
+        lookup1, lookup2 = seed_lookups(seeds)
+        result = distinct_count_l(sample1, sample2, 0.5, 0.5, lookup1, lookup2)
+        assert set(result.counts) == {"F11", "F1?", "F10", "F?1", "F01"}
+        assert float(result) == result.estimate
+
+
+class TestVarianceFormulas:
+    def test_ht_variance(self):
+        assert distinct_ht_variance(100, 0.5, 0.5) == pytest.approx(300.0)
+
+    def test_l_variance_below_ht(self):
+        for jaccard in (0.0, 0.5, 1.0):
+            for p in (0.05, 0.2, 0.6):
+                assert distinct_l_variance(1000, jaccard, p, p) <= \
+                    distinct_ht_variance(1000, p, p) + 1e-9
+
+    def test_l_variance_jaccard_one_small(self):
+        # Identical sets: every key is observed whenever either sample sees
+        # it; variance 1/(2p - p^2) - 1 per key.
+        p = 0.3
+        union = 2 * p - p * p
+        assert distinct_l_variance(500, 1.0, p, p) == pytest.approx(
+            500 * (1.0 / union - 1.0)
+        )
+
+    def test_invalid_jaccard(self):
+        with pytest.raises(InvalidParameterError):
+            distinct_l_variance(100, 1.5, 0.5, 0.5)

@@ -1,0 +1,121 @@
+"""Tests for max-dominance estimation (Section 8.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates.dominance import (
+    max_dominance_estimates,
+    max_dominance_exact_variances,
+    tau_star_for_sampling_fraction,
+)
+from repro.datasets.synthetic import correlated_instance_pair
+from repro.exceptions import InvalidParameterError
+from repro.sampling.seeds import SeedAssigner
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return correlated_instance_pair(n_keys=400, correlation=0.7, rng=11)
+
+
+class TestTauStarSolver:
+    def test_expected_fraction(self, traffic):
+        values = list(traffic.instance("a").values())
+        tau = tau_star_for_sampling_fraction(values, 0.2)
+        expected = sum(min(1.0, v / tau) for v in values)
+        assert expected == pytest.approx(0.2 * len(values), rel=1e-4)
+
+    def test_full_fraction(self, traffic):
+        values = list(traffic.instance("a").values())
+        tau = tau_star_for_sampling_fraction(values, 1.0)
+        assert tau <= min(values) * (1 + 1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            tau_star_for_sampling_fraction([0.0, 0.0], 0.5)
+        with pytest.raises(InvalidParameterError):
+            tau_star_for_sampling_fraction([1.0], 0.0)
+
+
+class TestEstimates:
+    def test_estimators_unbiased_across_seed_salts(self, traffic):
+        labels = ("a", "b")
+        tau_star = (
+            tau_star_for_sampling_fraction(traffic.instance("a").values(), 0.3),
+            tau_star_for_sampling_fraction(traffic.instance("b").values(), 0.3),
+        )
+        true_value = traffic.max_dominance(labels)
+        estimates_ht = []
+        estimates_l = []
+        for salt in range(40):
+            result = max_dominance_estimates(
+                traffic, labels, tau_star, SeedAssigner(salt=salt)
+            )
+            estimates_ht.append(result.ht)
+            estimates_l.append(result.l)
+            assert result.true_value == pytest.approx(true_value)
+        var_ht, var_l = max_dominance_exact_variances(
+            traffic, labels, tau_star, grid_size=401
+        )
+        assert abs(np.mean(estimates_ht) - true_value) < 5 * np.sqrt(var_ht / 40)
+        assert abs(np.mean(estimates_l) - true_value) < 5 * np.sqrt(
+            max(var_l / 40, 1e-9)
+        )
+
+    def test_l_dominates_ht_in_exact_variance(self, traffic):
+        labels = ("a", "b")
+        for fraction in (0.1, 0.4):
+            tau_star = tuple(
+                tau_star_for_sampling_fraction(
+                    traffic.instance(label).values(), fraction
+                )
+                for label in labels
+            )
+            var_ht, var_l = max_dominance_exact_variances(
+                traffic, labels, tau_star, grid_size=401
+            )
+            assert var_l < var_ht
+
+    def test_full_sampling_is_exact(self, traffic):
+        labels = ("a", "b")
+        minimum_positive = min(
+            min(traffic.instance("a").values()),
+            min(traffic.instance("b").values()),
+        )
+        tau_star = (minimum_positive / 2.0, minimum_positive / 2.0)
+        result = max_dominance_estimates(
+            traffic, labels, tau_star, SeedAssigner(salt=0)
+        )
+        assert result.ht == pytest.approx(result.true_value, rel=1e-9)
+        assert result.l == pytest.approx(result.true_value, rel=1e-9)
+        var_ht, var_l = max_dominance_exact_variances(
+            traffic, labels, tau_star, grid_size=101
+        )
+        assert var_ht == pytest.approx(0.0, abs=1e-6)
+        # The L variance integration truncates the seed range at 1e-12,
+        # leaving a vanishing residual.
+        assert var_l == pytest.approx(0.0, abs=1e-4)
+
+    def test_predicate_restriction(self, traffic):
+        labels = ("a", "b")
+        tau_star = (1.0, 1.0)
+        result = max_dominance_estimates(
+            traffic,
+            labels,
+            tau_star,
+            SeedAssigner(salt=1),
+            predicate=lambda key: key < 50,
+        )
+        assert result.true_value == pytest.approx(
+            traffic.max_dominance(labels, predicate=lambda key: key < 50)
+        )
+
+    def test_requires_two_instances(self, traffic):
+        with pytest.raises(InvalidParameterError):
+            max_dominance_estimates(
+                traffic, ("a",), (1.0,), SeedAssigner(salt=0)
+            )
+        with pytest.raises(InvalidParameterError):
+            max_dominance_exact_variances(traffic, ("a",), (1.0,))

@@ -1,0 +1,112 @@
+"""Tests for the generic sum-aggregate machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates.sum_estimator import (
+    sum_aggregate_oblivious,
+    sum_aggregate_pps,
+)
+from repro.core.functions import maximum
+from repro.core.max_oblivious import MaxObliviousL
+from repro.core.max_weighted import MaxPpsL
+from repro.datasets.synthetic import correlated_instance_pair
+from repro.sampling.seeds import SeedAssigner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return correlated_instance_pair(n_keys=300, correlation=0.6, rng=5)
+
+
+class TestObliviousSumAggregate:
+    def test_full_sampling_recovers_truth(self, dataset):
+        result = sum_aggregate_oblivious(
+            dataset,
+            labels=("a", "b"),
+            probabilities=(1.0, 1.0),
+            estimator=MaxObliviousL((1.0, 1.0)),
+            seed_assigner=SeedAssigner(salt=0),
+            true_function=maximum,
+        )
+        assert result.estimate == pytest.approx(result.true_value)
+        assert result.relative_error == pytest.approx(0.0)
+
+    def test_unbiased_across_salts(self, dataset):
+        probabilities = (0.4, 0.4)
+        estimates = []
+        truth = None
+        for salt in range(50):
+            result = sum_aggregate_oblivious(
+                dataset,
+                labels=("a", "b"),
+                probabilities=probabilities,
+                estimator=MaxObliviousL(probabilities),
+                seed_assigner=SeedAssigner(salt=salt),
+                true_function=maximum,
+            )
+            estimates.append(result.estimate)
+            truth = result.true_value
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_predicate(self, dataset):
+        result = sum_aggregate_oblivious(
+            dataset,
+            labels=("a", "b"),
+            probabilities=(1.0, 1.0),
+            estimator=MaxObliviousL((1.0, 1.0)),
+            seed_assigner=SeedAssigner(salt=0),
+            true_function=maximum,
+            predicate=lambda key: key % 3 == 0,
+        )
+        assert result.true_value == pytest.approx(
+            dataset.max_dominance(("a", "b"), predicate=lambda k: k % 3 == 0)
+        )
+        assert result.estimate == pytest.approx(result.true_value)
+
+    def test_contributing_key_count(self, dataset):
+        result = sum_aggregate_oblivious(
+            dataset,
+            labels=("a", "b"),
+            probabilities=(0.3, 0.3),
+            estimator=MaxObliviousL((0.3, 0.3)),
+            seed_assigner=SeedAssigner(salt=7),
+            true_function=maximum,
+        )
+        assert 0 < result.n_contributing_keys < len(
+            dataset.active_keys(("a", "b"))
+        )
+
+
+class TestPpsSumAggregate:
+    def test_unbiased_across_salts(self, dataset):
+        tau_star = (200.0, 200.0)
+        estimates = []
+        truth = None
+        for salt in range(50):
+            result = sum_aggregate_pps(
+                dataset,
+                labels=("a", "b"),
+                tau_star=tau_star,
+                estimator=MaxPpsL(tau_star),
+                seed_assigner=SeedAssigner(salt=salt),
+                true_function=maximum,
+            )
+            estimates.append(result.estimate)
+            truth = result.true_value
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_relative_error_zero_truth(self, dataset):
+        result = sum_aggregate_pps(
+            dataset,
+            labels=("a", "b"),
+            tau_star=(1e9, 1e9),
+            estimator=MaxPpsL((1e9, 1e9)),
+            seed_assigner=SeedAssigner(salt=0),
+            true_function=maximum,
+            predicate=lambda key: False,
+        )
+        assert result.true_value == 0.0
+        assert result.relative_error == 0.0

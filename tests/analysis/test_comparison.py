@@ -1,0 +1,71 @@
+"""Tests for the estimator comparison tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_estimators
+from repro.core.max_oblivious import MaxObliviousHT, MaxObliviousL, MaxObliviousU
+from repro.exceptions import InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+
+@pytest.fixture
+def comparison(half_scheme):
+    probabilities = (0.5, 0.5)
+    return compare_estimators(
+        {
+            "HT": MaxObliviousHT(probabilities),
+            "L": MaxObliviousL(probabilities),
+            "U": MaxObliviousU(probabilities),
+        },
+        half_scheme,
+        vectors=[(1.0, 0.0), (1.0, 0.5), (1.0, 1.0)],
+        baseline="HT",
+    )
+
+
+class TestComparison:
+    def test_all_unbiased(self, comparison):
+        for row in comparison.rows:
+            for mean in row["means"].values():
+                assert mean == pytest.approx(max(row["vector"]))
+
+    def test_dominance(self, comparison):
+        assert comparison.dominates_baseline("L")
+        assert comparison.dominates_baseline("U")
+
+    def test_variance_ratios(self, comparison):
+        ratios = comparison.variance_ratios("L")
+        assert len(ratios) == 3
+        assert all(ratio >= 1.0 for ratio in ratios)
+
+    def test_table_rendering(self, comparison):
+        lines = comparison.as_table()
+        assert len(lines) == 4
+        assert "HT" in lines[0] and "L" in lines[0]
+
+    def test_requires_estimators(self, half_scheme):
+        with pytest.raises(InvalidParameterError):
+            compare_estimators({}, half_scheme, [(1.0, 1.0)])
+
+    def test_unknown_baseline(self, half_scheme):
+        with pytest.raises(InvalidParameterError):
+            compare_estimators(
+                {"HT": MaxObliviousHT((0.5, 0.5))},
+                half_scheme,
+                [(1.0, 1.0)],
+                baseline="missing",
+            )
+
+    def test_zero_variance_ratio_handling(self):
+        scheme = ObliviousPoissonScheme((1.0, 1.0))
+        comparison = compare_estimators(
+            {
+                "HT": MaxObliviousHT((1.0, 1.0)),
+                "L": MaxObliviousL((1.0, 1.0)),
+            },
+            scheme,
+            vectors=[(2.0, 1.0)],
+        )
+        assert comparison.variance_ratios("L") == [1.0]

@@ -1,0 +1,56 @@
+"""Tests for the Monte-Carlo simulation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import simulate_estimator
+from repro.core.max_oblivious import MaxObliviousL
+from repro.core.max_weighted import MaxPpsL
+from repro.core.variance import exact_moments
+from repro.exceptions import InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+
+
+class TestSimulateEstimator:
+    def test_mean_matches_exact(self, rng):
+        probabilities = (0.5, 0.5)
+        scheme = ObliviousPoissonScheme(probabilities)
+        estimator = MaxObliviousL(probabilities)
+        values = (4.0, 1.0)
+        result = simulate_estimator(estimator, scheme, values,
+                                    n_trials=20_000, rng=rng)
+        assert result.mean_within(max(values))
+        exact_mean, exact_variance = exact_moments(estimator, scheme, values)
+        assert result.variance == pytest.approx(exact_variance, rel=0.1)
+        assert result.mean == pytest.approx(exact_mean, rel=0.05)
+
+    def test_nonnegativity_reported(self, rng):
+        probabilities = (0.5, 0.5)
+        scheme = ObliviousPoissonScheme(probabilities)
+        estimator = MaxObliviousL(probabilities)
+        result = simulate_estimator(estimator, scheme, (4.0, 1.0),
+                                    n_trials=5_000, rng=rng)
+        assert result.min_estimate >= 0.0
+        assert result.max_estimate > 0.0
+
+    def test_works_with_pps_scheme(self, rng):
+        scheme = PpsPoissonScheme((10.0, 10.0))
+        estimator = MaxPpsL((10.0, 10.0))
+        result = simulate_estimator(estimator, scheme, (5.0, 3.0),
+                                    n_trials=10_000, rng=rng)
+        assert result.mean_within(5.0)
+
+    def test_requires_at_least_two_trials(self):
+        scheme = ObliviousPoissonScheme((0.5, 0.5))
+        estimator = MaxObliviousL((0.5, 0.5))
+        with pytest.raises(InvalidParameterError):
+            simulate_estimator(estimator, scheme, (1.0, 1.0), n_trials=1)
+
+    def test_n_trials_recorded(self, rng):
+        scheme = ObliviousPoissonScheme((0.5, 0.5))
+        estimator = MaxObliviousL((0.5, 0.5))
+        result = simulate_estimator(estimator, scheme, (1.0, 1.0),
+                                    n_trials=500, rng=rng)
+        assert result.n_trials == 500
+        assert result.standard_error > 0.0

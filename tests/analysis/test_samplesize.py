@@ -1,0 +1,83 @@
+"""Tests for the Figure 6 sample-size planning math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.samplesize import (
+    distinct_count_coefficient_of_variation,
+    required_probability,
+    required_sample_size,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestCoefficientOfVariation:
+    def test_ht_closed_form(self):
+        # cv = sqrt(N (1/p^2 - 1)) / N with N = 2n/(1+J).
+        n, jaccard, p = 1000.0, 0.0, 0.1
+        distinct = 2 * n / (1 + jaccard)
+        expected = (distinct * (1 / p ** 2 - 1)) ** 0.5 / distinct
+        assert distinct_count_coefficient_of_variation(
+            "HT", n, jaccard, p
+        ) == pytest.approx(expected)
+
+    def test_l_below_ht(self):
+        for jaccard in (0.0, 0.5, 0.9, 1.0):
+            for p in (0.01, 0.1, 0.5):
+                assert distinct_count_coefficient_of_variation(
+                    "L", 1e5, jaccard, p
+                ) <= distinct_count_coefficient_of_variation(
+                    "HT", 1e5, jaccard, p
+                ) + 1e-12
+
+    def test_decreasing_in_probability(self):
+        values = [
+            distinct_count_coefficient_of_variation("L", 1e4, 0.5, p)
+            for p in (0.01, 0.05, 0.2, 0.8)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_unknown_estimator(self):
+        with pytest.raises(InvalidParameterError):
+            distinct_count_coefficient_of_variation("XX", 100, 0.5, 0.1)
+
+
+class TestRequiredSampleSize:
+    def test_achieves_target(self):
+        for estimator in ("HT", "L"):
+            probability = required_probability(estimator, 1e6, 0.5, 0.1)
+            achieved = distinct_count_coefficient_of_variation(
+                estimator, 1e6, 0.5, probability
+            )
+            assert achieved == pytest.approx(0.1, rel=1e-3)
+
+    def test_l_needs_fewer_samples(self):
+        for jaccard in (0.0, 0.5, 0.9):
+            for n in (1e4, 1e7):
+                assert required_sample_size("L", n, jaccard, 0.1) <= \
+                    required_sample_size("HT", n, jaccard, 0.1) + 1e-9
+
+    def test_asymptotic_factor_for_disjoint_sets(self):
+        # Paper: for small p the L estimator needs ~ sqrt(1-J)/2 of the HT
+        # samples; with J = 0 that is a factor of one half.
+        ratio = required_sample_size("L", 1e9, 0.0, 0.1) / \
+            required_sample_size("HT", 1e9, 0.0, 0.1)
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_identical_sets_constant_sample_size(self):
+        # Paper: when J is large, a constant number of samples suffices for
+        # a fixed cv (the L curve flattens).
+        small = required_sample_size("L", 1e6, 1.0, 0.1)
+        large = required_sample_size("L", 1e9, 1.0, 0.1)
+        assert large == pytest.approx(small, rel=0.01)
+        # whereas the HT sample size keeps growing with n
+        assert required_sample_size("HT", 1e9, 1.0, 0.1) > 10 * large
+
+    def test_monotone_in_target(self):
+        assert required_sample_size("L", 1e6, 0.5, 0.02) > \
+            required_sample_size("L", 1e6, 0.5, 0.1)
+
+    def test_invalid_target(self):
+        with pytest.raises(InvalidParameterError):
+            required_probability("L", 1e6, 0.5, 0.0)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregates.dataset import MultiInstanceDataset
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20110613)
+
+
+@pytest.fixture
+def half_scheme() -> ObliviousPoissonScheme:
+    """Weight-oblivious scheme with p1 = p2 = 1/2 (the Figure 1 setting)."""
+    return ObliviousPoissonScheme((0.5, 0.5))
+
+
+@pytest.fixture
+def skewed_scheme() -> ObliviousPoissonScheme:
+    """Weight-oblivious scheme with unequal probabilities."""
+    return ObliviousPoissonScheme((0.3, 0.7))
+
+
+@pytest.fixture
+def pps_scheme() -> PpsPoissonScheme:
+    """PPS scheme with equal thresholds and known seeds."""
+    return PpsPoissonScheme((10.0, 10.0), known_seeds=True)
+
+
+@pytest.fixture
+def small_dataset() -> MultiInstanceDataset:
+    """A small two-instance data set used across aggregate tests."""
+    return MultiInstanceDataset(
+        {
+            "day1": {"a": 4.0, "b": 1.0, "c": 7.0, "e": 2.0},
+            "day2": {"a": 5.0, "b": 0.5, "d": 3.0, "e": 2.0},
+        }
+    )

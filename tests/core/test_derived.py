@@ -1,0 +1,137 @@
+"""Tests for the derived-estimator adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derived import (
+    DerivedVectorEstimator,
+    dense_first_order,
+    derive_for_oblivious_scheme,
+    sparse_first_batches,
+)
+from repro.core.functions import boolean_or, value_range
+from repro.core.max_oblivious import MaxObliviousL, MaxObliviousU
+from repro.core.variance import exact_moments
+from repro.exceptions import InvalidOutcomeError, InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+
+class TestOrderKeys:
+    def test_dense_first_order(self):
+        assert dense_first_order((0.0, 0.0)) < dense_first_order((2.0, 2.0))
+        assert dense_first_order((2.0, 2.0)) < dense_first_order((2.0, 1.0))
+
+    def test_sparse_first_batches(self):
+        assert sparse_first_batches((0.0, 0.0)) == 0
+        assert sparse_first_batches((1.0, 0.0)) == 1
+        assert sparse_first_batches((1.0, 2.0)) == 2
+
+
+class TestDeriveForObliviousScheme:
+    def test_order_method_matches_closed_form_max_l(self):
+        probabilities = (0.4, 0.7)
+        grid = (0.0, 1.0, 3.0)
+        derived = derive_for_oblivious_scheme(
+            probabilities, max, grid, method="order", function_name="max"
+        )
+        closed = MaxObliviousL(probabilities)
+        scheme = ObliviousPoissonScheme(probabilities)
+        for v1 in grid:
+            for v2 in grid:
+                for outcome, _ in scheme.iter_outcomes((v1, v2)):
+                    assert derived.estimate(outcome) == pytest.approx(
+                        closed.estimate(outcome), abs=1e-8
+                    )
+
+    def test_partition_method_matches_closed_form_max_u(self):
+        probabilities = (0.3, 0.3)
+        grid = (0.0, 2.0)
+        derived = derive_for_oblivious_scheme(
+            probabilities, max, grid, method="partition", function_name="max"
+        )
+        closed = MaxObliviousU(probabilities)
+        scheme = ObliviousPoissonScheme(probabilities)
+        for v1 in grid:
+            for v2 in grid:
+                for outcome, _ in scheme.iter_outcomes((v1, v2)):
+                    assert derived.estimate(outcome) == pytest.approx(
+                        closed.estimate(outcome), rel=1e-4, abs=1e-6
+                    )
+
+    def test_unbiased_for_or(self):
+        probabilities = (0.5, 0.5, 0.5)
+        derived = derive_for_oblivious_scheme(
+            probabilities, boolean_or, (0.0, 1.0), method="order",
+            function_name="or",
+        )
+        scheme = ObliviousPoissonScheme(probabilities)
+        for v1 in (0.0, 1.0):
+            for v2 in (0.0, 1.0):
+                for v3 in (0.0, 1.0):
+                    data = (v1, v2, v3)
+                    mean, _ = exact_moments(derived, scheme, data)
+                    assert mean == pytest.approx(boolean_or(data), abs=1e-9)
+
+    def test_range_estimator_derivable(self):
+        # RG has no inverse-probability estimator issue under weighted
+        # sampling, but under weight-oblivious sampling Algorithm 1 derives
+        # an unbiased nonnegative estimator mechanically.
+        probabilities = (0.6, 0.6)
+        derived = derive_for_oblivious_scheme(
+            probabilities,
+            value_range,
+            (0.0, 1.0, 2.0),
+            method="order",
+            order_key=lambda v: (value_range(v), max(v)),
+            function_name="range",
+        )
+        scheme = ObliviousPoissonScheme(probabilities)
+        for v1 in (0.0, 1.0, 2.0):
+            for v2 in (0.0, 1.0, 2.0):
+                mean, _ = exact_moments(derived, scheme, (v1, v2))
+                assert mean == pytest.approx(abs(v1 - v2), abs=1e-8)
+
+    def test_variance_accessor(self):
+        probabilities = (0.5, 0.5)
+        derived = derive_for_oblivious_scheme(
+            probabilities, max, (0.0, 1.0), method="order"
+        )
+        scheme = ObliviousPoissonScheme(probabilities)
+        _, expected = exact_moments(derived, scheme, (1.0, 0.0))
+        assert derived.variance((1.0, 0.0)) == pytest.approx(expected)
+
+    def test_invalid_method_and_grid(self):
+        with pytest.raises(InvalidParameterError):
+            derive_for_oblivious_scheme((0.5, 0.5), max, (0.0, 1.0),
+                                        method="other")
+        with pytest.raises(InvalidParameterError):
+            derive_for_oblivious_scheme((0.5, 0.5), max, ())
+
+
+class TestDerivedVectorEstimator:
+    @pytest.fixture
+    def derived(self):
+        return derive_for_oblivious_scheme((0.5, 0.5), max, (0.0, 1.0))
+
+    def test_strict_mode_rejects_unknown_values(self, derived):
+        outcome = VectorOutcome.from_vector((7.0, 1.0), {0})
+        with pytest.raises(InvalidOutcomeError):
+            derived.estimate(outcome)
+
+    def test_lenient_mode_returns_zero(self, derived):
+        lenient = DerivedVectorEstimator(
+            derived.derived, r=2, strict=False
+        )
+        outcome = VectorOutcome.from_vector((7.0, 1.0), {0})
+        assert lenient.estimate(outcome) == 0.0
+
+    def test_dimension_check(self, derived):
+        with pytest.raises(InvalidOutcomeError):
+            derived.estimate(VectorOutcome.from_vector((1.0,), {0}))
+
+    def test_metadata(self, derived):
+        assert derived.r == 2
+        assert derived.is_pareto_optimal
+        assert derived.variant == "derived-L"

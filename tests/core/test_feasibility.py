@@ -1,0 +1,116 @@
+"""Tests for the Section 6 impossibility results via LP feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import (
+    binary_known_seed_model,
+    binary_unknown_seed_model,
+    unbiased_nonnegative_exists,
+)
+from repro.core.functions import boolean_or, boolean_xor
+
+
+class TestUnknownSeeds:
+    @pytest.mark.parametrize("p", [(0.3, 0.3), (0.2, 0.5), (0.45, 0.45)])
+    def test_or_infeasible_when_p1_plus_p2_below_one(self, p):
+        model = binary_unknown_seed_model(p)
+        result = unbiased_nonnegative_exists(model, boolean_or)
+        assert not result.feasible
+
+    @pytest.mark.parametrize("p", [(0.6, 0.6), (0.9, 0.2), (1.0, 1.0)])
+    def test_or_feasible_when_p1_plus_p2_at_least_one(self, p):
+        # The impossibility argument of Theorem 6.1 needs p1 + p2 < 1; with
+        # larger probabilities an unbiased nonnegative estimator exists.
+        model = binary_unknown_seed_model(p)
+        result = unbiased_nonnegative_exists(model, boolean_or)
+        assert result.feasible
+
+    @pytest.mark.parametrize("p", [(0.3, 0.3), (0.6, 0.6), (0.9, 0.9)])
+    def test_xor_always_infeasible(self, p):
+        # The XOR / exponentiated-range argument does not need p1 + p2 < 1.
+        model = binary_unknown_seed_model(p)
+        result = unbiased_nonnegative_exists(model, boolean_xor)
+        assert not result.feasible
+
+    def test_three_instances_second_largest_infeasible(self):
+        # ell-th largest with ell < r: embed the two-instance argument by
+        # fixing a third entry to one (Theorem 6.1's extension).
+        p = (0.3, 0.3, 0.8)
+        vectors = [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 1)]
+        model = binary_unknown_seed_model(p, vectors=vectors)
+
+        def second_largest(vector):
+            return float(sorted(vector, reverse=True)[1])
+
+        result = unbiased_nonnegative_exists(model, second_largest)
+        assert not result.feasible
+
+    def test_minimum_feasible(self):
+        # The minimum (ell = r) does have an inverse-probability estimator
+        # even with unknown seeds.
+        model = binary_unknown_seed_model((0.3, 0.3))
+        result = unbiased_nonnegative_exists(
+            model, lambda v: float(min(v))
+        )
+        assert result.feasible
+
+
+class TestKnownSeeds:
+    @pytest.mark.parametrize("p", [(0.3, 0.3), (0.2, 0.5), (0.7, 0.7)])
+    def test_or_feasible(self, p):
+        model = binary_known_seed_model(p)
+        result = unbiased_nonnegative_exists(model, boolean_or)
+        assert result.feasible
+
+    @pytest.mark.parametrize("p", [(0.3, 0.3), (0.7, 0.7)])
+    def test_xor_feasible(self, p):
+        model = binary_known_seed_model(p)
+        result = unbiased_nonnegative_exists(model, boolean_xor)
+        assert result.feasible
+
+    def test_witness_is_unbiased(self):
+        model = binary_known_seed_model((0.4, 0.6))
+        result = unbiased_nonnegative_exists(model, boolean_or)
+        assert result.feasible
+        witness = result.estimates
+        for vector in model.vectors:
+            expectation = sum(
+                model.probability(vector, outcome) * value
+                for outcome, value in witness.items()
+            )
+            assert expectation == pytest.approx(boolean_or(vector), abs=1e-6)
+
+    def test_witness_nonnegative(self):
+        model = binary_known_seed_model((0.4, 0.6))
+        result = unbiased_nonnegative_exists(model, boolean_or)
+        assert all(value >= -1e-9 for value in result.estimates.values())
+
+
+class TestModelConstruction:
+    def test_unknown_seed_outcomes_are_sampled_sets(self):
+        model = binary_unknown_seed_model((0.5, 0.5))
+        assert frozenset() in model.outcomes
+        assert frozenset({0, 1}) in model.outcomes
+
+    def test_unknown_seed_zero_vector_always_empty_outcome(self):
+        model = binary_unknown_seed_model((0.5, 0.5))
+        assert model.probability((0, 0), frozenset()) == pytest.approx(1.0)
+
+    def test_known_seed_states(self):
+        model = binary_known_seed_model((0.5, 0.5))
+        # For the all-zero vector every entry is either certified zero or
+        # uninformative.
+        for outcome in model.consistent_outcomes((0, 0)):
+            assert set(outcome) <= {"0", "?"}
+
+    def test_probabilities_sum_to_one(self):
+        for builder in (binary_unknown_seed_model, binary_known_seed_model):
+            model = builder((0.35, 0.65))
+            for vector in model.vectors:
+                total = sum(
+                    model.probability(vector, outcome)
+                    for outcome in model.outcomes
+                )
+                assert total == pytest.approx(1.0)

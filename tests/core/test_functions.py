@@ -1,0 +1,80 @@
+"""Tests for the multi-instance function primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functions import (
+    FUNCTIONS,
+    boolean_or,
+    boolean_xor,
+    exp_range,
+    lth_largest,
+    maximum,
+    minimum,
+    value_range,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestQuantiles:
+    def test_maximum(self):
+        assert maximum([3.0, 7.0, 1.0]) == 7.0
+
+    def test_minimum(self):
+        assert minimum([3.0, 7.0, 1.0]) == 1.0
+
+    def test_lth_largest(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert lth_largest(values, 1) == 9.0
+        assert lth_largest(values, 2) == 5.0
+        assert lth_largest(values, 4) == 1.0
+
+    def test_lth_largest_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            lth_largest([1.0, 2.0], 3)
+        with pytest.raises(InvalidParameterError):
+            lth_largest([1.0, 2.0], 0)
+
+    def test_empty_vector_rejected(self):
+        for function in (maximum, minimum, value_range, boolean_or):
+            with pytest.raises(InvalidParameterError):
+                function([])
+
+
+class TestRange:
+    def test_value_range(self):
+        assert value_range([2.0, 10.0, 5.0]) == 8.0
+
+    def test_exp_range(self):
+        assert exp_range([2.0, 5.0], exponent=2.0) == 9.0
+        assert exp_range([2.0, 5.0]) == 3.0
+
+    def test_exp_range_invalid_exponent(self):
+        with pytest.raises(InvalidParameterError):
+            exp_range([1.0, 2.0], exponent=0.0)
+
+
+class TestBoolean:
+    def test_or(self):
+        assert boolean_or([0, 0, 1]) == 1.0
+        assert boolean_or([0, 0, 0]) == 0.0
+
+    def test_xor(self):
+        assert boolean_xor([1, 1]) == 0.0
+        assert boolean_xor([1, 0]) == 1.0
+        assert boolean_xor([1, 1, 1]) == 1.0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            boolean_or([0.5, 1.0])
+        with pytest.raises(InvalidParameterError):
+            boolean_xor([2.0, 1.0])
+
+
+class TestRegistry:
+    def test_registry_contains_primitives(self):
+        assert set(FUNCTIONS) >= {"max", "min", "range", "or", "xor"}
+
+    def test_registry_entries_callable(self):
+        assert FUNCTIONS["max"]([1.0, 4.0]) == 4.0

@@ -1,0 +1,99 @@
+"""Tests for the Horvitz-Thompson / inverse-probability estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.functions import minimum, value_range
+from repro.core.ht import (
+    HorvitzThompsonOblivious,
+    InverseProbabilityEstimator,
+    ht_estimate,
+    ht_variance,
+)
+from repro.core.variance import exact_moments
+from repro.exceptions import InvalidOutcomeError, InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+
+class TestScalarHT:
+    def test_estimate(self):
+        assert ht_estimate(6.0, 0.5, sampled=True) == 12.0
+        assert ht_estimate(6.0, 0.5, sampled=False) == 0.0
+
+    def test_variance_formula(self):
+        assert ht_variance(6.0, 0.5) == pytest.approx(36.0)
+        assert ht_variance(6.0, 1.0) == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            ht_estimate(1.0, 0.0, sampled=True)
+
+
+class TestObliviousHT:
+    def test_positive_only_when_all_sampled(self):
+        estimator = HorvitzThompsonOblivious((0.5, 0.25))
+        full = VectorOutcome.from_vector((3.0, 4.0), {0, 1})
+        partial = VectorOutcome.from_vector((3.0, 4.0), {0})
+        assert estimator.estimate(full) == pytest.approx(4.0 / 0.125)
+        assert estimator.estimate(partial) == 0.0
+
+    def test_unbiased_for_max_min_range(self, skewed_scheme):
+        for function, name in ((max, "max"), (minimum, "min"),
+                               (value_range, "range")):
+            estimator = HorvitzThompsonOblivious(
+                (0.3, 0.7), function=function, function_name=name
+            )
+            for values in [(3.0, 1.0), (0.0, 2.0), (5.0, 5.0)]:
+                mean, _ = exact_moments(estimator, skewed_scheme, values)
+                assert mean == pytest.approx(float(function(values)))
+
+    def test_variance_matches_closed_form(self, skewed_scheme):
+        estimator = HorvitzThompsonOblivious((0.3, 0.7))
+        values = (3.0, 8.0)
+        _, variance = exact_moments(estimator, skewed_scheme, values)
+        assert variance == pytest.approx(estimator.variance(values))
+
+    def test_dimension_check(self):
+        estimator = HorvitzThompsonOblivious((0.5, 0.5))
+        with pytest.raises(InvalidOutcomeError):
+            estimator.estimate(VectorOutcome.from_vector((1.0,), {0}))
+
+
+class TestInverseProbabilityEstimator:
+    def test_custom_s_star(self):
+        # HT for the minimum over two oblivious samples: the minimum is
+        # known whenever both entries are sampled.
+        probabilities = (0.4, 0.6)
+        estimator = InverseProbabilityEstimator(
+            r=2,
+            in_s_star=lambda outcome: outcome.is_full,
+            f_star=lambda outcome: min(outcome.values.values()),
+            p_star=lambda outcome: probabilities[0] * probabilities[1],
+            function_name="min",
+        )
+        scheme = ObliviousPoissonScheme(probabilities)
+        for values in [(2.0, 7.0), (4.0, 4.0)]:
+            mean, _ = exact_moments(estimator, scheme, values)
+            assert mean == pytest.approx(min(values))
+
+    def test_invalid_probability_from_p_star(self):
+        estimator = InverseProbabilityEstimator(
+            r=1,
+            in_s_star=lambda outcome: True,
+            f_star=lambda outcome: 1.0,
+            p_star=lambda outcome: 0.0,
+        )
+        with pytest.raises(InvalidParameterError):
+            estimator.estimate(VectorOutcome.from_vector((1.0,), {0}))
+
+    def test_dimension_check(self):
+        estimator = InverseProbabilityEstimator(
+            r=2,
+            in_s_star=lambda outcome: True,
+            f_star=lambda outcome: 1.0,
+            p_star=lambda outcome: 1.0,
+        )
+        with pytest.raises(InvalidOutcomeError):
+            estimator.estimate(VectorOutcome.from_vector((1.0,), {0}))

@@ -1,0 +1,248 @@
+"""Tests for the weight-oblivious max estimators (Section 4)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.max_oblivious import (
+    MaxObliviousHT,
+    MaxObliviousL,
+    MaxObliviousU,
+    MaxObliviousUAsymmetric,
+)
+from repro.core.variance import (
+    exact_moments,
+    exact_variance,
+    figure1_max_ht_variance,
+    figure1_max_l_variance,
+    figure1_max_u_variance,
+)
+from repro.exceptions import (
+    InvalidOutcomeError,
+    UnsupportedConfigurationError,
+)
+from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.sampling.outcomes import VectorOutcome
+
+DATA_R2 = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (5.0, 0.0), (0.0, 5.0),
+           (0.0, 0.0), (7.5, 7.4)]
+
+
+def all_estimators(probabilities):
+    return {
+        "HT": MaxObliviousHT(probabilities),
+        "L": MaxObliviousL(probabilities),
+        "U": MaxObliviousU(probabilities),
+        "Uas": MaxObliviousUAsymmetric(probabilities),
+    }
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize(
+        "probabilities", [(0.5, 0.5), (0.3, 0.7), (0.9, 0.2), (1.0, 0.4)]
+    )
+    @pytest.mark.parametrize("values", DATA_R2)
+    def test_all_estimators_unbiased_r2(self, probabilities, values):
+        scheme = ObliviousPoissonScheme(probabilities)
+        for name, estimator in all_estimators(probabilities).items():
+            mean, _ = exact_moments(estimator, scheme, values)
+            assert mean == pytest.approx(max(values), abs=1e-9), name
+
+    @pytest.mark.parametrize("r", [3, 4, 5])
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_uniform_max_l_unbiased_higher_dimensions(self, r, p, rng):
+        scheme = ObliviousPoissonScheme((p,) * r)
+        estimator = MaxObliviousL((p,) * r)
+        for _ in range(4):
+            values = tuple(np.round(rng.uniform(0, 10, r), 3))
+            mean, _ = exact_moments(estimator, scheme, values)
+            assert mean == pytest.approx(max(values), abs=1e-8)
+
+    def test_uniform_max_l_unbiased_with_ties(self):
+        p = 0.4
+        scheme = ObliviousPoissonScheme((p,) * 3)
+        estimator = MaxObliviousL((p,) * 3)
+        for values in [(2.0, 2.0, 1.0), (3.0, 3.0, 3.0), (0.0, 2.0, 2.0)]:
+            mean, _ = exact_moments(estimator, scheme, values)
+            assert mean == pytest.approx(max(values), abs=1e-9)
+
+
+class TestFigure1ClosedForms:
+    def test_ht_variance(self, half_scheme):
+        estimator = MaxObliviousHT((0.5, 0.5))
+        for values in DATA_R2:
+            assert exact_variance(estimator, half_scheme, values) == \
+                pytest.approx(figure1_max_ht_variance(*values))
+
+    def test_l_variance(self, half_scheme):
+        estimator = MaxObliviousL((0.5, 0.5))
+        for values in DATA_R2:
+            assert exact_variance(estimator, half_scheme, values) == \
+                pytest.approx(figure1_max_l_variance(*values))
+
+    def test_u_variance(self, half_scheme):
+        estimator = MaxObliviousU((0.5, 0.5))
+        for values in DATA_R2:
+            assert exact_variance(estimator, half_scheme, values) == \
+                pytest.approx(figure1_max_u_variance(*values))
+
+    def test_figure1_estimate_table_p_half(self):
+        # The explicit table of Figure 1 at p1 = p2 = 1/2.
+        l_estimator = MaxObliviousL((0.5, 0.5))
+        u_estimator = MaxObliviousU((0.5, 0.5))
+        v1, v2 = 6.0, 1.5
+        only_first = VectorOutcome.from_vector((v1, v2), {0})
+        both = VectorOutcome.from_vector((v1, v2), {0, 1})
+        assert l_estimator.estimate(only_first) == pytest.approx(4 * v1 / 3)
+        assert l_estimator.estimate(both) == pytest.approx(
+            (8 * max(v1, v2) - 4 * min(v1, v2)) / 3
+        )
+        assert u_estimator.estimate(only_first) == pytest.approx(2 * v1)
+        assert u_estimator.estimate(both) == pytest.approx(
+            2 * max(v1, v2) - 2 * min(v1, v2)
+        )
+
+
+class TestDominanceAndOptimality:
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.3, 0.7), (0.2, 0.2)])
+    def test_l_and_u_dominate_ht(self, probabilities):
+        scheme = ObliviousPoissonScheme(probabilities)
+        ht = MaxObliviousHT(probabilities)
+        for name in ("L", "U", "Uas"):
+            estimator = all_estimators(probabilities)[name]
+            for values in DATA_R2:
+                assert exact_variance(estimator, scheme, values) <= \
+                    exact_variance(ht, scheme, values) + 1e-9
+
+    def test_l_and_u_are_incomparable(self, half_scheme):
+        # L is better on similar values, U is better on disjoint values.
+        l_estimator = MaxObliviousL((0.5, 0.5))
+        u_estimator = MaxObliviousU((0.5, 0.5))
+        similar = (4.0, 4.0)
+        disjoint = (4.0, 0.0)
+        assert exact_variance(l_estimator, half_scheme, similar) < \
+            exact_variance(u_estimator, half_scheme, similar)
+        assert exact_variance(u_estimator, half_scheme, disjoint) < \
+            exact_variance(l_estimator, half_scheme, disjoint)
+
+
+class TestNonnegativityAndMonotonicity:
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.3, 0.7), (0.15, 0.9)])
+    def test_estimates_nonnegative_on_all_outcomes(self, probabilities):
+        scheme = ObliviousPoissonScheme(probabilities)
+        for values in DATA_R2:
+            for _, estimator in all_estimators(probabilities).items():
+                for outcome, _ in scheme.iter_outcomes(values):
+                    assert estimator.estimate(outcome) >= -1e-12
+
+    def test_max_l_monotone_in_information(self):
+        # Adding the second (smaller) sampled entry cannot decrease the
+        # estimate below that of the less informative outcome with only the
+        # larger entry... it can change, but monotonicity requires
+        # estimate(S2) >= estimate(S1) when V*(S2) subset of V*(S1).
+        estimator = MaxObliviousL((0.4, 0.6))
+        v1, v2 = 5.0, 2.0
+        less = VectorOutcome.from_vector((v1, v2), {0})
+        more = VectorOutcome.from_vector((v1, v2), {0, 1})
+        assert estimator.estimate(more) >= estimator.estimate(less) - 1e-12
+
+    def test_uniform_max_l_monotone_r3(self, rng):
+        estimator = MaxObliviousL((0.3,) * 3)
+        for _ in range(20):
+            values = tuple(np.round(rng.uniform(0, 5, 3), 2))
+            # Compare nested outcomes S1 subset S2.
+            indices = list(range(3))
+            rng.shuffle(indices)
+            smaller = set(indices[:1])
+            larger = set(indices[:2])
+            est_small = estimator.estimate(
+                VectorOutcome.from_vector(values, smaller)
+            )
+            est_large = estimator.estimate(
+                VectorOutcome.from_vector(values, larger)
+            )
+            assert est_large >= est_small - 1e-9
+
+
+class TestConfigurationErrors:
+    def test_non_uniform_high_dimension_rejected(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            MaxObliviousL((0.5, 0.6, 0.7))
+
+    def test_u_requires_two_instances(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            MaxObliviousU((0.5, 0.5, 0.5))
+        with pytest.raises(UnsupportedConfigurationError):
+            MaxObliviousUAsymmetric((0.5, 0.5, 0.5))
+
+    def test_dimension_mismatch_raises(self):
+        estimator = MaxObliviousL((0.5, 0.5))
+        with pytest.raises(InvalidOutcomeError):
+            estimator.estimate(VectorOutcome.from_vector((1.0, 2.0, 3.0), {0}))
+
+    def test_coefficients_only_for_uniform(self):
+        estimator = MaxObliviousL((0.3, 0.7))
+        with pytest.raises(UnsupportedConfigurationError):
+            estimator.coefficients()
+
+    def test_uniform_coefficients_accessible(self):
+        estimator = MaxObliviousL((0.3, 0.3, 0.3))
+        assert estimator.coefficients().shape == (3,)
+
+
+class TestDeterminingVector:
+    def test_unsampled_entries_get_max_sampled_value(self):
+        estimator = MaxObliviousL((0.5, 0.5, 0.5))
+        outcome = VectorOutcome.from_vector((1.0, 7.0, 3.0), {1, 2})
+        assert estimator.determining_vector(outcome) == (7.0, 7.0, 3.0)
+
+    def test_empty_outcome_gives_zero_vector(self):
+        estimator = MaxObliviousL((0.5, 0.5))
+        outcome = VectorOutcome.from_vector((1.0, 7.0), set())
+        assert estimator.determining_vector(outcome) == (0.0, 0.0)
+
+
+class TestAsymmetricU:
+    def test_asymmetric_estimates(self):
+        p1, p2 = 0.3, 0.4
+        estimator = MaxObliviousUAsymmetric((p1, p2))
+        v1, v2 = 4.0, 2.0
+        first = VectorOutcome.from_vector((v1, v2), {0})
+        second = VectorOutcome.from_vector((v1, v2), {1})
+        assert estimator.estimate(first) == pytest.approx(v1 / p1)
+        assert estimator.estimate(second) == pytest.approx(
+            v2 / max(1.0 - p1, p2)
+        )
+
+    def test_asymmetry(self):
+        estimator = MaxObliviousUAsymmetric((0.3, 0.3))
+        outcome_first = VectorOutcome.from_vector((2.0, 0.0), {0})
+        outcome_second = VectorOutcome.from_vector((0.0, 2.0), {1})
+        assert estimator.estimate(outcome_first) != pytest.approx(
+            estimator.estimate(outcome_second)
+        )
+
+    def test_symmetric_u_is_symmetric(self):
+        estimator = MaxObliviousU((0.3, 0.3))
+        outcome_first = VectorOutcome.from_vector((2.0, 0.0), {0})
+        outcome_second = VectorOutcome.from_vector((0.0, 2.0), {1})
+        assert estimator.estimate(outcome_first) == pytest.approx(
+            estimator.estimate(outcome_second)
+        )
+
+    @pytest.mark.parametrize(
+        "exhaustive_values",
+        [list(itertools.product([0.0, 1.0, 3.0], repeat=2))],
+    )
+    def test_exhaustive_unbiasedness_small_domain(self, exhaustive_values):
+        probabilities = (0.35, 0.55)
+        scheme = ObliviousPoissonScheme(probabilities)
+        for name, estimator in all_estimators(probabilities).items():
+            for values in exhaustive_values:
+                mean, _ = exact_moments(estimator, scheme, values)
+                assert mean == pytest.approx(max(values), abs=1e-9), (
+                    name, values
+                )

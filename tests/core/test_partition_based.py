@@ -1,0 +1,116 @@
+"""Tests for the generic Algorithm 2 (ordered partition) derivation engine."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.max_oblivious import MaxObliviousU
+from repro.core.order_based import DiscreteModel
+from repro.core.partition_based import PartitionBasedDeriver
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+
+def oblivious_model(probabilities, values_per_entry):
+    scheme = ObliviousPoissonScheme(probabilities)
+    vectors = list(
+        itertools.product(values_per_entry, repeat=len(probabilities))
+    )
+    return scheme, DiscreteModel.from_scheme(scheme, vectors)
+
+
+def sparsity_batch_key(vector):
+    """Number of positive entries — the max^(U) ordered partition."""
+    return sum(1 for v in vector if v > 0)
+
+
+def outcome_label(vector, sampled):
+    sampled = tuple(sorted(sampled))
+    return (sampled, tuple(vector[i] for i in sampled))
+
+
+class TestPartitionBasedDerivation:
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.25, 0.25), (0.3, 0.6)])
+    def test_unbiased(self, probabilities):
+        scheme, model = oblivious_model(probabilities, (0.0, 1.0, 4.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        for vector in model.vectors:
+            assert derived.expectation(vector) == pytest.approx(
+                max(vector), abs=1e-6
+            )
+
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.25, 0.25), (0.3, 0.6)])
+    def test_nonnegative(self, probabilities):
+        scheme, model = oblivious_model(probabilities, (0.0, 1.0, 4.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        assert derived.is_nonnegative(tolerance=1e-6)
+
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.25, 0.25)])
+    def test_reproduces_symmetric_max_u_single_positive_entry(
+        self, probabilities
+    ):
+        # The estimate on outcomes with one positive sampled entry must match
+        # the closed form v / (p (1 + max(0, 1 - p1 - p2))).
+        scheme, model = oblivious_model(probabilities, (0.0, 1.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        closed_form = MaxObliviousU(probabilities)
+        from repro.sampling.outcomes import VectorOutcome
+
+        outcome = VectorOutcome.from_vector((1.0, 0.0), {0})
+        label = outcome_label((1.0, 0.0), {0})
+        assert derived.estimate(label) == pytest.approx(
+            closed_form.estimate(outcome), rel=1e-4
+        )
+
+    @pytest.mark.parametrize("probabilities", [(0.5, 0.5), (0.25, 0.25)])
+    def test_reproduces_symmetric_max_u_on_binary_domain(self, probabilities):
+        scheme, model = oblivious_model(probabilities, (0.0, 1.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        closed_form = MaxObliviousU(probabilities)
+        from repro.sampling.outcomes import VectorOutcome
+
+        for vector in model.vectors:
+            for sampled in [set(), {0}, {1}, {0, 1}]:
+                label = outcome_label(vector, sampled)
+                if label not in derived.estimates:
+                    continue
+                outcome = VectorOutcome.from_vector(vector, sampled)
+                assert derived.estimate(label) == pytest.approx(
+                    closed_form.estimate(outcome), rel=1e-4, abs=1e-6
+                )
+
+    def test_symmetry_of_derived_estimator(self):
+        probabilities = (0.3, 0.3)
+        scheme, model = oblivious_model(probabilities, (0.0, 2.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        first = derived.estimate(outcome_label((2.0, 0.0), {0}))
+        second = derived.estimate(outcome_label((0.0, 2.0), {1}))
+        assert first == pytest.approx(second, rel=1e-6)
+
+    def test_prioritises_sparse_vectors_over_l_order(self):
+        # On data with a zero entry the partition-based (U) estimator has
+        # lower variance than the order-based (L) estimator.
+        probabilities = (0.5, 0.5)
+        scheme, model = oblivious_model(probabilities, (0.0, 3.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        from repro.core.max_oblivious import MaxObliviousL
+        from repro.core.variance import exact_variance
+
+        sparse_vector = (3.0, 0.0)
+        l_variance = exact_variance(
+            MaxObliviousL(probabilities),
+            scheme,
+            sparse_vector,
+        )
+        assert derived.variance(sparse_vector) <= l_variance + 1e-6
+
+    def test_three_instances_partition(self):
+        probabilities = (0.5, 0.5, 0.5)
+        scheme, model = oblivious_model(probabilities, (0.0, 1.0))
+        derived = PartitionBasedDeriver(model, max, sparsity_batch_key).derive()
+        for vector in model.vectors:
+            assert derived.expectation(vector) == pytest.approx(
+                max(vector), abs=1e-5
+            )
+        assert derived.is_nonnegative(tolerance=1e-6)

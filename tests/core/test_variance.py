@@ -1,0 +1,88 @@
+"""Tests for the variance utilities and closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.max_oblivious import MaxObliviousHT
+from repro.core.variance import (
+    exact_moments,
+    exact_variance,
+    figure1_max_ht_variance,
+    figure1_max_l_variance,
+    figure1_max_u_variance,
+    ht_max_oblivious_variance,
+    or_ht_variance,
+    or_l_variance,
+    or_u_variance,
+)
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+
+class TestExactMoments:
+    def test_zero_data_zero_moments(self, half_scheme):
+        estimator = MaxObliviousHT((0.5, 0.5))
+        mean, variance = exact_moments(estimator, half_scheme, (0.0, 0.0))
+        assert mean == 0.0
+        assert variance == 0.0
+
+    def test_matches_ht_closed_form(self):
+        probabilities = (0.2, 0.9)
+        scheme = ObliviousPoissonScheme(probabilities)
+        estimator = MaxObliviousHT(probabilities)
+        values = (4.0, 7.0)
+        assert exact_variance(estimator, scheme, values) == pytest.approx(
+            ht_max_oblivious_variance(values, probabilities)
+        )
+
+
+class TestOrVarianceClosedForms:
+    def test_or_ht(self):
+        assert or_ht_variance((0.5, 0.5)) == pytest.approx(3.0)
+        assert or_ht_variance((1.0, 1.0)) == 0.0
+
+    def test_or_l_zero_data(self):
+        assert or_l_variance(0.5, 0.5, (0, 0)) == 0.0
+
+    def test_or_l_symmetric_under_swap(self):
+        assert or_l_variance(0.3, 0.7, (1, 0)) == pytest.approx(
+            or_l_variance(0.7, 0.3, (0, 1))
+        )
+
+    def test_or_l_less_than_ht(self):
+        for p in (0.1, 0.4, 0.8):
+            assert or_l_variance(p, p, (1, 1)) <= or_ht_variance((p, p))
+            assert or_l_variance(p, p, (1, 0)) <= or_ht_variance((p, p)) + 1e-12
+
+    def test_or_u_matches_paper_minimum_on_disjoint_data(self):
+        # OR^(U) achieves the minimum possible variance 1/p - 1 on (1, 0)
+        # when p1 + p2 >= 1.
+        p = 0.5
+        assert or_u_variance(p, p, (1, 0)) == pytest.approx(1.0 / p - 1.0)
+
+    def test_or_l_invalid_data(self):
+        with pytest.raises(ValueError):
+            or_l_variance(0.5, 0.5, (2, 0))
+
+
+class TestFigure1ClosedForms:
+    def test_values_at_extremes(self):
+        assert figure1_max_ht_variance(1.0, 0.0) == pytest.approx(3.0)
+        assert figure1_max_l_variance(1.0, 1.0) == pytest.approx(1.0 / 3.0)
+        assert figure1_max_l_variance(1.0, 0.0) == pytest.approx(11.0 / 9.0)
+        assert figure1_max_u_variance(1.0, 0.0) == pytest.approx(1.0)
+        assert figure1_max_u_variance(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_l_and_u_below_ht_everywhere(self):
+        for ratio in (0.0, 0.25, 0.5, 0.75, 1.0):
+            ht = figure1_max_ht_variance(1.0, ratio)
+            assert figure1_max_l_variance(1.0, ratio) <= ht
+            assert figure1_max_u_variance(1.0, ratio) <= ht
+
+    def test_symmetry(self):
+        assert figure1_max_l_variance(2.0, 5.0) == pytest.approx(
+            figure1_max_l_variance(5.0, 2.0)
+        )
+        assert figure1_max_u_variance(2.0, 5.0) == pytest.approx(
+            figure1_max_u_variance(5.0, 2.0)
+        )

@@ -1,0 +1,59 @@
+"""Tests for the Figure 5 worked example data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.example_data import (
+    FIGURE5_DATASET,
+    FIGURE5_SEEDS_INDEPENDENT,
+    FIGURE5_SEEDS_SHARED,
+    figure5_dataset,
+)
+
+
+class TestFigure5Data:
+    def test_dimensions(self):
+        assert FIGURE5_DATASET.n_instances == 3
+        assert FIGURE5_DATASET.active_keys() == {1, 2, 3, 4, 5, 6}
+
+    def test_values_match_paper(self):
+        assert FIGURE5_DATASET.value(1, 1) == 15
+        assert FIGURE5_DATASET.value(2, 4) == 20
+        assert FIGURE5_DATASET.value(3, 4) == 0
+        assert FIGURE5_DATASET.value(1, 2) == 0
+
+    def test_function_rows_match_paper(self):
+        # Figure 5 (A) lists max/min/RG per key; spot-check several.
+        data = FIGURE5_DATASET
+        assert data.value_vector(1, [1, 2]) == (15, 20)
+        assert max(data.value_vector(1, [1, 2])) == 20
+        assert min(data.value_vector(2, [1, 2])) == 0
+        assert max(data.value_vector(5, [1, 2, 3])) == 15
+        rg4 = max(data.value_vector(4)) - min(data.value_vector(4))
+        assert rg4 == 20
+
+    def test_max_dominance_of_example(self):
+        # Row "max(v1, v2)" of Figure 5: 20 + 10 + 12 + 20 + 10 + 10 = 82.
+        assert FIGURE5_DATASET.max_dominance([1, 2]) == pytest.approx(82.0)
+
+    def test_example_aggregates_from_paper_text(self):
+        # "The max dominance norm over even keys and instances {1,2} is 40."
+        assert FIGURE5_DATASET.max_dominance(
+            [1, 2], predicate=lambda key: key % 2 == 0
+        ) == pytest.approx(40.0)
+        # "The L1 distance between instances {2,3} over keys {1,2,3} is 18."
+        assert FIGURE5_DATASET.l1_distance(
+            [2, 3], predicate=lambda key: key in {1, 2, 3}
+        ) == pytest.approx(18.0)
+
+    def test_seed_tables_complete(self):
+        assert set(FIGURE5_SEEDS_SHARED) == {1, 2, 3, 4, 5, 6}
+        assert set(FIGURE5_SEEDS_INDEPENDENT) == {1, 2, 3}
+        for seeds in FIGURE5_SEEDS_INDEPENDENT.values():
+            assert set(seeds) == {1, 2, 3, 4, 5, 6}
+
+    def test_fresh_copy(self):
+        assert figure5_dataset() is not FIGURE5_DATASET
+        assert figure5_dataset().max_dominance([1, 2]) == \
+            FIGURE5_DATASET.max_dominance([1, 2])

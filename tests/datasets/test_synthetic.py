@@ -1,0 +1,100 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    correlated_instance_pair,
+    sensor_measurements,
+    set_pair_with_jaccard,
+    zipf_traffic_pair,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestZipfTraffic:
+    def test_matches_requested_statistics(self):
+        dataset = zipf_traffic_pair(
+            n_keys_per_instance=2000, n_common_keys=1200,
+            total_flows=5e4, rng=0,
+        )
+        assert len(dataset.instance("hour1")) == 2000
+        assert len(dataset.instance("hour2")) == 2000
+        assert dataset.distinct_count() == 2 * 2000 - 1200
+        total1 = sum(dataset.instance("hour1").values())
+        assert total1 == pytest.approx(5e4, rel=0.05)
+
+    def test_values_are_positive_integers(self):
+        dataset = zipf_traffic_pair(n_keys_per_instance=500,
+                                    n_common_keys=200, total_flows=1e4, rng=1)
+        for value in dataset.instance("hour1").values():
+            assert value >= 1.0
+            assert value == int(value)
+
+    def test_heavy_tail(self):
+        dataset = zipf_traffic_pair(n_keys_per_instance=2000,
+                                    n_common_keys=1000, total_flows=1e5, rng=2)
+        values = sorted(dataset.instance("hour1").values(), reverse=True)
+        top_share = sum(values[:20]) / sum(values)
+        assert top_share > 0.1
+
+    def test_default_common_keys_match_paper_distinct_count(self):
+        dataset = zipf_traffic_pair(rng=3)
+        assert dataset.distinct_count() == 38_000
+
+    def test_invalid_overlap(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_traffic_pair(n_keys_per_instance=100, n_common_keys=200)
+
+    def test_reproducible(self):
+        a = zipf_traffic_pair(n_keys_per_instance=300, n_common_keys=100,
+                              total_flows=1e4, rng=7)
+        b = zipf_traffic_pair(n_keys_per_instance=300, n_common_keys=100,
+                              total_flows=1e4, rng=7)
+        assert a.instance("hour1") == b.instance("hour1")
+
+
+class TestSetPairs:
+    @pytest.mark.parametrize("jaccard", [0.0, 0.3, 0.5, 0.9, 1.0])
+    def test_target_jaccard(self, jaccard):
+        set1, set2 = set_pair_with_jaccard(5000, jaccard)
+        assert len(set1) == len(set2) == 5000
+        achieved = len(set1 & set2) / len(set1 | set2)
+        assert achieved == pytest.approx(jaccard, abs=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            set_pair_with_jaccard(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            set_pair_with_jaccard(10, 1.5)
+
+
+class TestCorrelatedPair:
+    def test_shapes_and_positivity(self):
+        dataset = correlated_instance_pair(n_keys=200, rng=0)
+        assert dataset.n_instances == 2
+        for label in ("a", "b"):
+            for value in dataset.instance(label).values():
+                assert value > 0.0
+
+    def test_sparsity_removes_keys(self):
+        dataset = correlated_instance_pair(n_keys=1000, sparsity=0.3, rng=1)
+        assert len(dataset.instance("a")) < 1000
+
+    def test_invalid_correlation(self):
+        with pytest.raises(InvalidParameterError):
+            correlated_instance_pair(correlation=1.5)
+
+
+class TestSensorMeasurements:
+    def test_instances_and_keys(self):
+        dataset = sensor_measurements(n_sensors=50, n_periods=3, rng=0)
+        assert dataset.n_instances == 3
+        assert len(dataset.active_keys()) <= 50
+
+    def test_values_positive(self):
+        dataset = sensor_measurements(n_sensors=30, n_periods=2, rng=1)
+        for label in dataset.instance_labels:
+            for value in dataset.instance(label).values():
+                assert value > 0.0

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the core estimators.
+
+The invariants checked here are the ones the paper's constructions
+guarantee for *every* data vector and sampling configuration:
+
+* exact unbiasedness (via enumeration of the outcome space);
+* nonnegativity of every outcome estimate;
+* dominance of the partial-information estimators over Horvitz-Thompson;
+* consistency between closed forms and the generic derivation engine.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.max_oblivious import (
+    MaxObliviousHT,
+    MaxObliviousL,
+    MaxObliviousU,
+)
+from repro.core.max_weighted import MaxPpsL
+from repro.core.or_estimators import OrObliviousL, OrObliviousU
+from repro.core.variance import exact_moments, exact_variance
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+probabilities = st.floats(min_value=0.05, max_value=1.0)
+values = st.floats(min_value=0.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+positive_values = st.floats(min_value=0.01, max_value=100.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=probabilities, p2=probabilities, v1=values, v2=values)
+def test_max_l_unbiased_r2(p1, p2, v1, v2):
+    scheme = ObliviousPoissonScheme((p1, p2))
+    estimator = MaxObliviousL((p1, p2))
+    mean, _ = exact_moments(estimator, scheme, (v1, v2))
+    assert abs(mean - max(v1, v2)) <= 1e-8 * max(1.0, max(v1, v2))
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=probabilities, p2=probabilities, v1=values, v2=values)
+def test_max_u_unbiased_r2(p1, p2, v1, v2):
+    scheme = ObliviousPoissonScheme((p1, p2))
+    estimator = MaxObliviousU((p1, p2))
+    mean, _ = exact_moments(estimator, scheme, (v1, v2))
+    assert abs(mean - max(v1, v2)) <= 1e-8 * max(1.0, max(v1, v2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=probabilities, v1=values, v2=values, v3=values)
+def test_max_l_unbiased_r3_uniform(p, v1, v2, v3):
+    scheme = ObliviousPoissonScheme((p, p, p))
+    estimator = MaxObliviousL((p, p, p))
+    data = (v1, v2, v3)
+    mean, _ = exact_moments(estimator, scheme, data)
+    assert abs(mean - max(data)) <= 1e-7 * max(1.0, max(data))
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=probabilities, p2=probabilities, v1=values, v2=values)
+def test_l_and_u_estimates_nonnegative(p1, p2, v1, v2):
+    scheme = ObliviousPoissonScheme((p1, p2))
+    for estimator in (MaxObliviousL((p1, p2)), MaxObliviousU((p1, p2))):
+        for outcome, _ in scheme.iter_outcomes((v1, v2)):
+            assert estimator.estimate(outcome) >= -1e-10
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=probabilities, p2=probabilities, v1=values, v2=values)
+def test_l_and_u_dominate_ht(p1, p2, v1, v2):
+    scheme = ObliviousPoissonScheme((p1, p2))
+    data = (v1, v2)
+    ht_variance = exact_variance(MaxObliviousHT((p1, p2)), scheme, data)
+    for estimator in (MaxObliviousL((p1, p2)), MaxObliviousU((p1, p2))):
+        assert exact_variance(estimator, scheme, data) <= ht_variance + 1e-7
+
+
+@settings(max_examples=60, deadline=None)
+@given(p1=probabilities, p2=probabilities,
+       b1=st.booleans(), b2=st.booleans())
+def test_or_estimators_unbiased_binary(p1, p2, b1, b2):
+    data = (float(b1), float(b2))
+    scheme = ObliviousPoissonScheme((p1, p2))
+    expected = 1.0 if (b1 or b2) else 0.0
+    for estimator in (OrObliviousL((p1, p2)), OrObliviousU((p1, p2))):
+        mean, _ = exact_moments(estimator, scheme, data)
+        assert abs(mean - expected) <= 1e-9
+
+
+# Value fractions are either exactly zero or bounded away from the
+# denormal-float range, where intermediate terms of the closed form
+# overflow.
+value_fractions = st.one_of(
+    st.just(0.0), st.floats(min_value=1e-6, max_value=1.3)
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tau1=st.floats(min_value=0.5, max_value=50.0),
+    tau2=st.floats(min_value=0.5, max_value=50.0),
+    f1=value_fractions,
+    f2=value_fractions,
+)
+def test_pps_max_l_unbiased(tau1, tau2, f1, f2):
+    estimator = MaxPpsL((tau1, tau2))
+    data = (f1 * tau1, f2 * tau2)
+    mean, _ = estimator.moments(data, grid_size=1201)
+    assert abs(mean - max(data)) <= 3e-3 * max(1.0, max(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tau1=st.floats(min_value=0.5, max_value=50.0),
+    tau2=st.floats(min_value=0.5, max_value=50.0),
+    a_fraction=st.floats(min_value=0.01, max_value=1.5),
+    b_fraction=st.floats(min_value=0.001, max_value=1.0),
+)
+def test_pps_max_l_closed_form_monotone_in_smaller_entry(
+    tau1, tau2, a_fraction, b_fraction
+):
+    # For a fixed larger entry, the Figure 3 estimate is nonincreasing in
+    # the smaller entry of the determining vector (more mass below the
+    # maximum means lower estimates are needed on other outcomes, so the
+    # conditional estimate decreases towards the case of equal entries).
+    estimator = MaxPpsL((tau1, tau2))
+    larger = a_fraction * max(tau1, tau2)
+    smaller_high = larger * max(b_fraction, 1e-3)
+    smaller_low = smaller_high / 2.0
+    high = estimator.estimate_from_determining(larger, smaller_high)
+    low = estimator.estimate_from_determining(larger, smaller_low)
+    assert low >= high - 1e-6 * max(1.0, high)

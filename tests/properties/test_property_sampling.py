@@ -1,0 +1,106 @@
+"""Property-based tests for the sampling substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coefficients import uniform_max_l_coefficients
+from repro.sampling.bottomk import bottom_k_sample
+from repro.sampling.ranks import ExpRanks, PpsRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.sampling.varopt import varopt_sample, varopt_threshold
+
+value_dicts = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=10_000),
+    values=st.floats(min_value=0.0, max_value=1000.0),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=value_dicts, k=st.integers(min_value=1, max_value=20),
+       salt=st.integers(min_value=0, max_value=1000))
+def test_bottom_k_size_and_threshold(values, k, salt):
+    sample = bottom_k_sample(values, k, seed_assigner=SeedAssigner(salt=salt))
+    positive = sum(1 for v in values.values() if v > 0)
+    assert len(sample) == min(k, positive)
+    for rank in sample.ranks.values():
+        assert rank < sample.threshold or sample.threshold == float("inf")
+    for key in sample.keys:
+        assert values[key] > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=value_dicts, k=st.integers(min_value=1, max_value=20),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_varopt_size_and_weights(values, k, seed):
+    sample = varopt_sample(values, k, rng=seed)
+    positive = sum(1 for v in values.values() if v > 0)
+    assert len(sample) == min(k, positive)
+    for key, weight in sample.adjusted_weights.items():
+        assert weight >= values[key] - 1e-9 or weight >= sample.threshold - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=50),
+    k=st.integers(min_value=1, max_value=30),
+)
+def test_varopt_threshold_expected_size(values, k):
+    array = np.asarray(values)
+    positive = array[array > 0]
+    tau = varopt_threshold(array, k)
+    if positive.size <= k:
+        assert tau == 0.0
+    else:
+        size = float(np.sum(np.minimum(1.0, positive / tau)))
+        assert abs(size - k) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    w=st.floats(min_value=0.01, max_value=1000.0),
+    u=st.floats(min_value=0.001, max_value=0.999),
+    x=st.floats(min_value=0.0001, max_value=100.0),
+)
+def test_rank_families_consistent(w, u, x):
+    for family in (PpsRanks(), ExpRanks()):
+        rank = float(family.rank(w, u))
+        # Rank is the u-quantile of the family: CDF(rank) == u.
+        cdf = float(family.cdf(w, rank))
+        assert abs(cdf - u) < 1e-9
+        # CDF is nondecreasing.
+        assert float(family.cdf(w, x)) <= float(family.cdf(w, x * 2)) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                     max_size=50, unique=True),
+       salt=st.integers(min_value=0, max_value=10**6))
+def test_seed_assigner_deterministic_and_bounded(keys, salt):
+    assigner = SeedAssigner(salt=salt)
+    first = assigner.seeds(keys, instance="x")
+    second = assigner.seeds(keys, instance="x")
+    assert np.array_equal(first, second)
+    assert np.all(first > 0.0)
+    assert np.all(first < 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(r=st.integers(min_value=2, max_value=7),
+       p=st.floats(min_value=0.05, max_value=1.0))
+def test_uniform_coefficients_invariants(r, p):
+    alphas = uniform_max_l_coefficients(r, p)
+    assert alphas.shape == (r,)
+    # Prefix sums are positive (estimates of nonnegative data vectors stay
+    # nonnegative) and the total equals the OR normaliser A_r.
+    prefix = np.cumsum(alphas)
+    # The coefficients alternate hugely in magnitude for small p, so the
+    # comparison tolerance must scale with the largest coefficient.
+    tolerance = 1e-9 * float(np.abs(alphas).max()) * r + 1e-9
+    assert np.all(prefix > -tolerance)
+    assert abs(prefix[-1] - 1.0 / (1.0 - (1.0 - p) ** r)) < tolerance

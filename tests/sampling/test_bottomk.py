@@ -1,0 +1,87 @@
+"""Tests for bottom-k / priority sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.bottomk import bottom_k_sample, priority_sample
+from repro.sampling.ranks import ExpRanks, PpsRanks
+from repro.sampling.seeds import SeedAssigner
+
+VALUES = {f"k{i}": float((i % 7) + 1) for i in range(60)}
+
+
+class TestBottomK:
+    def test_sample_size(self):
+        sample = bottom_k_sample(VALUES, k=10, rng=0)
+        assert len(sample) == 10
+
+    def test_threshold_is_k_plus_first_rank(self):
+        sample = bottom_k_sample(VALUES, k=10, rng=1)
+        assert all(rank < sample.threshold for rank in sample.ranks.values())
+
+    def test_zero_values_never_sampled(self):
+        values = dict(VALUES)
+        values["zero"] = 0.0
+        for seed in range(5):
+            sample = bottom_k_sample(values, k=10, rng=seed)
+            assert "zero" not in sample
+
+    def test_fewer_positive_keys_than_k(self):
+        sample = bottom_k_sample({"a": 1.0, "b": 2.0}, k=10, rng=0)
+        assert sample.keys == {"a", "b"}
+        assert np.isinf(sample.threshold)
+        assert sample.conditional_inclusion_probability("a") == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            bottom_k_sample(VALUES, k=0)
+
+    def test_known_seeds_reproducible(self):
+        seeds = SeedAssigner(salt=8)
+        a = bottom_k_sample(VALUES, k=10, seed_assigner=seeds, instance=1)
+        b = bottom_k_sample(VALUES, k=10, seed_assigner=seeds, instance=1)
+        assert a.keys == b.keys
+
+    def test_rank_conditioning_total_unbiased_exp_ranks(self, rng):
+        total = sum(VALUES.values())
+        estimates = [
+            bottom_k_sample(
+                VALUES, k=15, rank_family=ExpRanks(), rng=rng
+            ).rank_conditioning_total()
+            for _ in range(600)
+        ]
+        assert np.mean(estimates) == pytest.approx(total, rel=0.05)
+
+    def test_conditional_probability_requires_sampled_key(self):
+        sample = bottom_k_sample(VALUES, k=5, rng=2)
+        missing = next(key for key in VALUES if key not in sample)
+        with pytest.raises(InvalidParameterError):
+            sample.conditional_inclusion_probability(missing)
+
+
+class TestPrioritySampling:
+    def test_uses_pps_ranks(self):
+        sample = priority_sample(VALUES, k=10, rng=0)
+        assert isinstance(sample.rank_family, PpsRanks)
+
+    def test_priority_total_unbiased(self, rng):
+        total = sum(VALUES.values())
+        estimates = [
+            priority_sample(VALUES, k=15, rng=rng).priority_total()
+            for _ in range(600)
+        ]
+        assert np.mean(estimates) == pytest.approx(total, rel=0.05)
+
+    def test_priority_total_rejected_for_exp_ranks(self):
+        sample = bottom_k_sample(VALUES, k=5, rank_family=ExpRanks(), rng=0)
+        with pytest.raises(InvalidParameterError):
+            sample.priority_total()
+
+    def test_subset_predicate(self):
+        sample = priority_sample(VALUES, k=len(VALUES), rng=3)
+        total = sample.priority_total(predicate=lambda key: key.endswith("1"))
+        expected = sum(v for k, v in VALUES.items() if k.endswith("1"))
+        assert total == pytest.approx(expected)

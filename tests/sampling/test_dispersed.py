@@ -1,0 +1,90 @@
+"""Tests for the dispersed-vector sampling schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+
+
+class TestObliviousPoissonScheme:
+    def test_enumeration_probabilities_sum_to_one(self, skewed_scheme):
+        total = sum(p for _, p in skewed_scheme.iter_outcomes((3.0, 1.0)))
+        assert total == pytest.approx(1.0)
+
+    def test_enumeration_has_all_subsets(self, half_scheme):
+        outcomes = list(half_scheme.iter_outcomes((1.0, 2.0)))
+        sampled_sets = {o.sampled for o, _ in outcomes}
+        assert sampled_sets == {
+            frozenset(), frozenset({0}), frozenset({1}), frozenset({0, 1})
+        }
+
+    def test_outcome_probability_consistent_with_enumeration(self, skewed_scheme):
+        values = (4.0, 0.0)
+        for outcome, probability in skewed_scheme.iter_outcomes(values):
+            assert skewed_scheme.outcome_probability(outcome, values) == \
+                pytest.approx(probability)
+
+    def test_sample_respects_explicit_seeds(self, skewed_scheme):
+        outcome = skewed_scheme.sample((2.0, 3.0), seeds=(0.29, 0.71))
+        assert outcome.sampled == frozenset({0})
+
+    def test_sample_many_frequencies(self, skewed_scheme, rng):
+        mask = skewed_scheme.sample_many((1.0, 1.0), 50_000, rng=rng)
+        frequencies = mask.mean(axis=0)
+        assert frequencies[0] == pytest.approx(0.3, abs=0.01)
+        assert frequencies[1] == pytest.approx(0.7, abs=0.01)
+
+    def test_dimension_mismatch(self, half_scheme):
+        with pytest.raises(InvalidParameterError):
+            half_scheme.sample((1.0, 2.0, 3.0), rng=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            ObliviousPoissonScheme((0.5, 1.5))
+
+    def test_inclusion_probability(self, skewed_scheme):
+        assert skewed_scheme.inclusion_probability(1) == 0.7
+
+
+class TestPpsPoissonScheme:
+    def test_inclusion_probability(self, pps_scheme):
+        assert pps_scheme.inclusion_probability(0, 5.0) == pytest.approx(0.5)
+        assert pps_scheme.inclusion_probability(0, 25.0) == 1.0
+
+    def test_zero_value_never_sampled(self, pps_scheme, rng):
+        for _ in range(50):
+            outcome = pps_scheme.sample((0.0, 8.0), rng=rng)
+            assert 0 not in outcome.sampled
+
+    def test_known_seeds_in_outcome(self, pps_scheme):
+        outcome = pps_scheme.sample((5.0, 3.0), rng=0)
+        assert outcome.knows_seeds
+        assert set(outcome.seeds) == {0, 1}
+
+    def test_unknown_seed_mode(self):
+        scheme = PpsPoissonScheme((10.0, 10.0), known_seeds=False)
+        outcome = scheme.sample((5.0, 3.0), rng=0)
+        assert not outcome.knows_seeds
+
+    def test_explicit_seeds_deterministic(self, pps_scheme):
+        outcome = pps_scheme.sample((5.0, 3.0), seeds=(0.49, 0.31))
+        assert outcome.sampled == frozenset({0})
+        outcome = pps_scheme.sample((5.0, 3.0), seeds=(0.51, 0.29))
+        assert outcome.sampled == frozenset({1})
+
+    def test_sample_many_matches_marginals(self, pps_scheme, rng):
+        mask, _ = pps_scheme.sample_many((5.0, 2.0), 50_000, rng=rng)
+        frequencies = mask.mean(axis=0)
+        assert frequencies[0] == pytest.approx(0.5, abs=0.01)
+        assert frequencies[1] == pytest.approx(0.2, abs=0.01)
+
+    def test_negative_values_rejected(self, pps_scheme):
+        with pytest.raises(InvalidParameterError):
+            pps_scheme.sample((-1.0, 2.0), rng=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            PpsPoissonScheme((0.0, 1.0))

@@ -1,0 +1,75 @@
+"""Tests for the VectorOutcome container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidOutcomeError
+from repro.sampling.outcomes import VectorOutcome
+
+
+class TestVectorOutcome:
+    def test_from_vector(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0, 1.0), {0, 2})
+        assert outcome.r == 3
+        assert outcome.sampled == frozenset({0, 2})
+        assert outcome.values == {0: 3.0, 2: 1.0}
+        assert not outcome.knows_seeds
+
+    def test_empty_and_full(self):
+        empty = VectorOutcome.from_vector((1.0, 2.0), set())
+        full = VectorOutcome.from_vector((1.0, 2.0), {0, 1})
+        assert empty.is_empty and not empty.is_full
+        assert full.is_full and not full.is_empty
+
+    def test_max_sampled(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0), {0})
+        assert outcome.max_sampled() == 3.0
+        assert VectorOutcome.from_vector((3.0, 5.0), set()).max_sampled() == 0.0
+
+    def test_sampled_values_sorted_by_index(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0, 1.0), {2, 0})
+        assert outcome.sampled_values() == [3.0, 1.0]
+
+    def test_value_or_none(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0), {1})
+        assert outcome.value_or_none(1) == 5.0
+        assert outcome.value_or_none(0) is None
+
+    def test_seeds_from_list(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0), {0}, seeds=[0.1, 0.9])
+        assert outcome.knows_seeds
+        assert outcome.seed_of(1) == 0.9
+
+    def test_seed_of_without_seeds_raises(self):
+        outcome = VectorOutcome.from_vector((3.0, 5.0), {0})
+        with pytest.raises(InvalidOutcomeError):
+            outcome.seed_of(0)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(InvalidOutcomeError):
+            VectorOutcome(r=0, sampled=frozenset())
+
+    def test_sampled_index_out_of_range(self):
+        with pytest.raises(InvalidOutcomeError):
+            VectorOutcome(r=2, sampled=frozenset({5}), values={5: 1.0})
+
+    def test_sampled_index_without_value(self):
+        with pytest.raises(InvalidOutcomeError):
+            VectorOutcome(r=2, sampled=frozenset({0}), values={})
+
+    def test_value_for_unsampled_index(self):
+        with pytest.raises(InvalidOutcomeError):
+            VectorOutcome(r=2, sampled=frozenset({0}),
+                          values={0: 1.0, 1: 2.0})
+
+    def test_partial_seed_dictionary_rejected(self):
+        with pytest.raises(InvalidOutcomeError):
+            VectorOutcome(
+                r=2, sampled=frozenset({0}), values={0: 1.0}, seeds={0: 0.5}
+            )
+
+    def test_hashable_frozen(self):
+        outcome = VectorOutcome.from_vector((1.0, 2.0), {0})
+        with pytest.raises(AttributeError):
+            outcome.r = 5

@@ -1,0 +1,114 @@
+"""Tests for single-instance Poisson sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.poisson import (
+    poisson_pps_sample,
+    poisson_uniform_sample,
+    poisson_weighted_sample,
+)
+from repro.sampling.ranks import ExpRanks
+from repro.sampling.seeds import SeedAssigner
+
+VALUES = {f"key{i}": float(i) for i in range(1, 51)}
+
+
+class TestUniformPoisson:
+    def test_known_seeds_deterministic(self):
+        seeds = SeedAssigner(salt=4)
+        a = poisson_uniform_sample(VALUES, 0.5, seed_assigner=seeds, instance=1)
+        b = poisson_uniform_sample(VALUES, 0.5, seed_assigner=seeds, instance=1)
+        assert a.entries == b.entries
+
+    def test_inclusion_probability_recorded(self):
+        sample = poisson_uniform_sample(VALUES, 0.3, rng=0)
+        for probability in sample.inclusion_probabilities.values():
+            assert probability == 0.3
+
+    def test_sample_size_concentrates(self):
+        seeds = SeedAssigner(salt=10)
+        values = {i: 1.0 for i in range(5000)}
+        sample = poisson_uniform_sample(values, 0.2, seed_assigner=seeds)
+        assert 800 <= len(sample) <= 1200
+
+    def test_ht_total_unbiased(self, rng):
+        total = sum(VALUES.values())
+        estimates = []
+        for _ in range(400):
+            sample = poisson_uniform_sample(VALUES, 0.4, rng=rng)
+            estimates.append(sample.horvitz_thompson_total())
+        assert np.mean(estimates) == pytest.approx(total, rel=0.05)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_uniform_sample(VALUES, 0.0)
+
+    def test_seed_of_requires_known_seeds(self):
+        sample = poisson_uniform_sample(VALUES, 0.3, rng=1)
+        with pytest.raises(InvalidParameterError):
+            sample.seed_of("key1")
+
+    def test_predicate_subset_sum(self):
+        seeds = SeedAssigner(salt=2)
+        sample = poisson_uniform_sample(VALUES, 1.0, seed_assigner=seeds)
+        even_total = sample.horvitz_thompson_total(
+            predicate=lambda key: int(key[3:]) % 2 == 0
+        )
+        assert even_total == pytest.approx(
+            sum(v for k, v in VALUES.items() if int(k[3:]) % 2 == 0)
+        )
+
+
+class TestWeightedPoisson:
+    def test_zero_values_never_sampled(self):
+        values = {"a": 0.0, "b": 5.0}
+        sample = poisson_pps_sample(values, threshold=10.0, rng=0)
+        assert "a" not in sample
+
+    def test_pps_inclusion_probability(self):
+        sample = poisson_pps_sample(VALUES, threshold=0.01, rng=0)
+        for key, probability in sample.inclusion_probabilities.items():
+            assert probability == pytest.approx(min(1.0, VALUES[key] * 0.01))
+
+    def test_expected_size_parameter(self):
+        seeds = SeedAssigner(salt=123)
+        sample = poisson_pps_sample(
+            VALUES, expected_size=10, seed_assigner=seeds
+        )
+        # Expected size 10; allow generous slack for a single draw.
+        assert 3 <= len(sample) <= 20
+
+    def test_requires_exactly_one_size_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_pps_sample(VALUES)
+        with pytest.raises(InvalidParameterError):
+            poisson_pps_sample(VALUES, threshold=0.1, expected_size=5)
+
+    def test_ht_total_unbiased(self, rng):
+        total = sum(VALUES.values())
+        estimates = []
+        for _ in range(400):
+            sample = poisson_pps_sample(VALUES, threshold=0.02, rng=rng)
+            estimates.append(sample.horvitz_thompson_total())
+        assert np.mean(estimates) == pytest.approx(total, rel=0.05)
+
+    def test_exp_ranks_weighted_sampling(self, rng):
+        sample = poisson_weighted_sample(
+            VALUES, rank_family=ExpRanks(), threshold=0.05, rng=rng
+        )
+        for key, probability in sample.inclusion_probabilities.items():
+            expected = 1.0 - np.exp(-VALUES[key] * 0.05)
+            assert probability == pytest.approx(expected)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_pps_sample({"a": -1.0}, threshold=1.0)
+
+    def test_inclusion_probability_of_unsampled_value(self):
+        sample = poisson_pps_sample(VALUES, threshold=0.01, rng=3)
+        assert sample.inclusion_probability_of("anything", 25.0) == \
+            pytest.approx(0.25)

@@ -1,0 +1,96 @@
+"""Tests for the PPS and exponential rank families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.ranks import (
+    ExpRanks,
+    PpsRanks,
+    poisson_threshold_for_expected_size,
+)
+
+
+class TestPpsRanks:
+    def test_rank_is_seed_over_value(self):
+        ranks = PpsRanks()
+        assert ranks.rank(4.0, 0.2) == pytest.approx(0.05)
+
+    def test_zero_value_gets_infinite_rank(self):
+        ranks = PpsRanks()
+        assert np.isinf(ranks.rank(0.0, 0.3))
+
+    def test_cdf_is_clipped_probability(self):
+        ranks = PpsRanks()
+        assert ranks.cdf(2.0, 0.25) == pytest.approx(0.5)
+        assert ranks.cdf(2.0, 3.0) == pytest.approx(1.0)
+        assert ranks.cdf(2.0, 0.0) == pytest.approx(0.0)
+
+    def test_inclusion_probability_proportional_to_size(self):
+        ranks = PpsRanks()
+        tau = 0.01
+        assert ranks.inclusion_probability(30.0, tau) == pytest.approx(0.3)
+        assert ranks.inclusion_probability(60.0, tau) == pytest.approx(0.6)
+
+    def test_inverse_cdf_round_trip(self):
+        ranks = PpsRanks()
+        value, quantile = 5.0, 0.4
+        x = ranks.inverse_cdf(value, quantile)
+        assert ranks.cdf(value, x) == pytest.approx(quantile)
+
+    def test_vectorised(self):
+        ranks = PpsRanks()
+        values = np.array([1.0, 2.0, 0.0])
+        seeds = np.array([0.5, 0.5, 0.5])
+        result = ranks.rank(values, seeds)
+        assert result[0] == pytest.approx(0.5)
+        assert result[1] == pytest.approx(0.25)
+        assert np.isinf(result[2])
+
+
+class TestExpRanks:
+    def test_rank_matches_inverse_cdf(self):
+        ranks = ExpRanks()
+        assert ranks.rank(2.0, 0.5) == pytest.approx(-np.log(0.5) / 2.0)
+
+    def test_cdf(self):
+        ranks = ExpRanks()
+        assert ranks.cdf(2.0, 1.0) == pytest.approx(1.0 - np.exp(-2.0))
+        assert ranks.cdf(0.0, 1.0) == pytest.approx(0.0)
+
+    def test_zero_value_never_sampled(self):
+        ranks = ExpRanks()
+        assert np.isinf(ranks.rank(0.0, 0.9))
+
+    def test_min_rank_distribution_is_exponential_in_total(self, rng):
+        # The minimum of EXP[w_i] ranks is EXP[sum w_i]; check the mean.
+        ranks = ExpRanks()
+        weights = np.array([1.0, 2.0, 3.0])
+        n_trials = 20_000
+        minima = np.empty(n_trials)
+        for i in range(n_trials):
+            seeds = rng.random(3)
+            minima[i] = np.min(ranks.rank(weights, seeds))
+        assert float(np.mean(minima)) == pytest.approx(1.0 / 6.0, rel=0.05)
+
+
+class TestThresholdSolver:
+    def test_expected_size_matches(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+        for family in (PpsRanks(), ExpRanks()):
+            tau = poisson_threshold_for_expected_size(family, values, 2.5)
+            size = float(np.sum(family.cdf(values, tau)))
+            assert size == pytest.approx(2.5, abs=1e-6)
+
+    def test_zero_expected_size(self):
+        tau = poisson_threshold_for_expected_size(
+            PpsRanks(), np.array([1.0, 2.0]), 0.0
+        )
+        assert tau == 0.0
+
+    def test_full_sample_gives_infinite_threshold(self):
+        tau = poisson_threshold_for_expected_size(
+            PpsRanks(), np.array([1.0, 2.0]), 2.0
+        )
+        assert np.isinf(tau)

@@ -1,0 +1,75 @@
+"""Tests for VarOpt sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.varopt import varopt_sample, varopt_threshold
+
+
+VALUES = {f"k{i}": float(i % 11 + 1) for i in range(40)}
+
+
+class TestVarOptThreshold:
+    def test_threshold_zero_when_everything_fits(self):
+        assert varopt_threshold(np.array([1.0, 2.0, 3.0]), k=5) == 0.0
+
+    def test_threshold_satisfies_expected_size(self):
+        values = np.array([10.0, 8.0, 1.0, 1.0, 1.0, 1.0])
+        k = 3
+        tau = varopt_threshold(values, k)
+        expected = float(np.sum(np.minimum(1.0, values / tau)))
+        assert expected == pytest.approx(k, abs=1e-9)
+
+    def test_uniform_values(self):
+        values = np.ones(10)
+        tau = varopt_threshold(values, k=4)
+        assert float(np.sum(np.minimum(1.0, values / tau))) == pytest.approx(4)
+
+
+class TestVarOptSample:
+    def test_fixed_sample_size(self):
+        for seed in range(5):
+            sample = varopt_sample(VALUES, k=12, rng=seed)
+            assert len(sample) == 12
+
+    def test_all_kept_when_k_large(self):
+        sample = varopt_sample(VALUES, k=1000, rng=0)
+        assert len(sample) == len(VALUES)
+        assert sample.total() == pytest.approx(sum(VALUES.values()))
+
+    def test_adjusted_weights_at_least_threshold(self):
+        sample = varopt_sample(VALUES, k=10, rng=1)
+        for weight in sample.adjusted_weights.values():
+            assert weight >= sample.threshold - 1e-9
+
+    def test_total_estimate_approximately_unbiased(self, rng):
+        total = sum(VALUES.values())
+        estimates = [
+            varopt_sample(VALUES, k=12, rng=rng).total() for _ in range(800)
+        ]
+        assert np.mean(estimates) == pytest.approx(total, rel=0.05)
+
+    def test_zero_values_ignored(self):
+        values = dict(VALUES)
+        values["zero"] = 0.0
+        sample = varopt_sample(values, k=10, rng=2)
+        assert "zero" not in sample
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            varopt_sample(VALUES, k=0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            varopt_sample({"a": -3.0}, k=1)
+
+    def test_inclusion_probability_of(self):
+        sample = varopt_sample(VALUES, k=10, rng=3)
+        if sample.threshold > 0:
+            assert sample.inclusion_probability_of(
+                sample.threshold / 2.0
+            ) == pytest.approx(0.5)
+        assert sample.inclusion_probability_of(1e12) == 1.0

@@ -1,0 +1,49 @@
+"""Package-level tests: public exports and exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import repro.aggregates
+        import repro.analysis
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.sampling
+
+        for module in (repro.core, repro.sampling, repro.aggregates,
+                       repro.analysis, repro.datasets, repro.experiments):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(exceptions.EstimatorDerivationError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.UnsupportedConfigurationError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.InvalidOutcomeError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.InvalidParameterError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.InvalidParameterError, ValueError)
+
+    def test_invalid_parameter_is_catchable_as_value_error(self):
+        from repro._validation import check_probability
+
+        with pytest.raises(ValueError):
+            check_probability(2.0)

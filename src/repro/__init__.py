@@ -25,6 +25,15 @@ The package is organised as follows:
     Sum aggregates over an instances x keys data set: distinct count,
     max/min dominance norms and L1 distance.
 
+``repro.streaming``
+    The streaming coordinated-sketch engine: heap-backed bottom-k and
+    Poisson sketches maintained online over ``(instance, key, value)``
+    update streams, an associative/commutative merge algebra, a sharded
+    batch-ingestion :class:`~repro.streaming.StreamEngine`, and query
+    adapters that feed sketch output to the offline estimators unchanged.
+    For any fixed seed assignment the streaming sketches equal the offline
+    samples of the accumulated data exactly.
+
 ``repro.analysis``
     Variance analysis utilities: exact enumeration, Monte-Carlo simulation,
     and the sample-size planning math behind Figure 6.
@@ -64,8 +73,16 @@ from repro.core.order_based import DiscreteModel, OrderBasedDeriver
 from repro.core.partition_based import PartitionBasedDeriver
 from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
 from repro.sampling.outcomes import VectorOutcome
+from repro.sampling.ranks import ExpRanks, PpsRanks, UniformRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.streaming import (
+    StreamEngine,
+    StreamingBottomK,
+    StreamingPoisson,
+    merge_sketches,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "boolean_or",
@@ -94,5 +111,13 @@ __all__ = [
     "ObliviousPoissonScheme",
     "PpsPoissonScheme",
     "VectorOutcome",
+    "SeedAssigner",
+    "ExpRanks",
+    "PpsRanks",
+    "UniformRanks",
+    "StreamEngine",
+    "StreamingBottomK",
+    "StreamingPoisson",
+    "merge_sketches",
     "__version__",
 ]

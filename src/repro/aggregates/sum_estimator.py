@@ -44,7 +44,7 @@ class SumAggregateResult:
         """Relative error of the estimate (``inf`` when the truth is zero)."""
         if self.true_value == 0.0:
             return float("inf") if self.estimate != 0.0 else 0.0
-        return abs(self.estimate - self.true_value) / self.true_value
+        return abs(self.estimate - self.true_value) / abs(self.true_value)
 
 
 def sum_aggregate_oblivious(

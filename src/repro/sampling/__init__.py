@@ -24,14 +24,16 @@ from repro.sampling.poisson import (
     poisson_pps_sample,
     poisson_uniform_sample,
 )
-from repro.sampling.ranks import ExpRanks, PpsRanks
-from repro.sampling.seeds import SeedAssigner
+from repro.sampling.ranks import ExpRanks, PpsRanks, UniformRanks
+from repro.sampling.seeds import SeedAssigner, key_hashes
 from repro.sampling.varopt import VarOptSample, varopt_sample
 
 __all__ = [
     "SeedAssigner",
+    "key_hashes",
     "PpsRanks",
     "ExpRanks",
+    "UniformRanks",
     "PoissonSample",
     "poisson_pps_sample",
     "poisson_uniform_sample",

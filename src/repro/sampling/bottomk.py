@@ -137,7 +137,16 @@ def bottom_k_sample(
         generator = np.random.default_rng(rng)
         seeds = generator.random(len(keys))
     ranks = rank_family.rank(vals, seeds)
-    order = np.argsort(ranks, kind="stable")
+    # Only the k+1 smallest ranks matter (the sample plus the threshold), so
+    # select them in O(n) with argpartition and sort just that slice.  All
+    # finite ranks are below the infinite ones, hence always inside the
+    # selected slice when fewer than k+1 of them exist.
+    if ranks.size > k + 1:
+        candidates = np.argpartition(ranks, k)[: k + 1]
+        candidates.sort()
+    else:
+        candidates = np.arange(ranks.size)
+    order = candidates[np.argsort(ranks[candidates], kind="stable")]
     finite = [i for i in order if np.isfinite(ranks[i])]
     chosen = finite[:k]
     if len(finite) > k:

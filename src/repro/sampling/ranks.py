@@ -28,7 +28,7 @@ import numpy as np
 
 from repro._validation import check_nonnegative
 
-__all__ = ["RankFamily", "PpsRanks", "ExpRanks"]
+__all__ = ["RankFamily", "PpsRanks", "ExpRanks", "UniformRanks"]
 
 
 class RankFamily(ABC):
@@ -122,6 +122,34 @@ class ExpRanks(RankFamily):
         with np.errstate(divide="ignore"):
             raw = -np.log1p(-quantiles) / np.maximum(values, 1e-300)
         return np.where(values > 0.0, raw, np.inf)
+
+
+class UniformRanks(RankFamily):
+    """Weight-oblivious ranks: ``r = u`` regardless of the value.
+
+    A Poisson-``tau`` sample under these ranks keeps every active key with
+    probability ``tau``, i.e. it is the weight-oblivious Poisson sampling of
+    Section 3; bottom-k sampling becomes uniform sampling without
+    replacement.  Keys with value zero are inactive and receive rank
+    ``+inf``, matching the other families.
+    """
+
+    name = "uniform"
+
+    def rank(self, values, seeds):
+        values = np.asarray(values, dtype=float)
+        seeds = np.asarray(seeds, dtype=float)
+        return np.where(values > 0.0, seeds, np.inf)
+
+    def cdf(self, values, x):
+        values = np.asarray(values, dtype=float)
+        x = np.asarray(x, dtype=float)
+        return np.where(values > 0.0, np.clip(x, 0.0, 1.0), 0.0)
+
+    def inverse_cdf(self, values, quantiles):
+        values = np.asarray(values, dtype=float)
+        quantiles = np.asarray(quantiles, dtype=float)
+        return np.where(values > 0.0, quantiles, np.inf)
 
 
 def poisson_threshold_for_expected_size(

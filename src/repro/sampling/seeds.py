@@ -26,7 +26,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["SeedAssigner", "splitmix64", "uniform_from_uint64"]
+__all__ = ["SeedAssigner", "key_hashes", "splitmix64", "uniform_from_uint64"]
 
 _UINT64_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
 #: 2**-64 as a float; multiplying a uint64 by this maps it into [0, 1).
@@ -67,6 +67,29 @@ def _hash_label(label: object) -> int:
         return int(label) & 0xFFFFFFFFFFFFFFFF
     digest = hashlib.blake2b(repr(label).encode("utf-8"), digest_size=8)
     return int.from_bytes(digest.digest(), "little")
+
+
+def key_hashes(keys: Sequence[object]) -> np.ndarray:
+    """Hash a key column to well-mixed ``uint64`` values.
+
+    Nonnegative integer keys are hashed fully vectorised; other key types
+    (including negative integers, which cannot be cast to ``uint64``
+    directly) fall back to a per-key hash.  The result feeds both the seed
+    assignment (via :meth:`SeedAssigner.seeds_from_hashes`) and key sharding
+    in the streaming engine, so a key's shard and its seeds derive from one
+    hash pass.
+    """
+    keys = list(keys)
+    if keys and all(
+        isinstance(k, (int, np.integer))
+        and not isinstance(k, bool)
+        and k >= 0
+        for k in keys
+    ):
+        return splitmix64(np.asarray(keys, dtype=np.uint64))
+    return splitmix64(
+        np.array([_hash_label(k) for k in keys], dtype=np.uint64)
+    )
 
 
 class SeedAssigner:
@@ -122,18 +145,17 @@ class SeedAssigner:
         Integer keys are hashed fully vectorised; other key types fall back
         to a per-key hash.
         """
-        keys = list(keys)
-        if keys and all(
-            isinstance(k, (int, np.integer)) and not isinstance(k, bool)
-            for k in keys
-        ):
-            key_hashes = splitmix64(np.asarray(keys, dtype=np.uint64))
-        else:
-            key_hashes = np.array(
-                [_hash_label(k) for k in keys], dtype=np.uint64
-            )
-            key_hashes = splitmix64(key_hashes)
-        return uniform_from_uint64(self._mix(key_hashes, instance))
+        return self.seeds_from_hashes(key_hashes(list(keys)), instance)
+
+    def seeds_from_hashes(
+        self, hashes: np.ndarray, instance: object = 0
+    ) -> np.ndarray:
+        """Return uniform seeds from precomputed :func:`key_hashes`.
+
+        Lets callers that already hashed the key column (e.g. the streaming
+        engine, which shards by key hash) avoid hashing it a second time.
+        """
+        return uniform_from_uint64(self._mix(hashes, instance))
 
     def seed_map(
         self, keys: Sequence[object], instance: object = 0

@@ -1,0 +1,245 @@
+"""Sharded streaming ingestion of ``(instance, key, value)`` updates.
+
+:class:`StreamEngine` is the entry point of the streaming path.  It accepts
+batched NumPy columns of updates, routes each key to a shard by key hash
+(the same hash pass that derives the key's seeds), and drives one sketch
+per (instance, shard) pair with vectorised batch updates.  Because shards
+partition the key space, per-shard sketches merge exactly
+(:mod:`repro.streaming.merge`) into the sketch of the whole stream — the
+shard-and-reduce shape that later distribution work builds on.
+
+An optional executor (any object with a :meth:`map` method, e.g.
+``concurrent.futures.ThreadPoolExecutor``) runs the per-shard updates of a
+batch concurrently; by default they run inline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.ranks import RankFamily
+from repro.sampling.seeds import SeedAssigner, key_hashes
+from repro.streaming.merge import merge_sketches
+from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+
+__all__ = ["StreamEngine"]
+
+
+class StreamEngine:
+    """Shard-parallel ingestion engine over per-instance sketches.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Callable ``instance -> sketch`` building an empty sketch of the
+        instance; it is called once per (instance, shard).  All sketches of
+        one instance must be configured identically — use the convenience
+        constructors :meth:`bottom_k` and :meth:`poisson` for the common
+        cases.
+    n_shards:
+        Number of key-hash shards per instance.
+    executor:
+        Optional executor with a ``map(fn, iterable)`` method used to run
+        the per-shard work of a batch concurrently.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.sampling.seeds import SeedAssigner
+    >>> engine = StreamEngine.bottom_k(
+    ...     k=4, seed_assigner=SeedAssigner(salt=3, coordinated=True))
+    >>> engine.ingest("day1", np.arange(100), np.ones(100))
+    >>> len(engine.sample("day1"))
+    4
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[object], object],
+        n_shards: int = 8,
+        executor=None,
+    ) -> None:
+        if n_shards <= 0:
+            raise InvalidParameterError(
+                f"n_shards must be positive, got {n_shards}"
+            )
+        self._factory = sketch_factory
+        self.n_shards = int(n_shards)
+        self.executor = executor
+        self._shards: dict[object, list] = {}
+        self.n_updates = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def bottom_k(
+        cls,
+        k: int,
+        rank_family: RankFamily | None = None,
+        seed_assigner: SeedAssigner | None = None,
+        n_shards: int = 8,
+        executor=None,
+    ) -> "StreamEngine":
+        """Engine maintaining a :class:`StreamingBottomK` per instance."""
+        if seed_assigner is None:
+            seed_assigner = SeedAssigner()
+
+        def factory(instance: object) -> StreamingBottomK:
+            return StreamingBottomK(
+                k=k,
+                instance=instance,
+                rank_family=rank_family,
+                seed_assigner=seed_assigner,
+            )
+
+        return cls(factory, n_shards=n_shards, executor=executor)
+
+    @classmethod
+    def poisson(
+        cls,
+        threshold: float,
+        rank_family: RankFamily | None = None,
+        seed_assigner: SeedAssigner | None = None,
+        n_shards: int = 8,
+        executor=None,
+    ) -> "StreamEngine":
+        """Engine maintaining a :class:`StreamingPoisson` per instance."""
+        if seed_assigner is None:
+            seed_assigner = SeedAssigner()
+
+        def factory(instance: object) -> StreamingPoisson:
+            return StreamingPoisson(
+                threshold=threshold,
+                instance=instance,
+                rank_family=rank_family,
+                seed_assigner=seed_assigner,
+            )
+
+        return cls(factory, n_shards=n_shards, executor=executor)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _instance_shards(self, instance: object) -> list:
+        shards = self._shards.get(instance)
+        if shards is None:
+            shards = [self._factory(instance) for _ in range(self.n_shards)]
+            self._shards[instance] = shards
+        return shards
+
+    def ingest(self, instance: object, keys: Sequence[object], values) -> None:
+        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+
+        ``keys`` and ``values`` are parallel columns; integer key columns
+        are hashed fully vectorised.
+        """
+        keys = list(keys)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(keys),):
+            raise InvalidParameterError(
+                "keys and values must have matching length"
+            )
+        shards = self._instance_shards(instance)
+        hashes = key_hashes(keys)
+        self.n_updates += len(keys)
+        if self.n_shards == 1:
+            shards[0].update_batch(keys, values, hashes=hashes)
+            return
+        shard_ids = (hashes % np.uint64(self.n_shards)).astype(np.intp)
+        jobs = []
+        for shard in range(self.n_shards):
+            index = np.nonzero(shard_ids == shard)[0]
+            if index.size == 0:
+                continue
+            jobs.append(
+                (
+                    shards[shard],
+                    [keys[i] for i in index],
+                    values[index],
+                    hashes[index],
+                )
+            )
+
+        def run(job) -> None:
+            sketch, job_keys, job_values, job_hashes = job
+            sketch.update_batch(job_keys, job_values, hashes=job_hashes)
+
+        if self.executor is not None:
+            list(self.executor.map(run, jobs))
+        else:
+            for job in jobs:
+                run(job)
+
+    def ingest_updates(self, instances: Sequence[object], keys, values) -> None:
+        """Ingest a mixed batch of ``(instance, key, value)`` updates."""
+        instances = list(instances)
+        keys = list(keys)
+        if len(instances) != len(keys):
+            raise InvalidParameterError(
+                "instances and keys must have matching length"
+            )
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(keys),):
+            raise InvalidParameterError(
+                "keys and values must have matching length"
+            )
+        groups: dict[object, list[int]] = {}
+        for position, label in enumerate(instances):
+            groups.setdefault(label, []).append(position)
+        for label, positions in groups.items():
+            self.ingest(
+                label, [keys[i] for i in positions], values[positions]
+            )
+
+    def ingest_stream(
+        self, stream: Iterable[tuple[object, object, float]],
+        batch_size: int = 4096,
+    ) -> None:
+        """Ingest an iterable of ``(instance, key, value)`` updates in
+        batches of ``batch_size``."""
+        if batch_size <= 0:
+            raise InvalidParameterError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        instances: list[object] = []
+        keys: list[object] = []
+        values: list[float] = []
+        for instance, key, value in stream:
+            instances.append(instance)
+            keys.append(key)
+            values.append(float(value))
+            if len(keys) >= batch_size:
+                self.ingest_updates(instances, keys, np.asarray(values))
+                instances, keys, values = [], [], []
+        if keys:
+            self.ingest_updates(instances, keys, np.asarray(values))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def instance_labels(self) -> list[object]:
+        """Labels of the instances seen so far, in first-seen order."""
+        return list(self._shards)
+
+    def shard_sketches(self, instance: object) -> list:
+        """The live per-shard sketches of ``instance`` (not copies)."""
+        if instance not in self._shards:
+            raise InvalidParameterError(f"unknown instance {instance!r}")
+        return list(self._shards[instance])
+
+    def sketch(self, instance: object):
+        """The merged sketch of ``instance`` across all shards."""
+        return merge_sketches(self.shard_sketches(instance))
+
+    def sample(self, instance: object):
+        """Offline-sample snapshot of ``instance`` (bottom-k or Poisson)."""
+        return self.sketch(instance).to_sample()
+
+    def sketches(self) -> dict[object, object]:
+        """Merged sketches of every instance, keyed by label."""
+        return {label: self.sketch(label) for label in self._shards}

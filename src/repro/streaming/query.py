@@ -1,0 +1,321 @@
+"""Querying families of coordinated sketches with the offline estimators.
+
+The estimators of :mod:`repro.core` consume per-key
+:class:`~repro.sampling.outcomes.VectorOutcome` objects; the aggregate
+functions of :mod:`repro.aggregates` consume samples plus seed lookups.
+This module adapts a family of per-instance streaming sketches into exactly
+those shapes, so the paper's estimators — ``max^(L)``, the OR family,
+rank-conditioning subset sums, distinct count, max dominance, L1 distance —
+run on streaming output with zero estimator changes.
+
+All adapters only see what a sketch legitimately knows: the values of
+retained keys and, through the shared :class:`SeedAssigner`, the seed of
+*any* key — the known-seeds model of the paper.
+
+The multi-instance estimators assume instances were sampled
+*independently*; sketches built from a ``coordinated=True`` seed assigner
+(shared seeds across instances) are rejected here, because the same
+formulas silently return biased numbers under coordination.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
+from repro.aggregates.distinct import (
+    DistinctCountEstimate,
+    distinct_count_ht,
+    distinct_count_l,
+)
+from repro.core.estimator_base import VectorEstimator
+from repro.core.max_weighted import MaxPpsHT, MaxPpsL
+from repro.exceptions import InvalidParameterError
+from repro.sampling.outcomes import VectorOutcome
+from repro.sampling.ranks import PpsRanks, UniformRanks
+from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+
+__all__ = [
+    "StreamingDominanceEstimate",
+    "dataset_view",
+    "distinct_count",
+    "l1_distance",
+    "max_dominance",
+    "rank_conditioning_total",
+    "sum_aggregate",
+    "vector_outcomes",
+]
+
+
+def _check_family(sketches: Sequence[StreamingPoisson]) -> None:
+    if not sketches:
+        raise InvalidParameterError("at least one sketch is required")
+    labels = [sketch.instance for sketch in sketches]
+    if len(set(map(repr, labels))) != len(labels):
+        raise InvalidParameterError(
+            "sketches must summarise distinct instances"
+        )
+
+
+def _check_independent(sketches: Sequence[StreamingPoisson], name: str) -> None:
+    """Reject coordinated (shared-seed) sketches for estimators that assume
+    instances were sampled independently.
+
+    The Section 8 estimators are derived for independent samples; with a
+    ``coordinated=True`` seed assigner the per-key inclusion events of
+    different instances are fully correlated and the same formulas return
+    biased numbers without any other symptom.
+    """
+    for sketch in sketches:
+        if sketch.seed_assigner.coordinated:
+            raise InvalidParameterError(
+                f"{name} assumes independently sampled instances; sketches "
+                "built from a coordinated (shared-seed) SeedAssigner are "
+                "not supported by this estimator"
+            )
+
+
+def _check_uniform(sketch: StreamingPoisson, name: str) -> float:
+    if not isinstance(sketch.rank_family, UniformRanks):
+        raise InvalidParameterError(
+            f"{name} requires weight-oblivious (UniformRanks) sketches; "
+            f"got {sketch.rank_family.name} ranks"
+        )
+    return sketch.threshold
+
+
+def _seed_map(
+    sketch: StreamingPoisson, keys: Sequence[object]
+) -> dict[object, float]:
+    """Seeds of ``keys`` in the sketch's instance, one vectorised pass."""
+    return sketch.seed_assigner.seed_map(list(keys), instance=sketch.instance)
+
+
+def vector_outcomes(
+    sketches: Sequence[StreamingPoisson],
+    predicate: KeyPredicate | None = None,
+    include_seeds: bool = True,
+) -> dict[object, VectorOutcome]:
+    """Per-key sampling outcomes of a family of Poisson sketches.
+
+    Entry ``i`` of the outcome of key ``h`` is sampled iff ``h`` is retained
+    by ``sketches[i]`` — or, for a weight-oblivious sketch, iff the (known)
+    seed of ``h`` is at most the threshold: oblivious sampling observes keys
+    regardless of their value, so a key that is seed-selected but not
+    retained was *observed to be zero* in that instance, exactly as in the
+    offline pipeline.  With ``include_seeds`` the outcome carries the seed
+    of every entry (known-seeds model), which the PPS and known-seed OR
+    estimators require.
+    """
+    _check_family(sketches)
+    entry_maps = [sketch.entries for sketch in sketches]
+    keys: dict[object, None] = {}
+    for entries in entry_maps:
+        for key in entries:
+            if predicate is None or predicate(key):
+                keys.setdefault(key)
+    key_list = list(keys)
+    r = len(sketches)
+    oblivious = [
+        isinstance(sketch.rank_family, UniformRanks) for sketch in sketches
+    ]
+    # one vectorised seed pass per sketch instead of a hash per (key, sketch)
+    seed_columns: list[np.ndarray | None] = [
+        sketch.seed_assigner.seeds(key_list, instance=sketch.instance)
+        if include_seeds or oblivious[index]
+        else None
+        for index, sketch in enumerate(sketches)
+    ]
+    outcomes: dict[object, VectorOutcome] = {}
+    for position, key in enumerate(key_list):
+        sampled = set()
+        values: dict[int, float] = {}
+        seeds: dict[int, float] | None = {} if include_seeds else None
+        for index, sketch in enumerate(sketches):
+            value = entry_maps[index].get(key)
+            column = seed_columns[index]
+            seed = None if column is None else float(column[position])
+            if (value is None and oblivious[index]
+                    and seed <= sketch.threshold):
+                value = 0.0
+            if value is not None:
+                sampled.add(index)
+                values[index] = value
+            if seeds is not None:
+                seeds[index] = seed
+        outcomes[key] = VectorOutcome(
+            r=r, sampled=frozenset(sampled), values=values, seeds=seeds
+        )
+    return outcomes
+
+
+def sum_aggregate(
+    sketches: Sequence[StreamingPoisson],
+    estimator: VectorEstimator,
+    predicate: KeyPredicate | None = None,
+    include_seeds: bool = True,
+) -> float:
+    """Estimate ``sum_h f(v(h))`` from sketches with a per-key estimator.
+
+    Keys retained by no sketch contribute zero per-key estimates (every
+    estimator of the paper is zero on the empty outcome), so summing over
+    retained keys only is exact for the estimator.
+    """
+    if estimator.r != len(sketches):
+        raise InvalidParameterError(
+            f"estimator expects r={estimator.r} instances, "
+            f"got {len(sketches)} sketches"
+        )
+    _check_independent(sketches, "sum_aggregate")
+    outcomes = vector_outcomes(
+        sketches, predicate=predicate, include_seeds=include_seeds
+    )
+    return float(
+        sum(estimator.estimate(outcome) for outcome in outcomes.values())
+    )
+
+
+def dataset_view(
+    sketches: Sequence[StreamingPoisson | StreamingBottomK],
+) -> MultiInstanceDataset:
+    """The retained entries as a :class:`MultiInstanceDataset`.
+
+    This is the *sketch view* of the data — the exact aggregates of the view
+    are aggregates of the samples, not unbiased estimates — useful for
+    feeding sketch output to any code written against the offline dataset
+    protocol.
+    """
+    _check_family(sketches)
+    return MultiInstanceDataset(
+        {
+            sketch.instance: (
+                sketch.entries
+                if isinstance(sketch, StreamingPoisson)
+                else sketch.to_sample().entries
+            )
+            for sketch in sketches
+        }
+    )
+
+
+def rank_conditioning_total(
+    sketch: StreamingBottomK, predicate: KeyPredicate | None = None
+) -> float:
+    """Rank-conditioning subset-sum estimate from a bottom-k sketch."""
+    if not isinstance(sketch, StreamingBottomK):
+        raise InvalidParameterError(
+            "rank conditioning requires a bottom-k sketch"
+        )
+    return sketch.to_sample().rank_conditioning_total(predicate)
+
+
+def distinct_count(
+    sketch1: StreamingPoisson,
+    sketch2: StreamingPoisson,
+    variant: str = "l",
+    predicate: KeyPredicate | None = None,
+) -> DistinctCountEstimate:
+    """Distinct count of two instances from weight-oblivious sketches.
+
+    Dispatches to the offline Section 8.1 estimators with the sketch
+    thresholds as inclusion probabilities and the shared seed assigner as
+    the seed oracle.
+    """
+    _check_independent((sketch1, sketch2), "distinct_count")
+    p1 = _check_uniform(sketch1, "distinct_count")
+    p2 = _check_uniform(sketch2, "distinct_count")
+    estimators = {"l": distinct_count_l, "ht": distinct_count_ht}
+    try:
+        estimate = estimators[variant.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown distinct-count variant {variant!r}; use 'l' or 'ht'"
+        ) from None
+    entries1, entries2 = sketch1.entries, sketch2.entries
+    union = list({**entries1, **entries2})
+    return estimate(
+        entries1,
+        entries2,
+        p1,
+        p2,
+        _seed_map(sketch1, union),
+        _seed_map(sketch2, union),
+        predicate=predicate,
+    )
+
+
+def l1_distance(
+    sketch1: StreamingPoisson,
+    sketch2: StreamingPoisson,
+    predicate: KeyPredicate | None = None,
+) -> float:
+    """HT estimate of the L1 distance from weight-oblivious sketches.
+
+    A key contributes ``|v_1 - v_2| / (p_1 p_2)`` when sampled in both
+    instances — the streaming counterpart of
+    :func:`repro.aggregates.distance.l1_distance_ht`.  A key that is
+    seed-selected but not retained by a sketch was observed to be zero
+    there, so keys of one instance seed-selected by the other contribute
+    their full value.
+    """
+    _check_independent((sketch1, sketch2), "l1_distance")
+    p1 = _check_uniform(sketch1, "l1_distance")
+    p2 = _check_uniform(sketch2, "l1_distance")
+    entries1, entries2 = sketch1.entries, sketch2.entries
+    union = list({**entries1, **entries2})
+    seeds1, seeds2 = _seed_map(sketch1, union), _seed_map(sketch2, union)
+    total = 0.0
+    for key in union:
+        if predicate is not None and not predicate(key):
+            continue
+        v1, v2 = entries1.get(key), entries2.get(key)
+        sampled1 = v1 is not None or seeds1[key] <= p1
+        sampled2 = v2 is not None or seeds2[key] <= p2
+        if sampled1 and sampled2:
+            total += abs((v1 or 0.0) - (v2 or 0.0)) / (p1 * p2)
+    return total
+
+
+@dataclass(frozen=True)
+class StreamingDominanceEstimate:
+    """Max-dominance estimates computed from a pair of PPS sketches."""
+
+    ht: float
+    l: float
+    n_sampled_keys: int
+
+
+def max_dominance(
+    sketch1: StreamingPoisson,
+    sketch2: StreamingPoisson,
+    predicate: KeyPredicate | None = None,
+) -> StreamingDominanceEstimate:
+    """Max-dominance norm of two instances from PPS sketches (Section 8.2).
+
+    A PPS sketch with threshold ``tau`` samples key ``h`` iff
+    ``u(h) / v(h) < tau``, i.e. it is Poisson PPS sampling with
+    ``tau_star = 1 / tau`` — the scheme the ``max^(HT)`` / ``max^(L)``
+    known-seed estimators are derived for.
+    """
+    _check_independent((sketch1, sketch2), "max_dominance")
+    for sketch in (sketch1, sketch2):
+        if not isinstance(sketch.rank_family, PpsRanks):
+            raise InvalidParameterError(
+                "max_dominance requires PPS (PpsRanks) sketches; "
+                f"got {sketch.rank_family.name} ranks"
+            )
+    tau_star = (1.0 / sketch1.threshold, 1.0 / sketch2.threshold)
+    estimator_ht = MaxPpsHT(tau_star)
+    estimator_l = MaxPpsL(tau_star)
+    outcomes = vector_outcomes((sketch1, sketch2), predicate=predicate)
+    total_ht = 0.0
+    total_l = 0.0
+    for outcome in outcomes.values():
+        total_ht += estimator_ht.estimate(outcome)
+        total_l += estimator_l.estimate(outcome)
+    return StreamingDominanceEstimate(
+        ht=total_ht, l=total_l, n_sampled_keys=len(outcomes)
+    )

@@ -1,0 +1,420 @@
+"""Streaming coordinated sketches of single instances.
+
+The offline pipeline materialises every instance as a ``{key: value}``
+mapping before sampling it.  The sketches here maintain the *same* summaries
+incrementally over an unbounded stream of ``(key, value)`` updates:
+
+:class:`StreamingBottomK`
+    A heap-backed bottom-k sketch.  It keeps the ``k + 1`` keys of smallest
+    rank seen so far (the sample plus the threshold candidate), so for any
+    prefix of the stream its :meth:`~StreamingBottomK.to_sample` equals the
+    offline :func:`repro.sampling.bottomk.bottom_k_sample` of the
+    accumulated data — entries, ranks and threshold — under the same seed
+    assignment.  Per-update cost is O(log k).
+
+:class:`StreamingPoisson`
+    A Poisson-``tau`` sketch: it retains exactly the keys whose rank is
+    below the fixed threshold, for any of the rank families (PPS,
+    exponential, or the weight-oblivious :class:`UniformRanks`).
+
+Both sketches draw seeds from a :class:`repro.sampling.seeds.SeedAssigner`,
+so sketches of different instances built from a ``coordinated=True``
+assigner share per-key seeds exactly like the offline coordinated samples,
+and sketches are deterministic functions of the accumulated data — the
+property that makes them mergeable (see :mod:`repro.streaming.merge`).
+
+Update semantics are *additive*: repeated updates of a key accumulate.
+Because ranks are nonincreasing in the value for every rank family, a key
+that is retained by the sketch stays retained as its value grows, and its
+rank is recomputed exactly from the accumulated total.  The sketch is exact
+whenever each key's total arrives while the key is retained (in particular
+when each key appears once per stream, the pre-aggregated model used by the
+equivalence tests); only a key that was evicted and later reappears loses
+its earlier mass.  :attr:`n_discarded_keys` counts evictions so callers can
+detect the approximate regime.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.bottomk import BottomKSample
+from repro.sampling.poisson import PoissonSample
+from repro.sampling.ranks import ExpRanks, RankFamily, UniformRanks
+from repro.sampling.seeds import SeedAssigner, key_hashes
+
+__all__ = ["StreamingBottomK", "StreamingPoisson"]
+
+
+class _StreamingSketch:
+    """State shared by the streaming sketches: seeds, counters, batching."""
+
+    def __init__(
+        self,
+        instance: object,
+        rank_family: RankFamily | None,
+        seed_assigner: SeedAssigner | None,
+    ) -> None:
+        self.instance = instance
+        self.rank_family = rank_family if rank_family is not None else ExpRanks()
+        self.seed_assigner = (
+            seed_assigner if seed_assigner is not None else SeedAssigner()
+        )
+        #: number of updates ingested (including rejected ones)
+        self.n_updates = 0
+        #: number of retained keys evicted/rejected after carrying positive
+        #: value — when zero, the sketch is exact for the accumulated data
+        self.n_discarded_keys = 0
+
+    def _rank(self, value: float, seed: float) -> float:
+        return float(self.rank_family.rank(value, seed))
+
+    def update(self, key: object, value: float) -> None:
+        """Ingest a single ``(key, value)`` update."""
+        value = float(value)
+        if value < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
+        self.n_updates += 1
+        if value == 0.0:
+            return
+        seed = float(self.seed_assigner.seed(key, instance=self.instance))
+        self._ingest(key, value, seed)
+
+    def _prepare_batch(
+        self,
+        keys: Sequence[object],
+        values,
+        hashes: np.ndarray | None,
+    ) -> tuple[list, np.ndarray, np.ndarray]:
+        """Validate a batch and compute its seeds in one vectorised pass.
+
+        ``hashes`` lets callers that already hashed the key column (the
+        sharding engine) skip rehashing it.
+        """
+        keys = list(keys)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(keys),):
+            raise InvalidParameterError(
+                "keys and values must have matching length"
+            )
+        if values.size and float(values.min()) < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
+        if hashes is None:
+            hashes = key_hashes(keys)
+        seeds = self.seed_assigner.seeds_from_hashes(
+            hashes, instance=self.instance
+        )
+        self.n_updates += len(keys)
+        return keys, values, seeds
+
+    def extend(self, stream: Iterable[tuple[object, float]]) -> None:
+        """Ingest an iterable of ``(key, value)`` updates."""
+        for key, value in stream:
+            self.update(key, value)
+
+    def _ingest(self, key: object, value: float, seed: float) -> None:
+        raise NotImplementedError
+
+
+class StreamingBottomK(_StreamingSketch):
+    """Streaming bottom-k sketch of one instance.
+
+    Parameters
+    ----------
+    k:
+        Nominal sample size; the sketch retains at most ``k + 1`` keys (the
+        sample plus the threshold candidate).
+    instance:
+        Label of the summarised instance; part of the seed derivation.
+    rank_family:
+        Rank family (default :class:`ExpRanks`, i.e. weighted sampling
+        without replacement).
+    seed_assigner:
+        Source of reproducible per-(key, instance) seeds; pass one built
+        with ``coordinated=True`` to coordinate sketches across instances.
+
+    Examples
+    --------
+    >>> from repro.sampling.seeds import SeedAssigner
+    >>> sketch = StreamingBottomK(k=2, seed_assigner=SeedAssigner(salt=1))
+    >>> sketch.extend([("a", 1.0), ("b", 2.0), ("c", 3.0)])
+    >>> len(sketch.to_sample()) == 2
+    True
+    """
+
+    def __init__(
+        self,
+        k: int,
+        instance: object = 0,
+        rank_family: RankFamily | None = None,
+        seed_assigner: SeedAssigner | None = None,
+    ) -> None:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        super().__init__(instance, rank_family, seed_assigner)
+        self.k = int(k)
+        # accumulated value, current rank and seed of the retained keys;
+        # at most k + 1 entries at any time
+        self._values: dict[object, float] = {}
+        self._ranks: dict[object, float] = {}
+        self._seeds: dict[object, float] = {}
+        # lazy max-heap over (-rank, seq, key); seq breaks rank ties so
+        # keys are never compared; entries whose rank no longer matches
+        # ``_ranks`` are stale and skipped on pop
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = 0
+        # cached largest retained rank when the sketch is full, for the O(1)
+        # reject fast path; None when fewer than k + 1 keys are retained
+        self._full_max: float | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _ingest(self, key: object, value: float, seed: float) -> None:
+        if key in self._values:
+            self._accumulate(key, value, seed)
+        else:
+            self._insert_new(key, value, seed, self._rank(value, seed))
+
+    def _accumulate(self, key: object, value: float, seed: float) -> None:
+        # ranks are nonincreasing in the value, so a retained key stays
+        # retained; refresh its rank from the accumulated total
+        total = self._values[key] + value
+        rank = self._rank(total, seed)
+        self._values[key] = total
+        self._ranks[key] = rank
+        self._push(rank, key)
+        if self._full_max is not None:
+            self._full_max = -self._clean_top()[0]
+
+    def _insert_new(
+        self, key: object, value: float, seed: float, rank: float
+    ) -> None:
+        if not np.isfinite(rank):
+            return
+        if self._full_max is not None and rank >= self._full_max:
+            self.n_discarded_keys += 1
+            return
+        self._values[key] = value
+        self._ranks[key] = rank
+        self._seeds[key] = seed
+        self._push(rank, key)
+        if len(self._values) > self.k + 1:
+            self._evict()
+        elif len(self._values) == self.k + 1:
+            self._full_max = -self._clean_top()[0]
+
+    def update_batch(
+        self,
+        keys: Sequence[object],
+        values,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Vectorised batch ingest: one hash/seed/rank pass over the batch,
+        then O(log k) heap work only for the retained minority."""
+        keys, values, seeds = self._prepare_batch(keys, values, hashes)
+        ranks = np.asarray(self.rank_family.rank(values, seeds), dtype=float)
+        for i in np.nonzero(values > 0.0)[0]:
+            key = keys[i]
+            if key in self._values:
+                self._accumulate(key, float(values[i]), float(seeds[i]))
+            else:
+                self._insert_new(
+                    key, float(values[i]), float(seeds[i]), float(ranks[i])
+                )
+
+    def _push(self, rank: float, key: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-rank, self._seq, key))
+
+    def _clean_top(self) -> tuple[float, int, object]:
+        """Pop stale heap entries and return the valid max-rank entry."""
+        while True:
+            neg_rank, _, key = self._heap[0]
+            if self._ranks.get(key) == -neg_rank:
+                return self._heap[0]
+            heapq.heappop(self._heap)
+
+    def _evict(self) -> None:
+        _, _, key = self._clean_top()
+        heapq.heappop(self._heap)
+        del self._values[key], self._ranks[key], self._seeds[key]
+        self.n_discarded_keys += 1
+        self._full_max = -self._clean_top()[0]
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return min(len(self._values), self.k)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values and self._ranks[key] < self.threshold
+
+    @property
+    def threshold(self) -> float:
+        """The ``(k + 1)``-st smallest rank seen so far (``inf`` if fewer)."""
+        if len(self._values) <= self.k:
+            return float("inf")
+        return max(self._ranks.values())
+
+    def candidates(self) -> dict[object, float]:
+        """Accumulated values of all retained keys (sample + candidate)."""
+        return dict(self._values)
+
+    def candidate_ranks(self) -> dict[object, float]:
+        """Current ranks of all retained keys."""
+        return dict(self._ranks)
+
+    def to_sample(self) -> BottomKSample:
+        """Snapshot the sketch as an offline :class:`BottomKSample`.
+
+        The result is identical — entries, ranks, threshold — to running
+        :func:`repro.sampling.bottomk.bottom_k_sample` on the accumulated
+        data with the same seed assignment, so every downstream estimator
+        (rank conditioning, priority totals) applies unchanged.
+        """
+        order = sorted(self._ranks, key=self._ranks.get)[: self.k]
+        return BottomKSample(
+            instance=self.instance,
+            entries={key: self._values[key] for key in order},
+            ranks={key: self._ranks[key] for key in order},
+            threshold=self.threshold,
+            k=self.k,
+            rank_family=self.rank_family,
+            seed_assigner=self.seed_assigner,
+        )
+
+
+class StreamingPoisson(_StreamingSketch):
+    """Streaming Poisson-``tau`` sketch of one instance.
+
+    Retains exactly the keys whose rank is below ``threshold``.  With
+    :class:`PpsRanks` this is streaming PPS sampling (``tau = 1 /
+    tau_star``), with :class:`UniformRanks` it is weight-oblivious Poisson
+    sampling with probability ``tau`` — the two schemes the multi-instance
+    estimators of :mod:`repro.core` are built for.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        instance: object = 0,
+        rank_family: RankFamily | None = None,
+        seed_assigner: SeedAssigner | None = None,
+    ) -> None:
+        threshold = float(threshold)
+        if not threshold > 0.0:
+            raise InvalidParameterError(
+                f"threshold must be positive, got {threshold}"
+            )
+        if rank_family is None:
+            rank_family = UniformRanks()
+        if isinstance(rank_family, UniformRanks) and threshold > 1.0:
+            raise InvalidParameterError(
+                "a weight-oblivious threshold is a probability and must be "
+                f"at most 1, got {threshold}"
+            )
+        super().__init__(instance, rank_family, seed_assigner)
+        self.threshold = threshold
+        # offline oblivious sampling is inclusive (``seed <= p``), weighted
+        # sampling strict (``rank < tau``); mirror both exactly
+        self._inclusive = isinstance(self.rank_family, UniformRanks)
+        self._values: dict[object, float] = {}
+        self._ranks: dict[object, float] = {}
+
+    def _keeps(self, rank: float) -> bool:
+        if self._inclusive:
+            return rank <= self.threshold
+        return rank < self.threshold
+
+    def _ingest(self, key: object, value: float, seed: float) -> None:
+        old = self._values.get(key)
+        if old is not None:
+            total = old + value
+            self._values[key] = total
+            self._ranks[key] = self._rank(total, seed)
+            return
+        rank = self._rank(value, seed)
+        if not self._keeps(rank):
+            self.n_discarded_keys += 1
+            return
+        self._values[key] = value
+        self._ranks[key] = rank
+
+    def update_batch(
+        self,
+        keys: Sequence[object],
+        values,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Vectorised batch ingest: one hash/seed/rank pass, then dictionary
+        work only for retained keys."""
+        keys, values, seeds = self._prepare_batch(keys, values, hashes)
+        ranks = np.asarray(self.rank_family.rank(values, seeds), dtype=float)
+        if self._inclusive:
+            keep = ranks <= self.threshold
+        else:
+            keep = ranks < self.threshold
+        for i in np.nonzero(values > 0.0)[0]:
+            key = keys[i]
+            if key in self._values:
+                total = self._values[key] + float(values[i])
+                self._values[key] = total
+                self._ranks[key] = self._rank(total, float(seeds[i]))
+            elif keep[i]:
+                self._values[key] = float(values[i])
+                self._ranks[key] = float(ranks[i])
+            else:
+                self.n_discarded_keys += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    @property
+    def entries(self) -> dict[object, float]:
+        """Accumulated values of the retained keys."""
+        return dict(self._values)
+
+    def candidate_ranks(self) -> dict[object, float]:
+        """Current ranks of the retained keys."""
+        return dict(self._ranks)
+
+    def to_sample(self) -> PoissonSample:
+        """Snapshot the sketch as an offline :class:`PoissonSample`.
+
+        Matches :func:`repro.sampling.poisson.poisson_uniform_sample` /
+        :func:`poisson_weighted_sample` of the accumulated data, so the HT
+        subset-sum estimator and the known-seed machinery apply unchanged.
+        """
+        entries = dict(self._values)
+        if isinstance(self.rank_family, UniformRanks):
+            return PoissonSample(
+                instance=self.instance,
+                entries=entries,
+                inclusion_probabilities={
+                    key: self.threshold for key in entries
+                },
+                probability=self.threshold,
+                seed_assigner=self.seed_assigner,
+                rank_family_name=self.rank_family.name,
+            )
+        probabilities = {
+            key: float(self.rank_family.cdf(value, self.threshold))
+            for key, value in entries.items()
+        }
+        return PoissonSample(
+            instance=self.instance,
+            entries=entries,
+            inclusion_probabilities=probabilities,
+            threshold=self.threshold,
+            seed_assigner=self.seed_assigner,
+            rank_family_name=self.rank_family.name,
+        )

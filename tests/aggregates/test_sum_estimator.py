@@ -110,3 +110,15 @@ class TestPpsSumAggregate:
         )
         assert result.true_value == 0.0
         assert result.relative_error == 0.0
+
+    def test_relative_error_negative_truth_is_nonnegative(self):
+        from repro.aggregates.sum_estimator import SumAggregateResult
+
+        result = SumAggregateResult(
+            estimate=-2.0, true_value=-4.0, n_contributing_keys=1
+        )
+        assert result.relative_error == pytest.approx(0.5)
+        overshoot = SumAggregateResult(
+            estimate=0.0, true_value=-4.0, n_contributing_keys=0
+        )
+        assert overshoot.relative_error == pytest.approx(1.0)

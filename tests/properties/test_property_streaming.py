@@ -1,0 +1,180 @@
+"""Property-based tests for streaming/offline equivalence and merge algebra.
+
+These are the exactness guarantees of the streaming subsystem:
+
+* a :class:`StreamingBottomK` fed *any permutation* of a stream equals the
+  offline :func:`bottom_k_sample` of the accumulated data under the same
+  seed assignment — entries, ranks and threshold;
+* sketch merging is associative, commutative, and insensitive to how the
+  stream is split across shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.bottomk import bottom_k_sample
+from repro.sampling.poisson import poisson_uniform_sample
+from repro.sampling.ranks import ExpRanks, PpsRanks, UniformRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.streaming.merge import merge_sketches
+from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+
+value_dicts = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=10_000),
+    values=st.floats(min_value=0.0, max_value=1000.0),
+    min_size=1,
+    max_size=40,
+)
+
+rank_families = st.sampled_from([ExpRanks(), PpsRanks()])
+
+
+def same_bottom_k_state(a: StreamingBottomK, b: StreamingBottomK) -> None:
+    assert a.candidates() == b.candidates()
+    assert a.candidate_ranks() == b.candidate_ranks()
+    assert a.threshold == b.threshold
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=value_dicts,
+    k=st.integers(min_value=1, max_value=20),
+    salt=st.integers(min_value=0, max_value=1000),
+    order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    family=rank_families,
+)
+def test_streamed_permutation_equals_offline_bottom_k(
+    values, k, salt, order_seed, family
+):
+    assigner = SeedAssigner(salt=salt)
+    items = list(values.items())
+    np.random.default_rng(order_seed).shuffle(items)
+    sketch = StreamingBottomK(
+        k=k, instance=7, rank_family=family, seed_assigner=assigner
+    )
+    for key, value in items:
+        sketch.update(key, value)
+    offline = bottom_k_sample(
+        values, k, rank_family=family, seed_assigner=assigner, instance=7
+    )
+    snapshot = sketch.to_sample()
+    assert snapshot.entries == offline.entries
+    assert snapshot.ranks == offline.ranks
+    assert snapshot.threshold == offline.threshold
+    assert snapshot.k == offline.k
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=value_dicts,
+    k=st.integers(min_value=1, max_value=20),
+    salt=st.integers(min_value=0, max_value=1000),
+    n_shards=st.integers(min_value=1, max_value=6),
+    family=rank_families,
+)
+def test_bottom_k_merge_insensitive_to_shard_split(
+    values, k, salt, n_shards, family
+):
+    assigner = SeedAssigner(salt=salt)
+
+    def sharded(n: int) -> StreamingBottomK:
+        shards = [
+            StreamingBottomK(
+                k=k, rank_family=family, seed_assigner=assigner
+            )
+            for _ in range(n)
+        ]
+        for key, value in values.items():
+            shards[hash(key) % n].update(key, value)
+        return merge_sketches(shards)
+
+    same_bottom_k_state(sharded(n_shards), sharded(1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=value_dicts,
+    k=st.integers(min_value=1, max_value=15),
+    salt=st.integers(min_value=0, max_value=1000),
+    split=st.integers(min_value=0, max_value=39),
+)
+def test_bottom_k_merge_commutative_and_associative(values, k, salt, split):
+    assigner = SeedAssigner(salt=salt)
+    items = list(values.items())
+    cut1 = split % (len(items) + 1)
+    cut2 = (cut1 + len(items)) // 2
+
+    def sketch_of(part) -> StreamingBottomK:
+        sketch = StreamingBottomK(k=k, seed_assigner=assigner)
+        sketch.extend(part)
+        return sketch
+
+    a = sketch_of(items[:cut1])
+    b = sketch_of(items[cut1:cut2])
+    c = sketch_of(items[cut2:])
+    same_bottom_k_state(merge_sketches([a, b]), merge_sketches([b, a]))
+    same_bottom_k_state(
+        merge_sketches([merge_sketches([a, b]), c]),
+        merge_sketches([a, merge_sketches([b, c])]),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=value_dicts,
+    threshold=st.floats(min_value=0.05, max_value=0.95),
+    salt=st.integers(min_value=0, max_value=1000),
+    order_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_streamed_permutation_equals_offline_uniform_poisson(
+    values, threshold, salt, order_seed
+):
+    assigner = SeedAssigner(salt=salt)
+    items = list(values.items())
+    np.random.default_rng(order_seed).shuffle(items)
+    sketch = StreamingPoisson(
+        threshold, instance=3, seed_assigner=assigner
+    )
+    for key, value in items:
+        sketch.update(key, value)
+    # a zero-value update never arrives in a stream, so compare against the
+    # offline sample of the positive support (the dataset model treats
+    # zero-valued keys as absent)
+    offline = poisson_uniform_sample(
+        {key: value for key, value in values.items() if value > 0.0},
+        threshold, seed_assigner=assigner, instance=3,
+    )
+    assert sketch.entries == dict(offline.entries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=value_dicts,
+    threshold=st.floats(min_value=0.05, max_value=0.95),
+    salt=st.integers(min_value=0, max_value=1000),
+    n_shards=st.integers(min_value=1, max_value=6),
+    family=st.sampled_from([UniformRanks(), PpsRanks(), ExpRanks()]),
+)
+def test_poisson_merge_insensitive_to_shard_split(
+    values, threshold, salt, n_shards, family
+):
+    assigner = SeedAssigner(salt=salt)
+
+    def sharded(n: int) -> StreamingPoisson:
+        shards = [
+            StreamingPoisson(
+                threshold, rank_family=family, seed_assigner=assigner
+            )
+            for _ in range(n)
+        ]
+        for key, value in values.items():
+            shards[hash(key) % n].update(key, value)
+        return merge_sketches(shards)
+
+    merged = sharded(n_shards)
+    single = sharded(1)
+    assert merged.entries == single.entries
+    assert merged.candidate_ranks() == single.candidate_ranks()

@@ -8,6 +8,7 @@ import pytest
 from repro.sampling.ranks import (
     ExpRanks,
     PpsRanks,
+    UniformRanks,
     poisson_threshold_for_expected_size,
 )
 
@@ -46,6 +47,38 @@ class TestPpsRanks:
         result = ranks.rank(values, seeds)
         assert result[0] == pytest.approx(0.5)
         assert result[1] == pytest.approx(0.25)
+        assert np.isinf(result[2])
+
+
+class TestUniformRanks:
+    def test_rank_is_the_seed(self):
+        ranks = UniformRanks()
+        assert ranks.rank(4.0, 0.2) == pytest.approx(0.2)
+        assert ranks.rank(400.0, 0.2) == pytest.approx(0.2)
+
+    def test_zero_value_gets_infinite_rank(self):
+        ranks = UniformRanks()
+        assert np.isinf(ranks.rank(0.0, 0.3))
+
+    def test_cdf_is_value_oblivious_probability(self):
+        ranks = UniformRanks()
+        assert ranks.cdf(2.0, 0.25) == pytest.approx(0.25)
+        assert ranks.cdf(999.0, 0.25) == pytest.approx(0.25)
+        assert ranks.cdf(2.0, 3.0) == pytest.approx(1.0)
+        assert ranks.cdf(0.0, 0.25) == pytest.approx(0.0)
+
+    def test_inverse_cdf_round_trip(self):
+        ranks = UniformRanks()
+        assert ranks.inverse_cdf(5.0, 0.4) == pytest.approx(0.4)
+        assert np.isinf(ranks.inverse_cdf(0.0, 0.4))
+
+    def test_vectorised(self):
+        ranks = UniformRanks()
+        values = np.array([1.0, 2.0, 0.0])
+        seeds = np.array([0.5, 0.3, 0.5])
+        result = ranks.rank(values, seeds)
+        assert result[0] == pytest.approx(0.5)
+        assert result[1] == pytest.approx(0.3)
         assert np.isinf(result[2])
 
 

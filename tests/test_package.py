@@ -10,7 +10,7 @@ from repro import exceptions
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolvable(self):
         for name in repro.__all__:
@@ -23,9 +23,11 @@ class TestPublicApi:
         import repro.datasets
         import repro.experiments
         import repro.sampling
+        import repro.streaming
 
         for module in (repro.core, repro.sampling, repro.aggregates,
-                       repro.analysis, repro.datasets, repro.experiments):
+                       repro.analysis, repro.datasets, repro.experiments,
+                       repro.streaming):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
 

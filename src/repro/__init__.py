@@ -21,9 +21,17 @@ The package is organised as follows:
     (max^(L), max^(U), OR^(L), OR^(U), PPS known-seed max^(L)), and the
     LP feasibility checker behind the Section 6 impossibility results.
 
+``repro.batch``
+    The columnar batch estimation engine: :class:`~repro.batch.
+    OutcomeBatch` stores many per-key outcomes as 2-D value / mask / seed
+    arrays, and every closed-form estimator exposes a vectorized
+    ``estimate_batch`` that agrees with the scalar reference to
+    floating-point round-off.
+
 ``repro.aggregates``
     Sum aggregates over an instances x keys data set: distinct count,
-    max/min dominance norms and L1 distance.
+    max/min dominance norms and L1 distance — assembled into columnar
+    batches and estimated in single NumPy passes.
 
 ``repro.streaming``
     The streaming coordinated-sketch engine: heap-backed bottom-k and
@@ -45,6 +53,7 @@ The package is organised as follows:
     One module per figure/table of the paper's evaluation.
 """
 
+from repro.batch import OutcomeBatch
 from repro.core.functions import (
     boolean_or,
     boolean_xor,
@@ -109,6 +118,7 @@ __all__ = [
     "OrderBasedDeriver",
     "PartitionBasedDeriver",
     "ObliviousPoissonScheme",
+    "OutcomeBatch",
     "PpsPoissonScheme",
     "VectorOutcome",
     "SeedAssigner",

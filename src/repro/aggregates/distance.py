@@ -6,7 +6,10 @@ inverse-probability estimator for the range (Section 2.3) and, with unknown
 seeds, no unbiased nonnegative estimator at all (Section 6).  Over
 weight-oblivious Poisson samples the HT estimator (positive only when both
 entries are sampled) applies and is Pareto optimal for ``r = 2``; that is
-the estimator provided here.
+the estimator provided here, wired through the columnar batch engine: the
+per-key outcomes are assembled into one
+:class:`~repro.batch.OutcomeBatch` and estimated in a single vectorized
+pass.
 """
 
 from __future__ import annotations
@@ -15,7 +18,12 @@ from collections.abc import Sequence
 
 from repro._validation import check_probability_vector
 from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
-from repro.aggregates.sum_estimator import SumAggregateResult
+from repro.aggregates.sum_estimator import (
+    SumAggregateResult,
+    sum_aggregate_oblivious,
+)
+from repro.core.functions import value_range
+from repro.core.ht import HorvitzThompsonOblivious
 from repro.exceptions import InvalidParameterError
 from repro.sampling.seeds import SeedAssigner
 
@@ -33,7 +41,10 @@ def l1_distance_ht(
 
     A key contributes ``|v_1 - v_2| / (p_1 p_2)`` when it is sampled in both
     instances and zero otherwise; for two instances this inverse-probability
-    estimator is Pareto optimal (Section 4).
+    estimator is Pareto optimal (Section 4).  The L1 distance is exactly the
+    sum aggregate of the range, so this delegates to the batched
+    :func:`~repro.aggregates.sum_estimator.sum_aggregate_oblivious` with
+    the range HT estimator.
     """
     if len(labels) != 2:
         raise InvalidParameterError(
@@ -42,23 +53,16 @@ def l1_distance_ht(
     probabilities = check_probability_vector(probabilities)
     if len(probabilities) != 2:
         raise InvalidParameterError("two inclusion probabilities are required")
-    estimate_total = 0.0
-    true_total = 0.0
-    contributing = 0
-    for key in dataset.active_keys(labels):
-        if predicate is not None and not predicate(key):
-            continue
-        v1, v2 = dataset.value_vector(key, labels)
-        true_total += abs(v1 - v2)
-        sampled1 = seed_assigner.seed(key, instance=labels[0]) <= probabilities[0]
-        sampled2 = seed_assigner.seed(key, instance=labels[1]) <= probabilities[1]
-        if sampled1 and sampled2:
-            value = abs(v1 - v2) / (probabilities[0] * probabilities[1])
-            if value != 0.0:
-                contributing += 1
-            estimate_total += value
-    return SumAggregateResult(
-        estimate=estimate_total,
-        true_value=true_total,
-        n_contributing_keys=contributing,
+    # value_range's vectorized twin comes from BATCH_FUNCTIONS.
+    estimator = HorvitzThompsonOblivious(
+        probabilities, function=value_range, function_name="range"
+    )
+    return sum_aggregate_oblivious(
+        dataset,
+        labels,
+        probabilities,
+        estimator,
+        seed_assigner,
+        true_function=value_range,
+        predicate=predicate,
     )

@@ -12,10 +12,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
+from repro.batch.assemble import pps_outcome_batch
 from repro.core.max_weighted import MaxPpsHT, MaxPpsL
 from repro.exceptions import InvalidParameterError
-from repro.sampling.outcomes import VectorOutcome
 from repro.sampling.seeds import SeedAssigner
 
 __all__ = [
@@ -80,21 +82,6 @@ def tau_star_for_sampling_fraction(
     return 0.5 * (low + high)
 
 
-def _per_key_outcome(
-    values: tuple[float, float],
-    seeds: tuple[float, float],
-    tau_star: Sequence[float],
-) -> VectorOutcome:
-    sampled = {
-        i
-        for i in range(2)
-        if values[i] > 0.0 and values[i] >= seeds[i] * tau_star[i]
-    }
-    return VectorOutcome.from_vector(
-        values, sampled, seeds={0: seeds[0], 1: seeds[1]}
-    )
-
-
 def max_dominance_estimates(
     dataset: MultiInstanceDataset,
     labels: Sequence[object],
@@ -102,37 +89,31 @@ def max_dominance_estimates(
     seed_assigner: SeedAssigner,
     predicate: KeyPredicate | None = None,
 ) -> MaxDominanceEstimate:
-    """Estimate the max-dominance norm of two instances from PPS samples."""
+    """Estimate the max-dominance norm of two instances from PPS samples.
+
+    The per-key PPS outcomes are assembled into one columnar
+    :class:`~repro.batch.OutcomeBatch` (hashing the key column once per
+    instance) and both per-key estimators run as vectorized batch kernels.
+    """
     if len(labels) != 2 or len(tau_star) != 2:
         raise InvalidParameterError(
             "max dominance is defined here for exactly two instances"
         )
     estimator_ht = MaxPpsHT(tau_star)
     estimator_l = MaxPpsL(tau_star)
-    total_ht = 0.0
-    total_l = 0.0
-    true_total = 0.0
-    sampled_keys = 0
-    for key in dataset.active_keys(labels):
-        if predicate is not None and not predicate(key):
-            continue
-        values = dataset.value_vector(key, labels)
-        true_total += max(values)
-        seeds = (
-            seed_assigner.seed(key, instance=labels[0]),
-            seed_assigner.seed(key, instance=labels[1]),
-        )
-        outcome = _per_key_outcome(values, seeds, tau_star)
-        if outcome.is_empty:
-            continue
-        sampled_keys += 1
-        total_ht += estimator_ht.estimate(outcome)
-        total_l += estimator_l.estimate(outcome)
+    keys = [
+        key
+        for key in dataset.active_keys(labels)
+        if predicate is None or predicate(key)
+    ]
+    values, batch = pps_outcome_batch(
+        dataset, keys, list(labels), tau_star, seed_assigner
+    )
     return MaxDominanceEstimate(
-        ht=total_ht,
-        l=total_l,
-        true_value=true_total,
-        n_sampled_keys=sampled_keys,
+        ht=float(estimator_ht.estimate_batch(batch).sum()),
+        l=float(estimator_l.estimate_batch(batch).sum()),
+        true_value=float(values.max(axis=1).sum()) if keys else 0.0,
+        n_sampled_keys=int(np.count_nonzero(batch.any_sampled())),
     )
 
 

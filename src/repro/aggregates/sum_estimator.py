@@ -5,6 +5,14 @@ single-vector estimates.  Keys sampled in no instance contribute zero, so
 only sampled keys need to be visited.  Because the per-key estimators are
 unbiased and keys are sampled independently, the aggregate estimate is
 unbiased and its variance is the sum of the per-key variances.
+
+The per-key estimates run through the columnar engine of
+:mod:`repro.batch`: the key column is hashed to seeds once per instance,
+the per-key outcomes are assembled into one
+:class:`~repro.batch.OutcomeBatch`, and the estimator's vectorized
+``estimate_batch`` produces every per-key estimate in one NumPy pass (the
+scalar ``estimate`` loop remains the reference the batch path is tested
+against).
 """
 
 from __future__ import annotations
@@ -12,9 +20,12 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.batch.assemble import oblivious_outcome_batch, pps_outcome_batch
 from repro.core.estimator_base import VectorEstimator
+from repro.core.functions import BATCH_FUNCTIONS
 from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
-from repro.sampling.outcomes import VectorOutcome
 from repro.sampling.seeds import SeedAssigner
 
 __all__ = ["SumAggregateResult", "sum_aggregate_oblivious", "sum_aggregate_pps"]
@@ -47,6 +58,32 @@ class SumAggregateResult:
         return abs(self.estimate - self.true_value) / abs(self.true_value)
 
 
+def _true_total(
+    values: np.ndarray,
+    true_function: Callable[[Sequence[float]], float],
+) -> float:
+    """Exact ``sum_h f(v(h))`` over the value matrix, vectorized for the
+    registered primitives and row-looped for arbitrary callables."""
+    batch_true = BATCH_FUNCTIONS.get(true_function)
+    if batch_true is not None:
+        return float(batch_true(values).sum()) if len(values) else 0.0
+    return float(
+        sum(float(true_function(tuple(row))) for row in values)
+    )
+
+
+def _selected_keys(
+    dataset: MultiInstanceDataset,
+    labels: Sequence[object],
+    predicate: KeyPredicate | None,
+) -> list[object]:
+    return [
+        key
+        for key in dataset.active_keys(labels)
+        if predicate is None or predicate(key)
+    ]
+
+
 def sum_aggregate_oblivious(
     dataset: MultiInstanceDataset,
     labels: Sequence[object],
@@ -60,34 +97,19 @@ def sum_aggregate_oblivious(
 
     Every key of the (active) universe is sampled in instance ``i`` with
     probability ``probabilities[i]`` using the reproducible seed of the
-    (key, instance) pair; the per-key outcomes are fed to ``estimator`` and
-    the estimates summed over keys matching ``predicate``.
+    (key, instance) pair; the per-key outcomes are assembled into one
+    columnar batch and fed to ``estimator.estimate_batch``.
     """
     labels = list(labels)
-    estimate_total = 0.0
-    true_total = 0.0
-    contributing = 0
-    for key in dataset.active_keys(labels):
-        if predicate is not None and not predicate(key):
-            continue
-        values = dataset.value_vector(key, labels)
-        true_total += float(true_function(values))
-        sampled = set()
-        for index, label in enumerate(labels):
-            seed = seed_assigner.seed(key, instance=label)
-            if seed <= probabilities[index]:
-                sampled.add(index)
-        if not sampled:
-            continue
-        outcome = VectorOutcome.from_vector(values, sampled)
-        value = estimator.estimate(outcome)
-        if value != 0.0:
-            contributing += 1
-        estimate_total += value
+    keys = _selected_keys(dataset, labels, predicate)
+    values, batch = oblivious_outcome_batch(
+        dataset, keys, labels, probabilities, seed_assigner
+    )
+    estimates = estimator.estimate_batch(batch)
     return SumAggregateResult(
-        estimate=estimate_total,
-        true_value=true_total,
-        n_contributing_keys=contributing,
+        estimate=float(estimates.sum()),
+        true_value=_true_total(values, true_function),
+        n_contributing_keys=int(np.count_nonzero(estimates)),
     )
 
 
@@ -103,33 +125,17 @@ def sum_aggregate_pps(
     """Estimate a sum aggregate from independent PPS samples with known seeds.
 
     Instance ``i`` samples key ``h`` iff ``u_i(h) <= v_i(h) / tau_star[i]``;
-    the seeds of both instances are available to the per-key estimator.
+    the batch carries the seeds of every entry, which the known-seed
+    per-key estimators exploit.
     """
     labels = list(labels)
-    estimate_total = 0.0
-    true_total = 0.0
-    contributing = 0
-    for key in dataset.active_keys(labels):
-        if predicate is not None and not predicate(key):
-            continue
-        values = dataset.value_vector(key, labels)
-        true_total += float(true_function(values))
-        seeds = {}
-        sampled = set()
-        for index, label in enumerate(labels):
-            seed = seed_assigner.seed(key, instance=label)
-            seeds[index] = seed
-            if values[index] > 0.0 and values[index] >= seed * tau_star[index]:
-                sampled.add(index)
-        if not sampled:
-            continue
-        outcome = VectorOutcome.from_vector(values, sampled, seeds=seeds)
-        value = estimator.estimate(outcome)
-        if value != 0.0:
-            contributing += 1
-        estimate_total += value
+    keys = _selected_keys(dataset, labels, predicate)
+    values, batch = pps_outcome_batch(
+        dataset, keys, labels, tau_star, seed_assigner
+    )
+    estimates = estimator.estimate_batch(batch)
     return SumAggregateResult(
-        estimate=estimate_total,
-        true_value=true_total,
-        n_contributing_keys=contributing,
+        estimate=float(estimates.sum()),
+        true_value=_true_total(values, true_function),
+        n_contributing_keys=int(np.count_nonzero(estimates)),
     )

@@ -1,0 +1,36 @@
+"""Columnar batch estimation engine.
+
+The scalar estimators of :mod:`repro.core` consume one
+:class:`~repro.sampling.outcomes.VectorOutcome` at a time, which makes
+large sum aggregates pay a Python-interpreter loop per key.  This package
+provides the columnar fast path:
+
+``outcome_batch``
+    :class:`OutcomeBatch` — ``n`` outcomes stored as ``(n, r)`` value /
+    sampled-mask / seed arrays, interconvertible with scalar outcomes.
+``kernels``
+    Pure NumPy kernels mirroring each scalar closed form; used by the
+    ``estimate_batch`` overrides on the core estimator classes.
+``assemble``
+    Builders that turn datasets + seed assigners into batches, hashing
+    each key column once per instance.
+
+The scalar API remains the reference implementation:
+``VectorEstimator.estimate_many`` routes through ``estimate_batch`` when a
+vectorized override exists and falls back to the scalar loop otherwise,
+and the test-suite asserts bit-level (1e-12) parity between the paths.
+"""
+
+from repro.batch.assemble import (
+    dataset_value_matrix,
+    oblivious_outcome_batch,
+    pps_outcome_batch,
+)
+from repro.batch.outcome_batch import OutcomeBatch
+
+__all__ = [
+    "OutcomeBatch",
+    "dataset_value_matrix",
+    "oblivious_outcome_batch",
+    "pps_outcome_batch",
+]

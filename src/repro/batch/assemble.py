@@ -1,0 +1,99 @@
+"""Assemble :class:`OutcomeBatch` columns from datasets and samplers.
+
+These builders are the bridge between the aggregate layer (which knows
+about keys, instances and seed assigners) and the batch estimation engine
+(which only sees columns).  Each builder hashes the whole key column once
+per instance through the vectorised :class:`~repro.sampling.seeds.
+SeedAssigner` API instead of one hash per (key, instance) pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.batch.outcome_batch import OutcomeBatch
+from repro.sampling.seeds import SeedAssigner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.aggregates.dataset import MultiInstanceDataset
+
+__all__ = [
+    "dataset_value_matrix",
+    "oblivious_outcome_batch",
+    "pps_outcome_batch",
+]
+
+
+def dataset_value_matrix(
+    dataset: "MultiInstanceDataset",
+    keys: Sequence[object],
+    labels: Sequence[object],
+) -> np.ndarray:
+    """The ``(n_keys, n_labels)`` value matrix of ``keys`` across ``labels``.
+
+    Absent keys have value zero, exactly as in
+    :meth:`~repro.aggregates.dataset.MultiInstanceDataset.value_vector`.
+    """
+    n = len(keys)
+    matrix = np.zeros((n, len(labels)), dtype=np.float64)
+    for column, label in enumerate(labels):
+        assignment = dataset.instance(label)
+        matrix[:, column] = np.fromiter(
+            (assignment.get(key, 0.0) for key in keys),
+            dtype=np.float64,
+            count=n,
+        )
+    return matrix
+
+
+def _seed_matrix(
+    keys: Sequence[object],
+    labels: Sequence[object],
+    seed_assigner: SeedAssigner,
+) -> np.ndarray:
+    seeds = np.empty((len(keys), len(labels)), dtype=np.float64)
+    for column, label in enumerate(labels):
+        seeds[:, column] = seed_assigner.seeds(keys, instance=label)
+    return seeds
+
+
+def oblivious_outcome_batch(
+    dataset: "MultiInstanceDataset",
+    keys: Sequence[object],
+    labels: Sequence[object],
+    probabilities: Sequence[float],
+    seed_assigner: SeedAssigner,
+) -> tuple[np.ndarray, OutcomeBatch]:
+    """Weight-oblivious Poisson outcomes of ``keys``, one batch row per key.
+
+    Entry ``i`` of key ``h`` is sampled iff the reproducible seed of
+    ``(h, labels[i])`` is at most ``probabilities[i]``.  Returns the full
+    value matrix (for exact aggregates) alongside the batch.
+    """
+    values = dataset_value_matrix(dataset, keys, labels)
+    seeds = _seed_matrix(keys, labels, seed_assigner)
+    sampled = seeds <= np.asarray(probabilities, dtype=np.float64)[None, :]
+    return values, OutcomeBatch(values=values, sampled=sampled)
+
+
+def pps_outcome_batch(
+    dataset: "MultiInstanceDataset",
+    keys: Sequence[object],
+    labels: Sequence[object],
+    tau_star: Sequence[float],
+    seed_assigner: SeedAssigner,
+) -> tuple[np.ndarray, OutcomeBatch]:
+    """Known-seed Poisson PPS outcomes of ``keys``, one batch row per key.
+
+    Entry ``i`` of key ``h`` is sampled iff ``v_i(h) > 0`` and
+    ``v_i(h) >= u_i(h) * tau_star[i]``; the batch carries the seed of every
+    entry (the known-seeds model).
+    """
+    values = dataset_value_matrix(dataset, keys, labels)
+    seeds = _seed_matrix(keys, labels, seed_assigner)
+    thresholds = np.asarray(tau_star, dtype=np.float64)[None, :]
+    sampled = (values > 0.0) & (values >= seeds * thresholds)
+    return values, OutcomeBatch(values=values, sampled=sampled, seeds=seeds)

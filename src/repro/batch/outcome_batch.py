@@ -1,0 +1,203 @@
+"""Columnar batches of sampling outcomes.
+
+A :class:`OutcomeBatch` holds ``n`` outcomes of sampling ``r``-entry value
+vectors as three 2-D column-major-by-meaning arrays:
+
+``values``
+    ``(n, r)`` float64 — the sampled values.  Entries outside the sampled
+    mask carry no information; they are stored as ``0.0`` and every batch
+    kernel masks them out before use.
+``sampled``
+    ``(n, r)`` bool — ``sampled[k, i]`` is true iff entry ``i`` of outcome
+    ``k`` was sampled (the set ``S`` of the scalar
+    :class:`~repro.sampling.outcomes.VectorOutcome`).
+``seeds``
+    ``(n, r)`` float64 or ``None`` — in the known-seeds model, the uniform
+    seed of *every* entry of every outcome; ``None`` in the unknown-seed
+    model.  Seed availability is batch-wide: a batch either carries seeds
+    for all outcomes or for none (mixed iterables cannot be converted and
+    fall back to the scalar path).
+
+The batch is the columnar twin of a list of ``VectorOutcome`` objects: the
+row view :meth:`row` reconstructs the exact scalar outcome, and
+:meth:`from_outcomes` converts a homogeneous iterable of scalar outcomes
+into a batch.  Vectorized estimators consume whole batches through
+:meth:`repro.core.estimator_base.VectorEstimator.estimate_batch`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidOutcomeError
+from repro.sampling.outcomes import VectorOutcome
+
+__all__ = ["OutcomeBatch"]
+
+
+class OutcomeBatch:
+    """Columnar batch of ``n`` sampling outcomes of ``r``-entry vectors.
+
+    Parameters
+    ----------
+    values:
+        ``(n, r)`` array of sampled values.  Entries where ``sampled`` is
+        false are ignored (and canonicalised to ``0.0``).
+    sampled:
+        ``(n, r)`` boolean inclusion mask.
+    seeds:
+        Optional ``(n, r)`` array of per-entry uniform seeds (known-seeds
+        model).  ``None`` means the unknown-seed model for the whole batch.
+    """
+
+    __slots__ = ("values", "sampled", "seeds")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        sampled: np.ndarray,
+        seeds: np.ndarray | None = None,
+    ) -> None:
+        sampled = np.asarray(sampled, dtype=bool)
+        values = np.asarray(values, dtype=np.float64)
+        if sampled.ndim != 2:
+            raise InvalidOutcomeError(
+                f"sampled mask must be 2-D (n, r), got shape {sampled.shape}"
+            )
+        if values.shape != sampled.shape:
+            raise InvalidOutcomeError(
+                f"values shape {values.shape} does not match sampled mask "
+                f"shape {sampled.shape}"
+            )
+        if sampled.shape[1] < 1:
+            raise InvalidOutcomeError(
+                f"r must be positive, got {sampled.shape[1]}"
+            )
+        if seeds is not None:
+            seeds = np.asarray(seeds, dtype=np.float64)
+            if seeds.shape != sampled.shape:
+                raise InvalidOutcomeError(
+                    f"seeds shape {seeds.shape} does not match sampled mask "
+                    f"shape {sampled.shape}"
+                )
+        # Canonical layout: unsampled entries carry 0.0 so that equal
+        # batches compare equal regardless of how they were assembled.
+        self.values = np.where(sampled, values, 0.0)
+        self.sampled = sampled
+        self.seeds = seeds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_outcomes(self) -> int:
+        """Number of outcomes (rows) in the batch."""
+        return self.sampled.shape[0]
+
+    @property
+    def r(self) -> int:
+        """Number of entries of each outcome (columns)."""
+        return self.sampled.shape[1]
+
+    @property
+    def knows_seeds(self) -> bool:
+        """Whether the batch carries seeds for all entries."""
+        return self.seeds is not None
+
+    def __len__(self) -> int:
+        return self.n_outcomes
+
+    def n_sampled(self) -> np.ndarray:
+        """Per-outcome number of sampled entries, shape ``(n,)``."""
+        return self.sampled.sum(axis=1)
+
+    def any_sampled(self) -> np.ndarray:
+        """Per-outcome "is nonempty" mask, shape ``(n,)``."""
+        if self.r == 2:  # column ops beat axis-1 reductions on (n, 2)
+            return self.sampled[:, 0] | self.sampled[:, 1]
+        return self.sampled.any(axis=1)
+
+    def all_sampled(self) -> np.ndarray:
+        """Per-outcome "is full" mask, shape ``(n,)``."""
+        if self.r == 2:
+            return self.sampled[:, 0] & self.sampled[:, 1]
+        return self.sampled.all(axis=1)
+
+    def max_sampled(self) -> np.ndarray:
+        """Per-outcome maximum sampled value (0 for empty outcomes)."""
+        from repro.batch.kernels import masked_row_max
+
+        return masked_row_max(self.values, self.sampled)
+
+    # ------------------------------------------------------------------
+    # Conversion to / from scalar outcomes
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Iterable[VectorOutcome]
+    ) -> "OutcomeBatch":
+        """Convert a homogeneous iterable of scalar outcomes to a batch.
+
+        All outcomes must share the same ``r`` and the same seed
+        availability; a heterogeneous iterable raises
+        :class:`~repro.exceptions.InvalidOutcomeError` (callers such as
+        ``estimate_many`` then fall back to the scalar loop).
+        """
+        outcomes = list(outcomes)
+        if not outcomes:
+            raise InvalidOutcomeError(
+                "cannot infer r from an empty iterable of outcomes"
+            )
+        r = outcomes[0].r
+        knows_seeds = outcomes[0].knows_seeds
+        n = len(outcomes)
+        values = np.zeros((n, r), dtype=np.float64)
+        sampled = np.zeros((n, r), dtype=bool)
+        seeds = np.zeros((n, r), dtype=np.float64) if knows_seeds else None
+        for row, outcome in enumerate(outcomes):
+            if outcome.r != r:
+                raise InvalidOutcomeError(
+                    f"outcome {row} has r={outcome.r}, batch has r={r}"
+                )
+            if outcome.knows_seeds != knows_seeds:
+                raise InvalidOutcomeError(
+                    "cannot batch outcomes with mixed seed availability"
+                )
+            for index in outcome.sampled:
+                sampled[row, index] = True
+                values[row, index] = outcome.values[index]
+            if seeds is not None:
+                for index in range(r):
+                    seeds[row, index] = outcome.seeds[index]
+        return cls(values=values, sampled=sampled, seeds=seeds)
+
+    def row(self, index: int) -> VectorOutcome:
+        """The scalar :class:`VectorOutcome` of row ``index``."""
+        mask = self.sampled[index]
+        sampled = frozenset(int(i) for i in np.nonzero(mask)[0])
+        values = {int(i): float(self.values[index, i]) for i in sampled}
+        seeds = None
+        if self.seeds is not None:
+            seeds = {
+                i: float(self.seeds[index, i]) for i in range(self.r)
+            }
+        return VectorOutcome(
+            r=self.r, sampled=sampled, values=values, seeds=seeds
+        )
+
+    def iter_outcomes(self) -> Iterator[VectorOutcome]:
+        """Iterate over the rows as scalar outcomes (reference path)."""
+        for index in range(self.n_outcomes):
+            yield self.row(index)
+
+    def to_outcomes(self) -> list[VectorOutcome]:
+        """The batch as a list of scalar outcomes."""
+        return list(self.iter_outcomes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"OutcomeBatch(n_outcomes={self.n_outcomes}, r={self.r}, "
+            f"knows_seeds={self.knows_seeds})"
+        )

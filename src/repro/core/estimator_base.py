@@ -5,6 +5,11 @@ Every concrete estimator in :mod:`repro.core` consumes a
 estimate of its target function.  The interface also exposes the properties
 the paper cares about (unbiasedness, nonnegativity, monotonicity, Pareto
 optimality) as metadata so comparison harnesses can report them.
+
+Batches of outcomes are estimated through :meth:`VectorEstimator.
+estimate_batch`, which concrete estimators override with a vectorized
+NumPy implementation; the scalar :meth:`VectorEstimator.estimate` remains
+the reference the batch path is tested against.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.batch.outcome_batch import OutcomeBatch
+from repro.exceptions import InvalidOutcomeError
 from repro.sampling.outcomes import VectorOutcome
 
 __all__ = ["VectorEstimator"]
@@ -45,10 +52,52 @@ class VectorEstimator(ABC):
     def estimate(self, outcome: VectorOutcome) -> float:
         """Return the estimate for one outcome."""
 
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vector of estimates for a columnar batch of outcomes.
+
+        The base implementation is the scalar reference loop; concrete
+        estimators override it with a vectorized NumPy kernel.  Overrides
+        must agree with the scalar loop to floating-point round-off and
+        raise the same exceptions on invalid batches.
+        """
+        return np.fromiter(
+            (self.estimate(outcome) for outcome in batch.iter_outcomes()),
+            dtype=np.float64,
+            count=len(batch),
+        )
+
+    @property
+    def has_batch_path(self) -> bool:
+        """Whether this estimator overrides :meth:`estimate_batch`."""
+        return type(self).estimate_batch is not VectorEstimator.estimate_batch
+
     def estimate_many(self, outcomes: Iterable[VectorOutcome]) -> np.ndarray:
-        """Vector of estimates for an iterable of outcomes."""
+        """Vector of estimates for an iterable of outcomes.
+
+        Routes through the columnar :meth:`estimate_batch` fast path when
+        the estimator provides one and the outcomes are homogeneous (same
+        ``r`` and seed availability); otherwise falls back to the scalar
+        loop.  An empty iterable yields a shape-``(0,)`` float64 array.
+        """
+        outcomes = list(outcomes)
+        if not outcomes:
+            return np.zeros(0, dtype=np.float64)
+        if self.has_batch_path:
+            try:
+                batch = OutcomeBatch.from_outcomes(outcomes)
+            except InvalidOutcomeError:
+                pass  # heterogeneous outcomes: the scalar loop handles them
+            else:
+                return self.estimate_batch(batch)
         return np.array([self.estimate(outcome) for outcome in outcomes],
-                        dtype=float)
+                        dtype=np.float64)
+
+    def _check_batch(self, batch: OutcomeBatch) -> None:
+        """Shared r-compatibility check for batch overrides."""
+        if batch.r != self.r:
+            raise InvalidOutcomeError(
+                f"outcome has {batch.r} entries, estimator expects {self.r}"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

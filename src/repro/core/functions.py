@@ -3,11 +3,19 @@
 Each primitive maps a value vector ``v = (v_1, ..., v_r)`` — the values one
 key assumes across ``r`` instances — to a nonnegative number.  Sum
 aggregates (Section 7) sum a primitive over selected keys.
+
+Each scalar primitive with a vectorized twin (mapping an ``(n, r)`` value
+matrix to the ``(n,)`` vector of per-row function values) is registered in
+:data:`BATCH_FUNCTIONS`; the batch estimation engine and the aggregate
+layer look twins up there, so a primitive gains the columnar fast path in
+one place.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
 
@@ -19,7 +27,13 @@ __all__ = [
     "exp_range",
     "boolean_or",
     "boolean_xor",
+    "row_maximum",
+    "row_minimum",
+    "row_range",
+    "row_boolean_or",
+    "row_boolean_xor",
     "FUNCTIONS",
+    "BATCH_FUNCTIONS",
 ]
 
 
@@ -87,6 +101,42 @@ def _check_binary(values: Sequence[float]) -> None:
             )
 
 
+def _check_binary_matrix(values: np.ndarray) -> None:
+    bad = (values != 0.0) & (values != 1.0)
+    if np.any(bad):
+        offender = float(values[bad][0])
+        raise InvalidParameterError(
+            f"Boolean primitives require values in {{0, 1}}, got {offender!r}"
+        )
+
+
+def row_maximum(values: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`maximum`."""
+    return values.max(axis=1)
+
+
+def row_minimum(values: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`minimum`."""
+    return values.min(axis=1)
+
+
+def row_range(values: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`value_range`."""
+    return values.max(axis=1) - values.min(axis=1)
+
+
+def row_boolean_or(values: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`boolean_or` (validates like the scalar)."""
+    _check_binary_matrix(values)
+    return (values != 0.0).any(axis=1).astype(np.float64)
+
+
+def row_boolean_xor(values: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`boolean_xor` (validates like the scalar)."""
+    _check_binary_matrix(values)
+    return ((values != 0.0).sum(axis=1) % 2).astype(np.float64)
+
+
 #: Registry of named primitives used by the experiment harness and examples.
 FUNCTIONS: dict[str, Callable[[Sequence[float]], float]] = {
     "max": maximum,
@@ -94,4 +144,14 @@ FUNCTIONS: dict[str, Callable[[Sequence[float]], float]] = {
     "range": value_range,
     "or": boolean_or,
     "xor": boolean_xor,
+}
+
+#: Scalar primitive -> vectorized twin; the single lookup point for the
+#: batch engine (HT estimators) and the aggregate layer (exact totals).
+BATCH_FUNCTIONS: dict[Callable, Callable[[np.ndarray], np.ndarray]] = {
+    maximum: row_maximum,
+    minimum: row_minimum,
+    value_range: row_range,
+    boolean_or: row_boolean_or,
+    boolean_xor: row_boolean_xor,
 }

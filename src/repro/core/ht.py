@@ -15,9 +15,13 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from repro._validation import check_probability, check_probability_vector
+from repro.batch.kernels import ht_oblivious_kernel
+from repro.batch.outcome_batch import OutcomeBatch
 from repro.core.estimator_base import VectorEstimator
-from repro.core.functions import maximum
+from repro.core.functions import BATCH_FUNCTIONS, maximum
 from repro.exceptions import InvalidOutcomeError
 from repro.sampling.outcomes import VectorOutcome
 
@@ -59,6 +63,14 @@ class HorvitzThompsonOblivious(VectorEstimator):
         Callable applied to the full value vector; defaults to the maximum.
     function_name:
         Label used in reports.
+    batch_function:
+        Optional vectorized twin of ``function`` mapping an ``(n, r)``
+        value matrix to the ``(n,)`` vector of per-row function values.
+        When provided, :meth:`estimate_batch` is fully vectorized;
+        otherwise the twin is looked up in :data:`~repro.core.functions.
+        BATCH_FUNCTIONS` (all named primitives are registered there), and
+        functions without a twin fall back to a row-by-row apply over the
+        rows where every entry is sampled.
     """
 
     variant = "HT"
@@ -69,10 +81,14 @@ class HorvitzThompsonOblivious(VectorEstimator):
         probabilities: Sequence[float],
         function: Callable[[Sequence[float]], float] = maximum,
         function_name: str = "max",
+        batch_function: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self.probabilities = check_probability_vector(probabilities)
         self.function = function
         self.function_name = function_name
+        if batch_function is None:
+            batch_function = BATCH_FUNCTIONS.get(function)
+        self.batch_function = batch_function
         self._all_sampled_probability = math.prod(self.probabilities)
 
     @property
@@ -88,6 +104,23 @@ class HorvitzThompsonOblivious(VectorEstimator):
             return 0.0
         values = [outcome.values[i] for i in range(self.r)]
         return float(self.function(values)) / self._all_sampled_probability
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized Eq. (10): ``f(v) / prod_i p_i`` on full rows."""
+        self._check_batch(batch)
+        full = batch.all_sampled()
+        f_values = np.zeros(len(batch), dtype=np.float64)
+        if self.batch_function is not None:
+            # Apply only on full rows so a validating function (e.g. the
+            # Boolean primitives) sees exactly what the scalar path sees.
+            if np.any(full):
+                f_values[full] = self.batch_function(batch.values[full])
+        else:
+            for row in np.nonzero(full)[0]:
+                f_values[row] = float(self.function(list(batch.values[row])))
+        return ht_oblivious_kernel(
+            f_values, full, self._all_sampled_probability
+        )
 
     def variance(self, values: Sequence[float]) -> float:
         """Exact variance for data ``values`` (Eq. (10))."""

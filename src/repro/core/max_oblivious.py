@@ -28,6 +28,13 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._validation import check_probability_vector
+from repro.batch.kernels import (
+    max_l_r2_kernel,
+    max_l_uniform_kernel,
+    max_u_kernel,
+    max_uas_kernel,
+)
+from repro.batch.outcome_batch import OutcomeBatch
 from repro.core.coefficients import uniform_max_l_coefficients
 from repro.core.estimator_base import VectorEstimator
 from repro.core.functions import maximum
@@ -124,7 +131,8 @@ class MaxObliviousL(VectorEstimator):
         phi = self.determining_vector(outcome)
         if self._uniform:
             ordered = np.sort(np.asarray(phi, dtype=float))[::-1]
-            return float(np.dot(self._alphas, ordered))
+            # Same multiply + reduce as the batch kernel (bit-level parity).
+            return float((self._alphas * ordered).sum())
         return self._estimate_r2(phi)
 
     def _estimate_r2(self, phi: tuple[float, ...]) -> float:
@@ -136,6 +144,18 @@ class MaxObliviousL(VectorEstimator):
         else:
             larger, smaller, p_larger = v2, v1, p2
         return (larger - (1.0 - p_larger) * smaller) / (p_larger * union)
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized ``max^(L)``: Eq. (12) for ``r = 2``, the Theorem 4.2
+        coefficient tables for uniform ``p``."""
+        self._check_batch(batch)
+        if self._uniform:
+            return max_l_uniform_kernel(
+                batch.values, batch.sampled, self._alphas
+            )
+        return max_l_r2_kernel(
+            batch.values, batch.sampled, *self.probabilities
+        )
 
     def _check(self, outcome: VectorOutcome) -> None:
         if outcome.r != self.r:
@@ -185,6 +205,11 @@ class MaxObliviousU(VectorEstimator):
         numerator = max(v1, v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / slack
         return numerator / (p1 * p2)
 
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized ``max^(U)`` over the four inclusion patterns."""
+        self._check_batch(batch)
+        return max_u_kernel(batch.values, batch.sampled, *self.probabilities)
+
 
 class MaxObliviousUAsymmetric(VectorEstimator):
     """The asymmetric ``max^(Uas)`` estimator for ``r = 2`` (Section 4.2).
@@ -230,3 +255,10 @@ class MaxObliviousUAsymmetric(VectorEstimator):
             - (1.0 - p2) * v1
         )
         return numerator / (p1 * p2)
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized ``max^(Uas)`` over the four inclusion patterns."""
+        self._check_batch(batch)
+        return max_uas_kernel(
+            batch.values, batch.sampled, *self.probabilities
+        )

@@ -25,6 +25,8 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._validation import check_positive_vector
+from repro.batch.kernels import pps_max_ht_kernel, pps_max_l_r2_kernel
+from repro.batch.outcome_batch import OutcomeBatch
 from repro.core.estimator_base import VectorEstimator
 from repro.exceptions import InvalidOutcomeError, UnsupportedConfigurationError
 from repro.sampling.outcomes import VectorOutcome
@@ -67,6 +69,23 @@ class MaxPpsHT(VectorEstimator):
             min(1.0, top / tau) for tau in self.tau_star
         )
         return top / probability
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized inverse-probability PPS max estimate."""
+        self._check_batch_seeds(batch)
+        return pps_max_ht_kernel(
+            batch.values,
+            batch.sampled,
+            batch.seeds,
+            np.asarray(self.tau_star),
+        )
+
+    def _check_batch_seeds(self, batch: OutcomeBatch) -> None:
+        self._check_batch(batch)
+        if batch.seeds is None:
+            raise InvalidOutcomeError(
+                "PPS max estimators require known seeds in the outcome"
+            )
 
     def variance(self, values: Sequence[float]) -> float:
         """Exact variance for data ``values``."""
@@ -140,6 +159,17 @@ class MaxPpsL(VectorEstimator):
     def estimate(self, outcome: VectorOutcome) -> float:
         phi = self.determining_vector(outcome)
         return self.estimate_from_determining(*phi)
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized Figure 3 closed forms over a batch of outcomes."""
+        self._check_batch(batch)
+        if batch.seeds is None:
+            raise InvalidOutcomeError(
+                "PPS max estimators require known seeds in the outcome"
+            )
+        return pps_max_l_r2_kernel(
+            batch.values, batch.sampled, batch.seeds, *self.tau_star
+        )
 
     def estimate_from_determining(self, phi1: float, phi2: float) -> float:
         """Estimate as a function of the determining vector (Figure 3)."""

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro._validation import check_probability_vector
+from repro.batch.kernels import check_binary_columns, known_seed_or_mapping
+from repro.batch.outcome_batch import OutcomeBatch
 from repro.core.estimator_base import VectorEstimator
 from repro.core.functions import boolean_or
 from repro.core.ht import HorvitzThompsonOblivious
@@ -42,7 +46,11 @@ __all__ = [
 
 
 class OrObliviousHT(HorvitzThompsonOblivious):
-    """HT estimator of Boolean OR under weight-oblivious Poisson sampling."""
+    """HT estimator of Boolean OR under weight-oblivious Poisson sampling.
+
+    The vectorized batch path picks up ``boolean_or``'s registered twin
+    from :data:`~repro.core.functions.BATCH_FUNCTIONS` automatically.
+    """
 
     function_name = "or"
 
@@ -76,6 +84,11 @@ class OrObliviousL(VectorEstimator):
         _check_binary_outcome(outcome)
         return self._max_l.estimate(outcome)
 
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized ``OR^(L)``: binary check, then the ``max^(L)`` kernel."""
+        check_binary_columns(batch.values, batch.sampled)
+        return self._max_l.estimate_batch(batch)
+
 
 class OrObliviousU(VectorEstimator):
     """``OR^(U)``: the sparse-first optimal OR estimator (Section 4.3),
@@ -96,6 +109,11 @@ class OrObliviousU(VectorEstimator):
     def estimate(self, outcome: VectorOutcome) -> float:
         _check_binary_outcome(outcome)
         return self._max_u.estimate(outcome)
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized ``OR^(U)``: binary check, then the ``max^(U)`` kernel."""
+        check_binary_columns(batch.values, batch.sampled)
+        return self._max_u.estimate_batch(batch)
 
 
 def map_known_seed_outcome_to_oblivious(
@@ -152,6 +170,21 @@ class _KnownSeedsOrBase(VectorEstimator):
             outcome, self.probabilities
         )
         return self._oblivious.estimate(mapped)
+
+    def estimate_batch(self, batch: OutcomeBatch) -> np.ndarray:
+        """Vectorized known-seed OR: apply the Section 5 outcome mapping
+        column-wise, then delegate to the weight-oblivious batch kernel."""
+        check_binary_columns(batch.values, batch.sampled)
+        if batch.seeds is None:
+            raise InvalidOutcomeError(
+                "known-seed OR estimators require outcomes that carry seeds"
+            )
+        self._check_batch(batch)
+        mapped_values, mapped_sampled = known_seed_or_mapping(
+            batch.sampled, batch.seeds, np.asarray(self.probabilities)
+        )
+        mapped = OutcomeBatch(values=mapped_values, sampled=mapped_sampled)
+        return self._oblivious.estimate_batch(mapped)
 
 
 class OrKnownSeedsHT(_KnownSeedsOrBase):

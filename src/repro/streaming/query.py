@@ -31,6 +31,7 @@ from repro.aggregates.distinct import (
     distinct_count_ht,
     distinct_count_l,
 )
+from repro.batch.outcome_batch import OutcomeBatch
 from repro.core.estimator_base import VectorEstimator
 from repro.core.max_weighted import MaxPpsHT, MaxPpsL
 from repro.exceptions import InvalidParameterError
@@ -44,6 +45,7 @@ __all__ = [
     "distinct_count",
     "l1_distance",
     "max_dominance",
+    "outcome_batch",
     "rank_conditioning_total",
     "sum_aggregate",
     "vector_outcomes",
@@ -94,21 +96,24 @@ def _seed_map(
     return sketch.seed_assigner.seed_map(list(keys), instance=sketch.instance)
 
 
-def vector_outcomes(
+def outcome_batch(
     sketches: Sequence[StreamingPoisson],
     predicate: KeyPredicate | None = None,
     include_seeds: bool = True,
-) -> dict[object, VectorOutcome]:
-    """Per-key sampling outcomes of a family of Poisson sketches.
+) -> tuple[list[object], OutcomeBatch]:
+    """Columnar per-key sampling outcomes of a family of Poisson sketches.
 
     Entry ``i`` of the outcome of key ``h`` is sampled iff ``h`` is retained
     by ``sketches[i]`` — or, for a weight-oblivious sketch, iff the (known)
     seed of ``h`` is at most the threshold: oblivious sampling observes keys
     regardless of their value, so a key that is seed-selected but not
     retained was *observed to be zero* in that instance, exactly as in the
-    offline pipeline.  With ``include_seeds`` the outcome carries the seed
+    offline pipeline.  With ``include_seeds`` the batch carries the seed
     of every entry (known-seeds model), which the PPS and known-seed OR
     estimators require.
+
+    Returns the key list (one batch row per key, in sketch-retention
+    order) and the assembled :class:`~repro.batch.OutcomeBatch`.
     """
     _check_family(sketches)
     entry_maps = [sketch.entries for sketch in sketches]
@@ -118,38 +123,55 @@ def vector_outcomes(
             if predicate is None or predicate(key):
                 keys.setdefault(key)
     key_list = list(keys)
+    n = len(key_list)
     r = len(sketches)
-    oblivious = [
-        isinstance(sketch.rank_family, UniformRanks) for sketch in sketches
-    ]
-    # one vectorised seed pass per sketch instead of a hash per (key, sketch)
-    seed_columns: list[np.ndarray | None] = [
-        sketch.seed_assigner.seeds(key_list, instance=sketch.instance)
-        if include_seeds or oblivious[index]
-        else None
-        for index, sketch in enumerate(sketches)
-    ]
-    outcomes: dict[object, VectorOutcome] = {}
-    for position, key in enumerate(key_list):
-        sampled = set()
-        values: dict[int, float] = {}
-        seeds: dict[int, float] | None = {} if include_seeds else None
-        for index, sketch in enumerate(sketches):
-            value = entry_maps[index].get(key)
-            column = seed_columns[index]
-            seed = None if column is None else float(column[position])
-            if (value is None and oblivious[index]
-                    and seed <= sketch.threshold):
-                value = 0.0
-            if value is not None:
-                sampled.add(index)
-                values[index] = value
-            if seeds is not None:
-                seeds[index] = seed
-        outcomes[key] = VectorOutcome(
-            r=r, sampled=frozenset(sampled), values=values, seeds=seeds
+    values = np.zeros((n, r), dtype=np.float64)
+    sampled = np.zeros((n, r), dtype=bool)
+    seeds = np.zeros((n, r), dtype=np.float64) if include_seeds else None
+    for index, sketch in enumerate(sketches):
+        entries = entry_maps[index]
+        # Membership mask, not a value sentinel: a retained entry whose
+        # accumulated value is NaN must stay sampled (and propagate NaN
+        # loudly) rather than be reclassified as unretained.
+        retained = np.fromiter(
+            (key in entries for key in key_list), dtype=bool, count=n
         )
-    return outcomes
+        values[:, index] = np.fromiter(
+            (entries.get(key, 0.0) for key in key_list),
+            dtype=np.float64,
+            count=n,
+        )
+        oblivious = isinstance(sketch.rank_family, UniformRanks)
+        if include_seeds or oblivious:
+            # one vectorised seed pass per sketch instead of a hash per
+            # (key, sketch) pair
+            seed_column = sketch.seed_assigner.seeds(
+                key_list, instance=sketch.instance
+            )
+            if seeds is not None:
+                seeds[:, index] = seed_column
+        if oblivious:
+            # a seed-selected but unretained key was observed to be zero
+            sampled[:, index] = retained | (seed_column <= sketch.threshold)
+        else:
+            sampled[:, index] = retained
+    return key_list, OutcomeBatch(values=values, sampled=sampled, seeds=seeds)
+
+
+def vector_outcomes(
+    sketches: Sequence[StreamingPoisson],
+    predicate: KeyPredicate | None = None,
+    include_seeds: bool = True,
+) -> dict[object, VectorOutcome]:
+    """Per-key sampling outcomes of a family of Poisson sketches.
+
+    The scalar row view of :func:`outcome_batch`, kept for callers that
+    consume one :class:`VectorOutcome` at a time.
+    """
+    keys, batch = outcome_batch(
+        sketches, predicate=predicate, include_seeds=include_seeds
+    )
+    return {key: batch.row(index) for index, key in enumerate(keys)}
 
 
 def sum_aggregate(
@@ -162,7 +184,9 @@ def sum_aggregate(
 
     Keys retained by no sketch contribute zero per-key estimates (every
     estimator of the paper is zero on the empty outcome), so summing over
-    retained keys only is exact for the estimator.
+    retained keys only is exact for the estimator.  The per-key outcomes
+    are assembled into one columnar batch and estimated in a single
+    vectorized ``estimate_batch`` pass.
     """
     if estimator.r != len(sketches):
         raise InvalidParameterError(
@@ -170,12 +194,10 @@ def sum_aggregate(
             f"got {len(sketches)} sketches"
         )
     _check_independent(sketches, "sum_aggregate")
-    outcomes = vector_outcomes(
+    _, batch = outcome_batch(
         sketches, predicate=predicate, include_seeds=include_seeds
     )
-    return float(
-        sum(estimator.estimate(outcome) for outcome in outcomes.values())
-    )
+    return float(estimator.estimate_batch(batch).sum())
 
 
 def dataset_view(
@@ -310,12 +332,9 @@ def max_dominance(
     tau_star = (1.0 / sketch1.threshold, 1.0 / sketch2.threshold)
     estimator_ht = MaxPpsHT(tau_star)
     estimator_l = MaxPpsL(tau_star)
-    outcomes = vector_outcomes((sketch1, sketch2), predicate=predicate)
-    total_ht = 0.0
-    total_l = 0.0
-    for outcome in outcomes.values():
-        total_ht += estimator_ht.estimate(outcome)
-        total_l += estimator_l.estimate(outcome)
+    keys, batch = outcome_batch((sketch1, sketch2), predicate=predicate)
     return StreamingDominanceEstimate(
-        ht=total_ht, l=total_l, n_sampled_keys=len(outcomes)
+        ht=float(estimator_ht.estimate_batch(batch).sum()),
+        l=float(estimator_l.estimate_batch(batch).sum()),
+        n_sampled_keys=len(keys),
     )

@@ -1,0 +1,143 @@
+"""Tests for the columnar OutcomeBatch container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import OutcomeBatch
+from repro.exceptions import InvalidOutcomeError
+from repro.sampling.outcomes import VectorOutcome
+
+
+def _random_outcomes(rng, n, r, with_seeds):
+    outcomes = []
+    for _ in range(n):
+        values = np.round(rng.gamma(2.0, 3.0, r), 3)
+        mask = rng.random(r) < 0.6
+        sampled = {i for i in range(r) if mask[i]}
+        seeds = list(rng.random(r)) if with_seeds else None
+        outcomes.append(
+            VectorOutcome.from_vector(tuple(values), sampled, seeds=seeds)
+        )
+    return outcomes
+
+
+class TestConstruction:
+    def test_shapes_and_dtypes(self):
+        batch = OutcomeBatch(
+            values=[[1.0, 2.0], [3.0, 0.0]],
+            sampled=[[True, True], [True, False]],
+        )
+        assert batch.n_outcomes == 2
+        assert batch.r == 2
+        assert len(batch) == 2
+        assert batch.values.dtype == np.float64
+        assert batch.sampled.dtype == bool
+        assert not batch.knows_seeds
+
+    def test_unsampled_values_canonicalised_to_zero(self):
+        batch = OutcomeBatch(
+            values=[[1.0, 99.0]], sampled=[[True, False]]
+        )
+        assert batch.values[0, 1] == 0.0
+
+    def test_rejects_1d_mask(self):
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch(values=[1.0, 2.0], sampled=[True, False])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch(
+                values=[[1.0, 2.0, 3.0]], sampled=[[True, False]]
+            )
+
+    def test_rejects_seed_shape_mismatch(self):
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch(
+                values=[[1.0, 2.0]],
+                sampled=[[True, False]],
+                seeds=[[0.5]],
+            )
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch(
+                values=np.zeros((3, 0)), sampled=np.zeros((3, 0), dtype=bool)
+            )
+
+    def test_empty_batch_is_allowed(self):
+        batch = OutcomeBatch(
+            values=np.zeros((0, 2)), sampled=np.zeros((0, 2), dtype=bool)
+        )
+        assert batch.n_outcomes == 0
+        assert batch.r == 2
+        assert batch.max_sampled().shape == (0,)
+
+
+class TestRowViews:
+    def test_round_trip_without_seeds(self, rng):
+        outcomes = _random_outcomes(rng, 40, 3, with_seeds=False)
+        batch = OutcomeBatch.from_outcomes(outcomes)
+        for original, reconstructed in zip(outcomes, batch.iter_outcomes()):
+            assert reconstructed == original
+
+    def test_round_trip_with_seeds(self, rng):
+        outcomes = _random_outcomes(rng, 40, 2, with_seeds=True)
+        batch = OutcomeBatch.from_outcomes(outcomes)
+        assert batch.knows_seeds
+        assert batch.to_outcomes() == outcomes
+
+    def test_row_indexing(self, rng):
+        outcomes = _random_outcomes(rng, 10, 2, with_seeds=False)
+        batch = OutcomeBatch.from_outcomes(outcomes)
+        assert batch.row(7) == outcomes[7]
+
+
+class TestFromOutcomes:
+    def test_empty_iterable_raises(self):
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch.from_outcomes([])
+
+    def test_mixed_r_raises(self):
+        outcomes = [
+            VectorOutcome.from_vector((1.0, 2.0), {0}),
+            VectorOutcome.from_vector((1.0, 2.0, 3.0), {0}),
+        ]
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch.from_outcomes(outcomes)
+
+    def test_mixed_seed_availability_raises(self):
+        outcomes = [
+            VectorOutcome.from_vector((1.0, 2.0), {0}),
+            VectorOutcome.from_vector((1.0, 2.0), {0}, seeds=[0.1, 0.9]),
+        ]
+        with pytest.raises(InvalidOutcomeError):
+            OutcomeBatch.from_outcomes(outcomes)
+
+
+class TestColumnStatistics:
+    def test_counts_and_masks(self):
+        batch = OutcomeBatch(
+            values=[[1.0, 2.0], [3.0, 0.0], [0.0, 0.0]],
+            sampled=[[True, True], [True, False], [False, False]],
+        )
+        np.testing.assert_array_equal(batch.n_sampled(), [2, 1, 0])
+        np.testing.assert_array_equal(
+            batch.any_sampled(), [True, True, False]
+        )
+        np.testing.assert_array_equal(
+            batch.all_sampled(), [True, False, False]
+        )
+
+    def test_max_sampled_matches_scalar(self, rng):
+        outcomes = _random_outcomes(rng, 50, 4, with_seeds=False)
+        batch = OutcomeBatch.from_outcomes(outcomes)
+        expected = [outcome.max_sampled() for outcome in outcomes]
+        np.testing.assert_allclose(batch.max_sampled(), expected)
+
+    def test_max_sampled_zero_on_empty_rows(self):
+        batch = OutcomeBatch(
+            values=[[5.0, 7.0]], sampled=[[False, False]]
+        )
+        assert batch.max_sampled()[0] == 0.0

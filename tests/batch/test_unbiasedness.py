@@ -1,0 +1,146 @@
+"""Monte Carlo unbiasedness regression tests (slow suite).
+
+For each estimator, the empirical mean over >= 20k sampled outcomes of a
+fixed data vector must fall inside a 5-sigma normal confidence interval of
+the true function value.  The outcomes are drawn and estimated through the
+columnar batch engine, which is what keeps 20k-trial runs cheap; the batch
+engine itself is held to scalar parity by ``test_parity.py``.
+
+The suite is marked ``slow`` and deselected by default (see ``pytest.ini``);
+a dedicated CI job runs it with ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import simulate_estimator
+from repro.batch import OutcomeBatch
+from repro.core.max_oblivious import (
+    MaxObliviousHT,
+    MaxObliviousL,
+    MaxObliviousU,
+    MaxObliviousUAsymmetric,
+)
+from repro.core.max_weighted import MaxPpsHT, MaxPpsL
+from repro.core.or_estimators import (
+    OrKnownSeedsHT,
+    OrKnownSeedsL,
+    OrKnownSeedsU,
+    OrObliviousHT,
+    OrObliviousL,
+    OrObliviousU,
+)
+from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
+
+pytestmark = pytest.mark.slow
+
+N_TRIALS = 25_000
+N_SIGMA = 5.0
+SEED = 20110613
+
+
+def assert_unbiased(result, target):
+    assert result.n_trials >= 20_000
+    assert result.mean_within(target, n_sigma=N_SIGMA), (
+        f"empirical mean {result.mean} outside the {N_SIGMA}-sigma interval "
+        f"around {target} (stderr {result.standard_error})"
+    )
+
+
+class TestObliviousMaxUnbiasedness:
+    PROBABILITIES = (0.4, 0.7)
+
+    @pytest.mark.parametrize(
+        "estimator_class",
+        [MaxObliviousHT, MaxObliviousL, MaxObliviousU, MaxObliviousUAsymmetric],
+    )
+    @pytest.mark.parametrize(
+        "values", [(4.0, 1.0), (1.0, 4.0), (3.0, 3.0), (5.0, 0.0), (0.0, 2.0)]
+    )
+    def test_mean_matches_maximum(self, estimator_class, values):
+        scheme = ObliviousPoissonScheme(self.PROBABILITIES)
+        estimator = estimator_class(self.PROBABILITIES)
+        result = simulate_estimator(
+            estimator, scheme, values, n_trials=N_TRIALS, rng=SEED
+        )
+        assert_unbiased(result, max(values))
+
+    @pytest.mark.parametrize("values", [(4.0, 1.0, 2.0, 3.0), (2.0, 0.0, 0.0, 7.0)])
+    def test_uniform_l_any_r(self, values):
+        probabilities = (0.3,) * 4
+        scheme = ObliviousPoissonScheme(probabilities)
+        result = simulate_estimator(
+            MaxObliviousL(probabilities), scheme, values,
+            n_trials=N_TRIALS, rng=SEED,
+        )
+        assert_unbiased(result, max(values))
+
+
+class TestObliviousOrUnbiasedness:
+    PROBABILITIES = (0.4, 0.7)
+
+    @pytest.mark.parametrize(
+        "estimator_class", [OrObliviousHT, OrObliviousL, OrObliviousU]
+    )
+    @pytest.mark.parametrize("values", [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0), (0.0, 0.0)])
+    def test_mean_matches_or(self, estimator_class, values):
+        scheme = ObliviousPoissonScheme(self.PROBABILITIES)
+        result = simulate_estimator(
+            estimator_class(self.PROBABILITIES), scheme, values,
+            n_trials=N_TRIALS, rng=SEED,
+        )
+        assert_unbiased(result, float(any(values)))
+
+
+class TestKnownSeedOrUnbiasedness:
+    """Weighted binary sampling with known seeds (Section 5.1 model)."""
+
+    PROBABILITIES = (0.4, 0.7)
+
+    @pytest.mark.parametrize(
+        "estimator_class", [OrKnownSeedsHT, OrKnownSeedsL, OrKnownSeedsU]
+    )
+    @pytest.mark.parametrize("values", [(1.0, 1.0), (1.0, 0.0), (0.0, 1.0)])
+    def test_mean_matches_or(self, estimator_class, values):
+        probabilities = np.asarray(self.PROBABILITIES)
+        values_vector = np.asarray(values)
+        rng = np.random.default_rng(SEED)
+        seeds = rng.random((N_TRIALS, 2))
+        sampled = (values_vector[None, :] == 1.0) & (seeds <= probabilities)
+        batch = OutcomeBatch(
+            values=np.broadcast_to(values_vector, sampled.shape),
+            sampled=sampled,
+            seeds=seeds,
+        )
+        estimates = estimator_class(self.PROBABILITIES).estimate_batch(batch)
+        mean = float(estimates.mean())
+        stderr = float(estimates.std(ddof=1) / np.sqrt(N_TRIALS))
+        target = float(any(values))
+        assert abs(mean - target) <= N_SIGMA * max(stderr, 1e-12)
+
+
+class TestPpsMaxUnbiasedness:
+    TAU_STAR = (10.0, 10.0)
+
+    @pytest.mark.parametrize("estimator_class", [MaxPpsHT, MaxPpsL])
+    @pytest.mark.parametrize(
+        "values", [(6.0, 3.0), (3.0, 6.0), (12.0, 2.0), (4.0, 0.0)]
+    )
+    def test_mean_matches_maximum(self, estimator_class, values):
+        scheme = PpsPoissonScheme(self.TAU_STAR, known_seeds=True)
+        result = simulate_estimator(
+            estimator_class(self.TAU_STAR), scheme, values,
+            n_trials=N_TRIALS, rng=SEED,
+        )
+        assert_unbiased(result, max(values))
+
+    def test_heterogeneous_thresholds(self):
+        tau_star = (20.0, 5.0)
+        scheme = PpsPoissonScheme(tau_star, known_seeds=True)
+        result = simulate_estimator(
+            MaxPpsL(tau_star), scheme, (9.0, 3.0),
+            n_trials=N_TRIALS, rng=SEED,
+        )
+        assert_unbiased(result, 9.0)

@@ -1,0 +1,68 @@
+"""Record the repository's benchmark trajectory to a ``BENCH_*.json`` file.
+
+Runs the headline benchmarks (exact-enumeration grid, streaming
+``update_many``, batch estimation, full fast-mode experiment suite) and
+writes their wall times and speedups to a JSON file at the repository
+root, so successive PRs leave a comparable perf trail::
+
+    PYTHONPATH=src python benchmarks/record.py                # BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR4.json
+
+Use ``--smoke`` for a quick, smaller-workload run (same schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_exact  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR3.json",
+                        help="output file name (written at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workloads for a quick run")
+    args = parser.parse_args(argv)
+
+    grid_points = 300 if args.smoke else 1500
+    updates = 20_000 if args.smoke else 200_000
+
+    started = time.time()
+    record = {
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "benchmarks": {
+            "figure2_exact_moments_grid": bench_exact.bench_figure2_grid(
+                grid_points
+            ),
+            "streaming_update_many": bench_exact.bench_update_many(updates),
+            "run_all_experiments_fast": bench_exact.bench_run_all(),
+        },
+    }
+    record["total_bench_seconds"] = time.time() - started
+
+    out_path = REPO_ROOT / args.out
+    with out_path.open("w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

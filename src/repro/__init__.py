@@ -28,6 +28,14 @@ The package is organised as follows:
     ``estimate_batch`` that agrees with the scalar reference to
     floating-point round-off.
 
+``repro.exact``
+    The vectorized exact-enumeration engine: the ``2^r`` outcome space of
+    a weight-oblivious scheme as one columnar batch, exact moments as
+    probability-weighted column reductions, and grid sweeps
+    (``exact_moments_grid`` / ``exact_moments_value_grid``) that compute a
+    whole figure curve in a handful of kernel calls — bit-for-bit equal to
+    the scalar reference.
+
 ``repro.aggregates``
     Sum aggregates over an instances x keys data set: distinct count,
     max/min dominance norms and L1 distance — assembled into columnar

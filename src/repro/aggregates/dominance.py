@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aggregates.dataset import KeyPredicate, MultiInstanceDataset
-from repro.batch.assemble import pps_outcome_batch
+from repro.batch.assemble import dataset_value_matrix, pps_outcome_batch
 from repro.core.max_weighted import MaxPpsHT, MaxPpsL
 from repro.exceptions import InvalidParameterError
 from repro.sampling.seeds import SeedAssigner
@@ -59,19 +59,21 @@ def tau_star_for_sampling_fraction(
     Solves ``sum_h min(1, v_h / tau_star) = fraction * #positive`` by
     bisection (the left side decreases in ``tau_star``).
     """
-    positive = sorted((float(v) for v in values if v > 0.0), reverse=True)
-    if not positive:
+    values = np.fromiter((float(v) for v in values), dtype=np.float64)
+    positive = np.sort(values[values > 0.0])[::-1]
+    if positive.size == 0:
         raise InvalidParameterError("no positive values to sample")
     if not 0.0 < fraction <= 1.0:
         raise InvalidParameterError(
             f"fraction must be in (0, 1], got {fraction}"
         )
-    target = fraction * len(positive)
-    low, high = min(positive), sum(positive) / max(target, 1e-12)
+    target = fraction * positive.size
+    low = float(positive[-1])
+    high = float(positive.sum()) / max(target, 1e-12)
     low = min(low, high) * 1e-6
 
     def expected(tau: float) -> float:
-        return sum(min(1.0, v / tau) for v in positive)
+        return float(np.minimum(1.0, positive / tau).sum())
 
     for _ in range(200):
         mid = 0.5 * (low + high)
@@ -128,7 +130,10 @@ def max_dominance_exact_variances(
 
     Keys are sampled independently, so the aggregate variance is the sum of
     the per-key variances; the per-key ``max^(L)`` variance is computed by
-    numerical integration over the seed of the unsampled entry.
+    numerical integration over the seed of the unsampled entry.  The key
+    column is assembled into one value matrix and both estimators run
+    their batched ``variance_many`` path — the ``max^(L)`` integration is
+    evaluated once per *distinct* value pair instead of once per key.
     """
     if len(labels) != 2 or len(tau_star) != 2:
         raise InvalidParameterError(
@@ -136,12 +141,16 @@ def max_dominance_exact_variances(
         )
     estimator_ht = MaxPpsHT(tau_star)
     estimator_l = MaxPpsL(tau_star)
-    variance_ht = 0.0
-    variance_l = 0.0
-    for key in dataset.active_keys(labels):
-        if predicate is not None and not predicate(key):
-            continue
-        values = dataset.value_vector(key, labels)
-        variance_ht += estimator_ht.variance(values)
-        variance_l += estimator_l.variance(values, grid_size=grid_size)
+    keys = [
+        key
+        for key in dataset.active_keys(labels)
+        if predicate is None or predicate(key)
+    ]
+    if not keys:
+        return 0.0, 0.0
+    matrix = dataset_value_matrix(dataset, keys, list(labels))
+    variance_ht = float(estimator_ht.variance_many(matrix).sum())
+    variance_l = float(
+        estimator_l.variance_many(matrix, grid_size=grid_size).sum()
+    )
     return variance_ht, variance_l

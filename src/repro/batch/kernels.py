@@ -62,7 +62,11 @@ def max_l_r2_kernel(
     p1: float,
     p2: float,
 ) -> np.ndarray:
-    """``max^(L)`` for ``r = 2`` with arbitrary probabilities (Eq. (12))."""
+    """``max^(L)`` for ``r = 2`` with arbitrary probabilities (Eq. (12)).
+
+    ``p1`` / ``p2`` may be scalars or per-row ``(n,)`` columns (the
+    probability-grid sweeps of :mod:`repro.exact.grid`).
+    """
     # The r = 2 determining vector needs no row-max: an unsampled entry is
     # replaced by the other column (exact for single-sampled rows; empty
     # rows are zeroed at the end, and the columns are canonical 0 there).
@@ -105,8 +109,12 @@ def max_u_kernel(
     p1: float,
     p2: float,
 ) -> np.ndarray:
-    """The symmetric ``max^(U)`` estimator for ``r = 2`` (Section 4.2)."""
-    slack = 1.0 + max(0.0, 1.0 - p1 - p2)
+    """The symmetric ``max^(U)`` estimator for ``r = 2`` (Section 4.2).
+
+    ``p1`` / ``p2`` may be scalars or per-row ``(n,)`` columns (the
+    probability-grid sweeps of :mod:`repro.exact.grid`).
+    """
+    slack = 1.0 + np.maximum(0.0, 1.0 - p1 - p2)
     v1, v2 = values[:, 0], values[:, 1]
     s1, s2 = sampled[:, 0], sampled[:, 1]
     both = (
@@ -126,8 +134,12 @@ def max_uas_kernel(
     p1: float,
     p2: float,
 ) -> np.ndarray:
-    """The asymmetric ``max^(Uas)`` estimator for ``r = 2`` (Section 4.2)."""
-    denominator2 = max(1.0 - p1, p2)
+    """The asymmetric ``max^(Uas)`` estimator for ``r = 2`` (Section 4.2).
+
+    ``p1`` / ``p2`` may be scalars or per-row ``(n,)`` columns (the
+    probability-grid sweeps of :mod:`repro.exact.grid`).
+    """
+    denominator2 = np.maximum(1.0 - p1, p2)
     v1, v2 = values[:, 0], values[:, 1]
     s1, s2 = sampled[:, 0], sampled[:, 1]
     both = (

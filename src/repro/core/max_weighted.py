@@ -96,7 +96,33 @@ class MaxPpsHT(VectorEstimator):
         probability = math.prod(
             min(1.0, top / tau) for tau in self.tau_star
         )
-        return top ** 2 * (1.0 / probability - 1.0)
+        # top * top (exactly rounded) rather than top ** 2: libm pow can be
+        # one ulp off the true square, and variance_many squares with the
+        # exact multiply.
+        return top * top * (1.0 / probability - 1.0)
+
+    def variance_many(self, values_matrix) -> np.ndarray:
+        """Exact variances for a ``(n, r)`` matrix of data vectors.
+
+        Vectorized twin of :meth:`variance`: the inclusion probability is
+        accumulated threshold by threshold in the same order as the scalar
+        ``math.prod``, so each row agrees with the scalar call bit for bit.
+        """
+        values_matrix = np.asarray(values_matrix, dtype=np.float64)
+        if values_matrix.ndim != 2 or values_matrix.shape[1] != self.r:
+            raise InvalidOutcomeError(
+                f"values matrix must have shape (n, {self.r}), "
+                f"got {values_matrix.shape}"
+            )
+        top = values_matrix.max(axis=1)
+        positive = top > 0.0
+        safe_top = np.where(positive, top, 1.0)
+        probability = np.ones(len(values_matrix), dtype=np.float64)
+        for tau in self.tau_star:
+            probability *= np.minimum(1.0, safe_top / tau)
+        return np.where(
+            positive, safe_top * safe_top * (1.0 / probability - 1.0), 0.0
+        )
 
     def _check(self, outcome: VectorOutcome) -> None:
         if outcome.r != self.r:
@@ -323,6 +349,40 @@ class MaxPpsL(VectorEstimator):
     def variance(self, values: Sequence[float], grid_size: int = 2001) -> float:
         """Exact variance of the estimator for data ``values``."""
         return self.moments(values, grid_size=grid_size)[1]
+
+    def moments_many(
+        self, values_matrix, grid_size: int = 2001
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact moments for a ``(n, 2)`` matrix of data vectors.
+
+        The integration grid of :meth:`moments` depends on the data vector,
+        so rows are evaluated one by one — but only once per *distinct*
+        vector: duplicate rows (ubiquitous in integer-valued workloads such
+        as flow counts) share the result.  Each row equals the scalar
+        :meth:`moments` call bit for bit.
+        """
+        values_matrix = np.asarray(values_matrix, dtype=np.float64)
+        if values_matrix.ndim != 2 or values_matrix.shape[1] != 2:
+            raise InvalidOutcomeError(
+                f"values matrix must have shape (n, 2), "
+                f"got {values_matrix.shape}"
+            )
+        unique_rows, inverse = np.unique(
+            values_matrix, axis=0, return_inverse=True
+        )
+        means = np.empty(len(unique_rows))
+        variances = np.empty(len(unique_rows))
+        for index, row in enumerate(unique_rows):
+            means[index], variances[index] = self.moments(
+                (float(row[0]), float(row[1])), grid_size=grid_size
+            )
+        return means[inverse], variances[inverse]
+
+    def variance_many(
+        self, values_matrix, grid_size: int = 2001
+    ) -> np.ndarray:
+        """Exact variances for a ``(n, 2)`` matrix of data vectors."""
+        return self.moments_many(values_matrix, grid_size=grid_size)[1]
 
     def _one_sampled_moments(
         self,

@@ -41,15 +41,26 @@ def exact_moments(
     """Exact mean and variance of ``estimator`` on data ``values``.
 
     The outcome space of the weight-oblivious Poisson scheme conditioned on
-    a data vector has ``2^r`` outcomes, enumerated exactly.
+    a data vector has ``2^r`` outcomes, enumerated exactly.  This is the
+    scalar reference implementation; the columnar engine in
+    :mod:`repro.exact` computes the same moments (bit for bit) from a
+    single enumerated :class:`~repro.batch.OutcomeBatch` and is what the
+    figure sweeps run on.
+
+    The variance is clamped at ``0.0``: ``second_moment - mean**2``
+    suffers catastrophic cancellation as ``p -> 1`` (where the true
+    variance vanishes) and can come out a tiny negative.
     """
     mean = 0.0
     second_moment = 0.0
     for outcome, probability in scheme.iter_outcomes(values):
         estimate = estimator.estimate(outcome)
         mean += probability * estimate
-        second_moment += probability * estimate ** 2
-    return mean, second_moment - mean ** 2
+        # estimate * estimate (exactly rounded) rather than estimate ** 2:
+        # libm pow can be one ulp off the true square, and the columnar
+        # engine squares with the exact multiply.
+        second_moment += probability * (estimate * estimate)
+    return mean, max(second_moment - mean * mean, 0.0)
 
 
 def exact_variance(

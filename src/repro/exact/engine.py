@@ -1,0 +1,80 @@
+"""Vectorized exact moments over an enumerated outcome space.
+
+The scalar reference (:func:`repro.core.variance.exact_moments`) walks the
+``2^r`` outcomes of a weight-oblivious scheme in Python, calling
+``estimator.estimate`` once per outcome.  The engine here computes the same
+moments from columns: the outcome space is enumerated once as an
+:class:`~repro.batch.OutcomeBatch` (:mod:`repro.exact.enumeration`), every
+outcome is scored in one ``estimate_batch`` call, and the probability-
+weighted mean and second moment are accumulated outcome column by outcome
+column — the same sequential accumulation order as the scalar loop, so the
+two paths agree bit for bit (not merely to round-off).
+
+Zero-probability outcomes (entries with ``p_i = 1`` left unsampled) are
+masked out of the accumulation, exactly as the scalar iterator skips them.
+Variances are clamped at ``0.0``: ``second_moment - mean**2`` suffers
+catastrophic cancellation for ``p -> 1`` and can come out a tiny negative
+in both paths (the scalar reference applies the same clamp).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.estimator_base import VectorEstimator
+from repro.exact.enumeration import enumerate_outcome_batch
+
+__all__ = ["accumulate_moments", "exact_moments_vectorized"]
+
+
+def accumulate_moments(
+    probabilities: np.ndarray, estimates: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probability-weighted mean and variance per row.
+
+    ``probabilities`` and ``estimates`` are ``(n, m)`` matrices: ``n``
+    independent outcome spaces (grid points) of ``m`` outcomes each.
+    Accumulation runs column by column — the scalar enumeration order — so
+    every float matches the scalar ``mean += probability * estimate`` loop
+    bit for bit.  Zero-probability columns are masked out (the scalar
+    iterator never yields them, and masking also protects against
+    ``0 * inf`` from estimates of impossible outcomes).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if probabilities.shape != estimates.shape or probabilities.ndim != 2:
+        raise ValueError(
+            f"probabilities {probabilities.shape} and estimates "
+            f"{estimates.shape} must be matching (n, m) matrices"
+        )
+    n, m = probabilities.shape
+    mean = np.zeros(n, dtype=np.float64)
+    second = np.zeros(n, dtype=np.float64)
+    for j in range(m):
+        weight = probabilities[:, j]
+        value = np.where(weight > 0.0, estimates[:, j], 0.0)
+        mean += weight * value
+        second += weight * (value * value)
+    return mean, np.maximum(second - mean * mean, 0.0)
+
+
+def exact_moments_vectorized(
+    estimator: VectorEstimator,
+    scheme,
+    values: Sequence[float],
+) -> tuple[float, float]:
+    """Vectorized twin of :func:`repro.core.variance.exact_moments`.
+
+    Enumerates the outcome space of ``scheme`` on ``values`` as one
+    columnar batch and scores it with ``estimator.estimate_batch``.
+    Returns ``(mean, variance)``; agrees with the scalar reference bit for
+    bit and raises the same exceptions on invalid inputs.
+    """
+    batch, probabilities = enumerate_outcome_batch(scheme, values)
+    estimates = estimator.estimate_batch(batch)
+    mean, variance = accumulate_moments(
+        probabilities[None, :], estimates[None, :]
+    )
+    return float(mean[0]), float(variance[0])

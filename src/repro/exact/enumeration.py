@@ -1,0 +1,91 @@
+"""Columnar enumeration of a weight-oblivious scheme's outcome space.
+
+Conditioned on a data vector, the outcome space of an
+:class:`~repro.sampling.dispersed.ObliviousPoissonScheme` with ``r``
+entries has exactly ``2^r`` outcomes — one per inclusion mask.  The
+scalar path (:meth:`ObliviousPoissonScheme.iter_outcomes`) materialises
+them one ``VectorOutcome`` at a time; this module builds the whole space
+as a single :class:`~repro.batch.OutcomeBatch` plus the exact outcome
+probability vector, so estimators can score every outcome in one
+vectorized ``estimate_batch`` call.
+
+Row order and per-row probabilities reproduce the scalar iterator
+exactly: row ``m`` is the mask whose entry ``i`` is included iff bit
+``r - 1 - i`` of ``m`` is set (the ``itertools.product`` order), and the
+probability of each row is accumulated entry by entry in index order, so
+every float matches the scalar product bit for bit.  Zero-probability
+rows (entries with ``p_i = 1`` left unsampled) are kept in the batch;
+the moment accumulators in :mod:`repro.exact.engine` mask them out, like
+the scalar iterator skips them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.batch.outcome_batch import OutcomeBatch
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "enumeration_masks",
+    "outcome_probabilities",
+    "enumerate_outcome_batch",
+]
+
+
+def enumeration_masks(r: int) -> np.ndarray:
+    """The ``(2^r, r)`` inclusion-mask matrix, in scalar-iterator order."""
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    if r > 24:
+        raise InvalidParameterError(
+            f"refusing to enumerate 2^{r} outcomes; r must be <= 24"
+        )
+    codes = np.arange(2 ** r, dtype=np.uint32)
+    shifts = np.arange(r - 1, -1, -1, dtype=np.uint32)
+    return ((codes[:, None] >> shifts[None, :]) & 1).astype(bool)
+
+
+def outcome_probabilities(
+    sampled: np.ndarray, probabilities: np.ndarray
+) -> np.ndarray:
+    """Per-row outcome probabilities of an inclusion-mask matrix.
+
+    ``probabilities`` may be a vector of length ``r`` (one scheme for all
+    rows) or an ``(n, r)`` matrix (per-row inclusion probabilities, the
+    grid case).  The product is accumulated in entry order, matching the
+    scalar iterator's ``probability *= p if included else (1 - p)`` loop
+    bit for bit.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    n, r = sampled.shape
+    result = np.ones(n, dtype=np.float64)
+    for i in range(r):
+        column = probabilities[i] if probabilities.ndim == 1 else probabilities[:, i]
+        result *= np.where(sampled[:, i], column, 1.0 - column)
+    return result
+
+
+def enumerate_outcome_batch(
+    scheme, values: Sequence[float]
+) -> tuple[OutcomeBatch, np.ndarray]:
+    """The full outcome space of ``scheme`` on data ``values`` as a batch.
+
+    Returns ``(batch, probabilities)`` where row ``m`` of the batch is the
+    ``m``-th outcome of ``scheme.iter_outcomes(values)`` (including the
+    zero-probability ones) and ``probabilities[m]`` its exact probability.
+    """
+    probabilities = np.asarray(scheme.probabilities, dtype=np.float64)
+    r = len(probabilities)
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (r,):
+        raise InvalidParameterError(
+            f"expected a vector with {r} entries, got {values.shape}"
+        )
+    sampled = enumeration_masks(r)
+    batch = OutcomeBatch(
+        values=np.broadcast_to(values, sampled.shape), sampled=sampled
+    )
+    return batch, outcome_probabilities(sampled, probabilities)

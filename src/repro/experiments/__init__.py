@@ -4,6 +4,13 @@ Each ``figureN`` module exposes a ``run_figureN`` function that returns the
 numeric series the paper plots (plus the configuration used), and the
 benchmarks in ``benchmarks/`` wrap these functions so that
 ``pytest benchmarks/ --benchmark-only`` regenerates every figure.
+
+The variance figures consume the vectorized engines — the exact-enumeration
+grid sweeps of :mod:`repro.exact` (Figures 1-2) and the batched PPS moment
+sweeps (Figures 3, 4, 7) — and :func:`~repro.experiments.runner.
+run_all_experiments` can fan the suite out to parallel worker processes
+with per-experiment wall-time reporting.  Outputs are pinned to golden
+snapshots of the scalar pipeline (``tests/experiments/test_golden.py``).
 """
 
 from repro.experiments.figure1 import run_figure1

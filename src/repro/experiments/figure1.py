@@ -3,8 +3,14 @@
 The paper fixes ``p_1 = p_2 = 1/2`` and plots the variance ratios
 ``Var[max^(L)] / Var[max^(HT)]`` and ``Var[max^(U)] / Var[max^(HT)]`` as a
 function of ``min(v) / max(v)``, alongside the estimate tables of the three
-estimators.  This module regenerates both the ratio curves (by exact
-enumeration of the four outcomes) and the estimate tables.
+estimators.  This module regenerates both the ratio curves and the estimate
+tables.
+
+The whole ``min/max`` grid is swept through the vectorized
+exact-enumeration engine: one stacked
+:func:`~repro.exact.exact_moments_value_grid` call per estimator scores
+every (grid point, outcome) pair in a single batch kernel, reproducing the
+scalar per-point enumeration bit for bit.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.max_oblivious import MaxObliviousHT, MaxObliviousL, MaxObliviousU
-from repro.core.variance import exact_moments
+from repro.exact import exact_moments_value_grid
 from repro.sampling.dispersed import ObliviousPoissonScheme
 from repro.sampling.outcomes import VectorOutcome
 
@@ -50,12 +56,15 @@ def run_figure1(
         "U": MaxObliviousU(probabilities),
     }
     ratios = np.linspace(0.0, 1.0, n_points)
-    variances: dict[str, list[float]] = {name: [] for name in estimators}
-    for ratio in ratios:
-        vector = (max_value, float(ratio) * max_value)
-        for name, estimator in estimators.items():
-            _, variance = exact_moments(estimator, scheme, vector)
-            variances[name].append(variance)
+    values_grid = np.column_stack(
+        [np.full(n_points, max_value), ratios * max_value]
+    )
+    variances: dict[str, list[float]] = {}
+    for name, estimator in estimators.items():
+        _, variance_curve = exact_moments_value_grid(
+            estimator, scheme, values_grid
+        )
+        variances[name] = variance_curve.tolist()
     var_ht = np.array(variances["HT"])
     series = {
         "min_over_max": ratios.tolist(),

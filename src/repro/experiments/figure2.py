@@ -5,6 +5,11 @@ data vectors ``(1, 1)`` ("no change") and ``(1, 0)`` ("change") for
 ``p_1 = p_2 = p``.  The L and U estimators dominate HT; asymptotically for
 small ``p`` the variance on ``(1, 1)`` drops from ``~1/p^2`` to ``~1/(2p)``
 and on ``(1, 0)`` to ``~1/(4 p^2)``.
+
+Each curve is one :func:`~repro.exact.exact_moments_grid` sweep: the whole
+``p`` grid is stacked into a single enumerated outcome batch and scored by
+one per-row-probability grid kernel, reproducing the scalar per-point
+enumeration bit for bit.
 """
 
 from __future__ import annotations
@@ -12,8 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.or_estimators import OrObliviousHT, OrObliviousL, OrObliviousU
-from repro.core.variance import exact_moments, or_ht_variance, or_l_variance
-from repro.sampling.dispersed import ObliviousPoissonScheme
+from repro.core.variance import or_ht_variance, or_l_variance
+from repro.exact import exact_moments_grid
 
 __all__ = ["run_figure2"]
 
@@ -24,32 +29,22 @@ def run_figure2(
     """Regenerate Figure 2 (variance of OR^(HT), OR^(L), OR^(U) vs p)."""
     if probabilities is None:
         probabilities = np.geomspace(0.05, 0.9, 25).tolist()
-    series: dict[str, list[float]] = {
-        "p": [],
-        "HT_(1,1)": [],
-        "HT_(1,0)": [],
-        "L_(1,1)": [],
-        "L_(1,0)": [],
-        "U_(1,1)": [],
-        "U_(1,0)": [],
-        "closed_form_L_(1,1)": [],
-        "closed_form_L_(1,0)": [],
-        "closed_form_HT": [],
+    grid = np.array([float(p) for p in probabilities])
+    factories = {
+        "HT": OrObliviousHT,
+        "L": OrObliviousL,
+        "U": OrObliviousU,
     }
-    for p in probabilities:
-        pair = (float(p), float(p))
-        scheme = ObliviousPoissonScheme(pair)
-        estimators = {
-            "HT": OrObliviousHT(pair),
-            "L": OrObliviousL(pair),
-            "U": OrObliviousU(pair),
-        }
-        series["p"].append(float(p))
-        for name, estimator in estimators.items():
-            for data, label in (((1.0, 1.0), "(1,1)"), ((1.0, 0.0), "(1,0)")):
-                _, variance = exact_moments(estimator, scheme, data)
-                series[f"{name}_{label}"].append(variance)
-        series["closed_form_HT"].append(or_ht_variance(pair))
-        series["closed_form_L_(1,1)"].append(or_l_variance(p, p, (1, 1)))
-        series["closed_form_L_(1,0)"].append(or_l_variance(p, p, (1, 0)))
+    series: dict[str, list[float]] = {"p": grid.tolist()}
+    for name, factory in factories.items():
+        for data, label in (((1.0, 1.0), "(1,1)"), ((1.0, 0.0), "(1,0)")):
+            _, variances = exact_moments_grid(factory, grid, data)
+            series[f"{name}_{label}"] = variances.tolist()
+    series["closed_form_L_(1,1)"] = [
+        or_l_variance(p, p, (1, 1)) for p in grid
+    ]
+    series["closed_form_L_(1,0)"] = [
+        or_l_variance(p, p, (1, 0)) for p in grid
+    ]
+    series["closed_form_HT"] = [or_ht_variance((p, p)) for p in grid]
     return {"series": series}

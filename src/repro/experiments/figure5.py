@@ -4,7 +4,9 @@ Figure 5 shows a 3-instances x 6-keys data set, per-key values of example
 multi-instance functions, consistent (shared-seed) and independent PPS rank
 assignments, and the resulting bottom-3 samples.  The reproduction computes
 all three panels from the sampling substrate and compares against the values
-printed in the paper.
+printed in the paper.  (This is a worked 18-entry example — the one figure
+with no variance sweep, so it has no vectorized-engine path to consume;
+its output is pinned bit for bit by the golden snapshot suite.)
 """
 
 from __future__ import annotations

@@ -7,9 +7,12 @@ estimators as a function of the percentage of sampled keys; the measured
 variance ratio on that data set is between 2.45 and 2.7.
 
 The proprietary trace is replaced by a matched synthetic Zipf workload (see
-DESIGN.md); the experiment computes the exact per-key variances (numerical
-integration over the unsampled entry's seed) and, optionally, one concrete
-sample-based estimate per sampling rate.
+DESIGN.md).  The whole pipeline is batched: ``tau_star`` is solved by a
+vectorised bisection, the exact per-key variances run through the
+``variance_many`` column sweeps (the ``max^(L)`` seed integration is
+evaluated once per distinct value pair — flow counts are integers, so keys
+outnumber distinct pairs ~6x), and the optional concrete estimates are one
+columnar ``OutcomeBatch`` pass per sampling rate.
 """
 
 from __future__ import annotations

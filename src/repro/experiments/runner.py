@@ -3,11 +3,22 @@
 Used by the examples and by ``EXPERIMENTS.md`` regeneration; the benchmark
 harness calls the per-figure functions individually instead so that
 pytest-benchmark can time them separately.
+
+The full suite can run its experiments in parallel worker processes
+(:class:`concurrent.futures.ProcessPoolExecutor`) — experiments are
+independent and deterministic, so the results are identical to the serial
+run.  Per-experiment wall times are measured either way and can be
+collected through the ``timings`` argument or printed with ``verbose``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 from collections.abc import Callable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
@@ -18,7 +29,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.impossibility import run_impossibility
 
-__all__ = ["EXPERIMENTS", "run_all_experiments"]
+__all__ = ["EXPERIMENTS", "FAST_KWARGS", "run_all_experiments"]
 
 #: Registry of experiment name -> callable returning the result dictionary.
 EXPERIMENTS: dict[str, Callable[[], dict]] = {
@@ -32,35 +43,100 @@ EXPERIMENTS: dict[str, Callable[[], dict]] = {
     "impossibility": run_impossibility,
 }
 
+#: Reduced grids / workload sizes used by ``fast=True`` runs.
+FAST_KWARGS: dict[str, dict] = {
+    "figure3": {"n_grid": 5},
+    "figure4": {"n_points": 9, "grid_size": 801},
+    "figure7": {
+        "sampled_fractions": (0.01, 0.05, 0.25),
+        "n_keys_per_instance": 1200,
+        "include_point_estimates": True,
+    },
+}
+
+
+def _run_one(name: str, kwargs: dict) -> tuple[dict, float]:
+    """Run one experiment (possibly in a worker process); returns the
+    result with its wall time so parallel runs report per-experiment times
+    measured inside the worker."""
+    start = time.perf_counter()
+    result = EXPERIMENTS[name](**kwargs)
+    return result, time.perf_counter() - start
+
 
 def run_all_experiments(
-    names: list[str] | None = None, fast: bool = True
+    names: list[str] | None = None,
+    fast: bool = True,
+    parallel: bool | None = None,
+    max_workers: int | None = None,
+    timings: dict[str, float] | None = None,
+    verbose: bool = False,
 ) -> dict[str, dict]:
     """Run the selected experiments (all by default) and return their
     results keyed by experiment name.
 
     With ``fast=True`` the heavier experiments use reduced grids / workload
-    sizes so the full suite completes within a couple of minutes on a
-    laptop.  Concrete point estimates stay enabled even in fast mode: the
-    per-key estimates are assembled into columnar
-    :class:`~repro.batch.OutcomeBatch` passes by the aggregate layer, so
-    they no longer dominate the runtime the way the per-key scalar loop
-    did.
+    sizes (:data:`FAST_KWARGS`) so the full suite completes in well under a
+    second.  Per-key point estimates and variance sweeps run on the
+    vectorized engines (:mod:`repro.exact`, the batched PPS moments), so
+    even the full grids are dominated by NumPy kernels rather than Python
+    loops.
+
+    Parameters
+    ----------
+    names:
+        Experiments to run; all of :data:`EXPERIMENTS` when ``None``.
+    fast:
+        Use the reduced fast-mode configurations.
+    parallel:
+        Run experiments in parallel worker processes.  Default: on for the
+        full suite (``names is None``) when the multiprocessing start
+        method is ``fork``, off otherwise — ``spawn`` platforms
+        (macOS/Windows) re-import the calling script, which requires a
+        ``__main__`` guard, so they must opt in explicitly.  A broken
+        worker pool falls back to the serial path (experiments are
+        deterministic, so the results are identical).
+    max_workers:
+        Worker-process cap for the parallel path; defaults to
+        ``min(n_experiments, os.cpu_count())``.
+    timings:
+        Optional dictionary; filled with per-experiment wall-clock seconds
+        (measured inside the worker for parallel runs).
+    verbose:
+        Print a per-experiment wall-time report.
     """
     selected = names if names is not None else list(EXPERIMENTS)
+    if parallel is None:
+        parallel = (
+            names is None and multiprocessing.get_start_method() == "fork"
+        )
+    jobs = [
+        (name, FAST_KWARGS.get(name, {}) if fast else {})
+        for name in selected
+    ]
+    collected: dict[str, float] = {}
     results: dict[str, dict] = {}
-    for name in selected:
-        runner = EXPERIMENTS[name]
-        if fast and name == "figure4":
-            results[name] = runner(n_points=9, grid_size=801)
-        elif fast and name == "figure7":
-            results[name] = runner(
-                sampled_fractions=(0.01, 0.05, 0.25),
-                n_keys_per_instance=1200,
-                include_point_estimates=True,
-            )
-        elif fast and name == "figure3":
-            results[name] = runner(n_grid=5)
-        else:
-            results[name] = runner()
+    if parallel and len(jobs) > 1:
+        workers = max_workers or min(len(jobs), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    name: pool.submit(_run_one, name, kwargs)
+                    for name, kwargs in jobs
+                }
+                for name, _ in jobs:
+                    results[name], collected[name] = futures[name].result()
+        except BrokenProcessPool:
+            results.clear()
+            collected.clear()
+            parallel = False
+    if not (parallel and len(jobs) > 1):
+        for name, kwargs in jobs:
+            results[name], collected[name] = _run_one(name, kwargs)
+    if timings is not None:
+        timings.update(collected)
+    if verbose:
+        for name, _ in jobs:
+            print(f"{name:15s} {collected[name]:8.3f} s")
+        print(f"{'total':15s} {sum(collected.values()):8.3f} s")
     return results

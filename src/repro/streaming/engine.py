@@ -147,7 +147,7 @@ class StreamEngine:
         hashes = key_hashes(keys)
         self.n_updates += len(keys)
         if self.n_shards == 1:
-            shards[0].update_batch(keys, values, hashes=hashes)
+            shards[0].update_many(keys, values, hashes=hashes)
             return
         shard_ids = (hashes % np.uint64(self.n_shards)).astype(np.intp)
         jobs = []
@@ -166,7 +166,7 @@ class StreamEngine:
 
         def run(job) -> None:
             sketch, job_keys, job_values, job_hashes = job
-            sketch.update_batch(job_keys, job_values, hashes=job_hashes)
+            sketch.update_many(job_keys, job_values, hashes=job_hashes)
 
         if self.executor is not None:
             list(self.executor.map(run, jobs))

@@ -23,6 +23,16 @@ assigner share per-key seeds exactly like the offline coordinated samples,
 and sketches are deterministic functions of the accumulated data — the
 property that makes them mergeable (see :mod:`repro.streaming.merge`).
 
+Bulk columns of updates go through :meth:`_StreamingSketch.update_many`,
+the chunked NumPy fast path: each chunk is hashed, seeded and ranked in one
+vectorised pass, and a "clean" chunk (distinct keys, none already retained)
+is folded into the sketch wholesale — one ``argpartition`` selects the
+bottom-k survivors, a threshold mask the Poisson ones — with the heap
+rebuilt only at chunk boundaries.  Chunks that replay retained keys or
+contain duplicates drop to the exact per-row loop, so the resulting sketch
+state is always identical to a sequence of scalar :meth:`update` calls,
+discard counter included.
+
 Update semantics are *additive*: repeated updates of a key accumulate.
 Because ranks are nonincreasing in the value for every rank family, a key
 that is retained by the sketch stays retained as its value grows, and its
@@ -116,6 +126,93 @@ class _StreamingSketch:
         for key, value in stream:
             self.update(key, value)
 
+    def update_many(
+        self,
+        keys: Sequence[object],
+        values,
+        chunk_size: int = 16384,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Chunked NumPy fast path over parallel ``keys`` / ``values``
+        columns.
+
+        Each chunk is hashed, seeded and ranked in one vectorised pass;
+        when a chunk is "clean" (distinct keys, none already retained) the
+        whole chunk is folded into the sketch with array operations —
+        ``argpartition`` selects the surviving candidates for bottom-k, a
+        threshold mask for Poisson — and per-key Python work happens only
+        for the retained minority.  Chunks that replay retained keys or
+        contain duplicates fall back to the exact per-row loop, so the
+        final sketch state (entries, ranks, threshold, discard counter) is
+        always identical to a sequence of :meth:`update` calls.
+        """
+        if chunk_size <= 0:
+            raise InvalidParameterError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        keys = list(keys)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(keys),):
+            raise InvalidParameterError(
+                "keys and values must have matching length"
+            )
+        # Validate the whole column up front so a bad value in a late
+        # chunk cannot leave the sketch partially updated.
+        if values.size and float(values.min()) < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
+        if hashes is None:
+            hashes = key_hashes(keys)
+        for start in range(0, len(keys), chunk_size):
+            stop = start + chunk_size
+            chunk_keys, chunk_values, seeds = self._prepare_batch(
+                keys[start:stop], values[start:stop], hashes[start:stop]
+            )
+            ranks = np.asarray(
+                self.rank_family.rank(chunk_values, seeds), dtype=float
+            )
+            if not self._try_bulk(
+                chunk_keys, chunk_values, seeds, ranks, hashes[start:stop]
+            ):
+                self._ingest_rows(chunk_keys, chunk_values, seeds, ranks)
+
+    def update_batch(
+        self,
+        keys: Sequence[object],
+        values,
+        hashes: np.ndarray | None = None,
+    ) -> None:
+        """Ingest one batch as a single chunk (compatibility alias for
+        :meth:`update_many`)."""
+        keys = list(keys)
+        self.update_many(
+            keys, values, chunk_size=max(len(keys), 1), hashes=hashes
+        )
+
+    def _bulk_clean(self, hashes: np.ndarray) -> bool:
+        """Whether a chunk can skip the per-row loop: keys certainly
+        distinct (distinct hashes) and certainly absent from the retained
+        set (no retained-hash overlap; collisions just fall back)."""
+        if np.unique(hashes).size != len(hashes):
+            return False
+        if self._values:
+            if np.isin(hashes, self._retained_hashes()).any():
+                return False
+        return True
+
+    def _retained_hashes(self) -> np.ndarray:
+        """Hashes of the retained keys (recomputed per chunk; subclasses
+        with an unbounded retained set cache them incrementally)."""
+        return key_hashes(list(self._values))
+
+    def _try_bulk(self, keys, values, seeds, ranks, hashes) -> bool:
+        """Fold one clean chunk into the sketch with array operations;
+        return False to fall back to the per-row loop."""
+        return False
+
+    def _ingest_rows(self, keys, values, seeds, ranks) -> None:
+        """Per-row reference loop over one prepared chunk."""
+        raise NotImplementedError
+
     def _ingest(self, key: object, value: float, seed: float) -> None:
         raise NotImplementedError
 
@@ -208,16 +305,7 @@ class StreamingBottomK(_StreamingSketch):
         elif len(self._values) == self.k + 1:
             self._full_max = -self._clean_top()[0]
 
-    def update_batch(
-        self,
-        keys: Sequence[object],
-        values,
-        hashes: np.ndarray | None = None,
-    ) -> None:
-        """Vectorised batch ingest: one hash/seed/rank pass over the batch,
-        then O(log k) heap work only for the retained minority."""
-        keys, values, seeds = self._prepare_batch(keys, values, hashes)
-        ranks = np.asarray(self.rank_family.rank(values, seeds), dtype=float)
+    def _ingest_rows(self, keys, values, seeds, ranks) -> None:
         for i in np.nonzero(values > 0.0)[0]:
             key = keys[i]
             if key in self._values:
@@ -226,6 +314,87 @@ class StreamingBottomK(_StreamingSketch):
                 self._insert_new(
                     key, float(values[i]), float(seeds[i]), float(ranks[i])
                 )
+
+    def _try_bulk(self, keys, values, seeds, ranks, hashes) -> bool:
+        """Fold a clean chunk with one ``argpartition`` instead of per-row
+        heap updates.
+
+        With distinct, not-yet-retained keys and no rank ties at the
+        cutoff, the final retained set is exactly the ``k + 1`` smallest
+        ranks of (retained ∪ chunk), and every other key dies exactly once
+        — either rejected on arrival or evicted later — so the discard
+        counter advances by ``|retained| + |chunk| - |final|`` no matter
+        the arrival order.  The heap is rebuilt once per chunk ("heap only
+        across chunk boundaries").
+        """
+        keep_rows = values > 0.0
+        # Rows with non-finite rank are dropped silently, as in the
+        # per-row loop (``_insert_new`` neither retains nor counts them).
+        keep_rows &= np.isfinite(ranks)
+        if not keep_rows.all():
+            rows = np.nonzero(keep_rows)[0]
+            keys = [keys[i] for i in rows]
+            values, seeds = values[rows], seeds[rows]
+            ranks, hashes = ranks[rows], hashes[rows]
+        if not keys:
+            return True
+        if not self._bulk_clean(hashes):
+            return False
+        old_keys = list(self._values)
+        n_old, n_new = len(old_keys), len(keys)
+        total = n_old + n_new
+        keep = min(self.k + 1, total)
+        combined = np.concatenate(
+            [
+                np.fromiter(
+                    (self._ranks[key] for key in old_keys),
+                    dtype=float,
+                    count=n_old,
+                ),
+                ranks,
+            ]
+        )
+        if total > keep:
+            order = np.argpartition(combined, keep - 1)
+            selected = order[:keep]
+            if combined[selected].max() == combined[order[keep:]].min():
+                # A rank tie at the cutoff is resolved by arrival order in
+                # the scalar path; replay it exactly instead.
+                return False
+        else:
+            selected = np.arange(total)
+        new_values: dict[object, float] = {}
+        new_ranks: dict[object, float] = {}
+        new_seeds: dict[object, float] = {}
+        heap: list[tuple[float, int, object]] = []
+        for index in selected.tolist():
+            if index < n_old:
+                key = old_keys[index]
+                value = self._values[key]
+                rank = self._ranks[key]
+                seed = self._seeds[key]
+            else:
+                row = index - n_old
+                key = keys[row]
+                value = float(values[row])
+                rank = float(ranks[row])
+                seed = float(seeds[row])
+            new_values[key] = value
+            new_ranks[key] = rank
+            new_seeds[key] = seed
+            self._seq += 1
+            heap.append((-rank, self._seq, key))
+        heapq.heapify(heap)
+        self._values, self._ranks, self._seeds = (
+            new_values, new_ranks, new_seeds,
+        )
+        self._heap = heap
+        self.n_discarded_keys += total - len(selected)
+        if len(new_ranks) == self.k + 1:
+            self._full_max = max(new_ranks.values())
+        else:
+            self._full_max = None
+        return True
 
     def _push(self, rank: float, key: object) -> None:
         self._seq += 1
@@ -326,6 +495,13 @@ class StreamingPoisson(_StreamingSketch):
         self._inclusive = isinstance(self.rank_family, UniformRanks)
         self._values: dict[object, float] = {}
         self._ranks: dict[object, float] = {}
+        # Incremental retained-hash cache for the bulk path: the retained
+        # set is unbounded (unlike bottom-k's k + 1), so rehashing it per
+        # chunk would be quadratic over a long stream.  Valid only while
+        # its key count matches ``_values``; any scalar/fallback insert
+        # desynchronises the count and forces a rebuild.
+        self._hash_cache = np.empty(0, dtype=np.uint64)
+        self._hash_cache_count = 0
 
     def _keeps(self, rank: float) -> bool:
         if self._inclusive:
@@ -346,16 +522,7 @@ class StreamingPoisson(_StreamingSketch):
         self._values[key] = value
         self._ranks[key] = rank
 
-    def update_batch(
-        self,
-        keys: Sequence[object],
-        values,
-        hashes: np.ndarray | None = None,
-    ) -> None:
-        """Vectorised batch ingest: one hash/seed/rank pass, then dictionary
-        work only for retained keys."""
-        keys, values, seeds = self._prepare_batch(keys, values, hashes)
-        ranks = np.asarray(self.rank_family.rank(values, seeds), dtype=float)
+    def _ingest_rows(self, keys, values, seeds, ranks) -> None:
         if self._inclusive:
             keep = ranks <= self.threshold
         else:
@@ -371,6 +538,45 @@ class StreamingPoisson(_StreamingSketch):
                 self._ranks[key] = float(ranks[i])
             else:
                 self.n_discarded_keys += 1
+
+    def _try_bulk(self, keys, values, seeds, ranks, hashes) -> bool:
+        """Fold a clean chunk with one threshold mask: retention is
+        per-key independent, so distinct new keys insert in bulk and the
+        rest advance the discard counter in one step."""
+        positive = values > 0.0
+        if not positive.all():
+            rows = np.nonzero(positive)[0]
+            keys = [keys[i] for i in rows]
+            values, ranks = values[rows], ranks[rows]
+            hashes = hashes[rows]
+        if not keys:
+            return True
+        if not self._bulk_clean(hashes):
+            return False
+        if self._inclusive:
+            keep = ranks <= self.threshold
+        else:
+            keep = ranks < self.threshold
+        rows = np.nonzero(keep)[0]
+        # _bulk_clean just synchronised (or trivially matched) the hash
+        # cache, so the inserted hashes can be appended incrementally.
+        retained = self._retained_hashes()
+        self._values.update(
+            (keys[i], float(values[i])) for i in rows.tolist()
+        )
+        self._ranks.update(
+            (keys[i], float(ranks[i])) for i in rows.tolist()
+        )
+        self._hash_cache = np.concatenate([retained, hashes[rows]])
+        self._hash_cache_count = len(self._values)
+        self.n_discarded_keys += int(len(keys) - rows.size)
+        return True
+
+    def _retained_hashes(self) -> np.ndarray:
+        if self._hash_cache_count != len(self._values):
+            self._hash_cache = key_hashes(list(self._values))
+            self._hash_cache_count = len(self._values)
+        return self._hash_cache
 
     def __len__(self) -> int:
         return len(self._values)

@@ -119,3 +119,62 @@ class TestEstimates:
             )
         with pytest.raises(InvalidParameterError):
             max_dominance_exact_variances(traffic, ("a",), (1.0,))
+
+
+class TestDedupedVariances:
+    def test_matches_per_key_scalar_loop(self):
+        from repro.core.max_weighted import MaxPpsHT, MaxPpsL
+        from repro.aggregates.dataset import MultiInstanceDataset
+
+        # Integer-valued workload with many duplicate value pairs: the
+        # deduplicated batch path must reproduce the per-key scalar sum.
+        rng = np.random.default_rng(5)
+        keys = list(range(300))
+        dataset = MultiInstanceDataset({
+            "a": {k: float(v) for k, v in
+                  zip(keys, rng.integers(0, 6, 300)) if v > 0},
+            "b": {k: float(v) for k, v in
+                  zip(keys, rng.integers(0, 6, 300)) if v > 0},
+        })
+        labels = ("a", "b")
+        tau_star = (4.0, 5.0)
+        var_ht, var_l = max_dominance_exact_variances(
+            dataset, labels, tau_star, grid_size=301
+        )
+        estimator_ht = MaxPpsHT(tau_star)
+        estimator_l = MaxPpsL(tau_star)
+        expected_ht = sum(
+            estimator_ht.variance(dataset.value_vector(key, labels))
+            for key in dataset.active_keys(labels)
+        )
+        expected_l = sum(
+            estimator_l.variance(dataset.value_vector(key, labels),
+                                 grid_size=301)
+            for key in dataset.active_keys(labels)
+        )
+        assert var_ht == pytest.approx(expected_ht, rel=1e-12)
+        assert var_l == pytest.approx(expected_l, rel=1e-12)
+
+    def test_empty_key_set(self):
+        from repro.aggregates.dataset import MultiInstanceDataset
+
+        dataset = MultiInstanceDataset({"a": {1: 2.0}, "b": {1: 1.0}})
+        var_ht, var_l = max_dominance_exact_variances(
+            dataset, ("a", "b"), (3.0, 3.0), predicate=lambda key: False
+        )
+        assert var_ht == 0.0 and var_l == 0.0
+
+
+class TestVectorizedTauStar:
+    def test_hits_target_expected_sample_size(self):
+        rng = np.random.default_rng(9)
+        values = rng.integers(1, 50, 5000).astype(float)
+        for fraction in (0.01, 0.1, 0.5, 1.0):
+            tau = tau_star_for_sampling_fraction(values, fraction)
+            expected = np.minimum(1.0, values / tau).sum()
+            assert expected == pytest.approx(fraction * len(values),
+                                             rel=1e-6, abs=1e-3)
+
+    def test_accepts_any_iterable(self):
+        tau = tau_star_for_sampling_fraction({1: 3.0, 2: 5.0}.values(), 0.5)
+        assert tau > 0.0

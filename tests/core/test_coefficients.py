@@ -8,9 +8,43 @@ import pytest
 from repro.core.coefficients import (
     max_l_r2_coefficients,
     uniform_max_l_coefficients,
+    uniform_max_l_coefficients_grid,
     uniform_prefix_sums,
+    uniform_prefix_sums_grid,
 )
 from repro.exceptions import InvalidParameterError
+
+
+class TestGridAndCache:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 8])
+    def test_grid_rows_equal_scalar_tables(self, r):
+        probabilities = np.array([0.05, 0.3, 0.5, 0.9, 1.0])
+        prefix_grid = uniform_prefix_sums_grid(r, probabilities)
+        alpha_grid = uniform_max_l_coefficients_grid(r, probabilities)
+        for row, p in enumerate(probabilities):
+            np.testing.assert_array_equal(
+                prefix_grid[row], uniform_prefix_sums(r, float(p))
+            )
+            np.testing.assert_array_equal(
+                alpha_grid[row], uniform_max_l_coefficients(r, float(p))
+            )
+
+    def test_cached_results_are_fresh_copies(self):
+        first = uniform_prefix_sums(3, 0.4)
+        first[0] = -123.0  # corrupting the returned array must not poison
+        second = uniform_prefix_sums(3, 0.4)  # the (r, p) cache entry
+        assert second[0] != -123.0
+        alphas = uniform_max_l_coefficients(3, 0.4)
+        alphas[:] = 0.0
+        assert uniform_max_l_coefficients(3, 0.4)[0] != 0.0
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_prefix_sums_grid(0, np.array([0.5]))
+        with pytest.raises(InvalidParameterError):
+            uniform_prefix_sums_grid(3, np.array([0.5, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            uniform_prefix_sums_grid(3, np.array([[0.5]]))
 
 
 class TestUniformPrefixSums:

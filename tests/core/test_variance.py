@@ -35,6 +35,25 @@ class TestExactMoments:
             ht_max_oblivious_variance(values, probabilities)
         )
 
+    def test_variance_clamped_nonnegative_near_p_one(self):
+        # Regression: the unclamped second_moment - mean**2 is a tiny
+        # negative here (catastrophic cancellation as p -> 1).
+        from repro.core.max_oblivious import MaxObliviousL
+
+        p = 0.9999999999998703
+        scheme = ObliviousPoissonScheme((p, p))
+        estimator = MaxObliviousL((p, p))
+        mean, variance = exact_moments(
+            estimator, scheme, (255.9939, 260.0054)
+        )
+        assert mean == pytest.approx(260.0054)
+        assert variance == 0.0
+
+    def test_variance_zero_at_p_one(self):
+        scheme = ObliviousPoissonScheme((1.0, 1.0))
+        estimator = MaxObliviousHT((1.0, 1.0))
+        assert exact_moments(estimator, scheme, (2.0, 6.0)) == (6.0, 0.0)
+
 
 class TestOrVarianceClosedForms:
     def test_or_ht(self):

@@ -1,0 +1,85 @@
+"""Tests for the columnar outcome-space enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import (
+    enumerate_outcome_batch,
+    enumeration_masks,
+    outcome_probabilities,
+)
+from repro.exceptions import InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+
+class TestEnumerationMasks:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5])
+    def test_matches_scalar_iterator_order(self, r):
+        scheme = ObliviousPoissonScheme((0.5,) * r)
+        values = tuple(float(i + 1) for i in range(r))
+        masks = enumeration_masks(r)
+        scalar = [
+            outcome.sampled
+            for outcome, _ in scheme.iter_outcomes(values)
+        ]
+        assert len(masks) == 2 ** r == len(scalar)
+        for row, sampled_set in zip(masks, scalar):
+            assert frozenset(np.nonzero(row)[0].tolist()) == sampled_set
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            enumeration_masks(0)
+        with pytest.raises(InvalidParameterError):
+            enumeration_masks(25)
+
+
+class TestOutcomeProbabilities:
+    @pytest.mark.parametrize("probabilities", [
+        (0.5, 0.5), (0.2, 0.9), (0.3, 0.5, 0.8), (1.0, 0.4),
+    ])
+    def test_bitwise_equal_to_scalar_products(self, probabilities):
+        scheme = ObliviousPoissonScheme(probabilities)
+        values = tuple(1.0 for _ in probabilities)
+        batch, probs = enumerate_outcome_batch(scheme, values)
+        scalar = {
+            outcome.sampled: probability
+            for outcome, probability in scheme.iter_outcomes(values)
+        }
+        masks = enumeration_masks(len(probabilities))
+        for row, probability in zip(masks, probs):
+            sampled = frozenset(np.nonzero(row)[0].tolist())
+            if sampled in scalar:
+                assert probability == scalar[sampled]  # bit-identical
+            else:
+                # The scalar iterator skips zero-probability outcomes
+                # (entries with p = 1 left unsampled); the batch keeps them
+                # with probability exactly 0.
+                assert probability == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        scheme = ObliviousPoissonScheme((0.3, 0.7, 0.2))
+        _, probs = enumerate_outcome_batch(scheme, (1.0, 2.0, 3.0))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_per_row_probability_matrix(self):
+        masks = enumeration_masks(2)
+        matrix = np.array([[0.3, 0.7]] * 4)
+        per_row = outcome_probabilities(masks, matrix)
+        shared = outcome_probabilities(masks, np.array([0.3, 0.7]))
+        np.testing.assert_array_equal(per_row, shared)
+
+
+class TestEnumerateOutcomeBatch:
+    def test_rows_reconstruct_scalar_outcomes(self):
+        scheme = ObliviousPoissonScheme((0.4, 0.8))
+        values = (3.0, 5.0)
+        batch, _ = enumerate_outcome_batch(scheme, values)
+        scalar = [o for o, _ in scheme.iter_outcomes(values)]
+        assert batch.to_outcomes() == scalar
+
+    def test_wrong_length_raises(self):
+        scheme = ObliviousPoissonScheme((0.4, 0.8))
+        with pytest.raises(InvalidParameterError):
+            enumerate_outcome_batch(scheme, (1.0, 2.0, 3.0))

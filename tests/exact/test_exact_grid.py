@@ -1,0 +1,152 @@
+"""Tests for the grid sweeps of the exact-enumeration engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator_base import VectorEstimator
+from repro.core.max_oblivious import (
+    MaxObliviousHT,
+    MaxObliviousL,
+    MaxObliviousU,
+    MaxObliviousUAsymmetric,
+)
+from repro.core.or_estimators import OrObliviousHT, OrObliviousL, OrObliviousU
+from repro.core.variance import exact_moments
+from repro.exact import exact_moments_grid, exact_moments_value_grid
+from repro.exceptions import InvalidParameterError
+from repro.sampling.dispersed import ObliviousPoissonScheme
+
+ALL_FACTORIES = {
+    "max_ht": MaxObliviousHT,
+    "max_l": MaxObliviousL,
+    "max_u": MaxObliviousU,
+    "max_uas": MaxObliviousUAsymmetric,
+    "or_ht": OrObliviousHT,
+    "or_l": OrObliviousL,
+    "or_u": OrObliviousU,
+}
+
+
+class TestValueGrid:
+    @pytest.mark.parametrize("name", ["max_ht", "max_l", "max_u"])
+    def test_bitwise_equal_to_per_point_scalar(self, name):
+        probabilities = (0.5, 0.5)
+        estimator = ALL_FACTORIES[name](probabilities)
+        scheme = ObliviousPoissonScheme(probabilities)
+        ratios = np.linspace(0.0, 1.0, 17)
+        grid = np.column_stack([np.ones(17), ratios])
+        means, variances = exact_moments_value_grid(estimator, scheme, grid)
+        for index, ratio in enumerate(ratios):
+            mean, variance = exact_moments(
+                estimator, scheme, (1.0, float(ratio))
+            )
+            assert means[index] == mean
+            assert variances[index] == variance
+
+    def test_shape_validation(self):
+        scheme = ObliviousPoissonScheme((0.5, 0.5))
+        estimator = MaxObliviousL((0.5, 0.5))
+        with pytest.raises(InvalidParameterError):
+            exact_moments_value_grid(estimator, scheme, np.ones((3, 3)))
+
+
+class TestProbabilityGrid:
+    @pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+    @pytest.mark.parametrize("values", [(1.0, 1.0), (1.0, 0.0)])
+    def test_bitwise_equal_to_per_point_scalar(self, name, values):
+        factory = ALL_FACTORIES[name]
+        grid = np.geomspace(0.05, 1.0, 11)
+        means, variances = exact_moments_grid(factory, grid, values)
+        for index, p in enumerate(grid):
+            pair = (float(p), float(p))
+            mean, variance = exact_moments(
+                factory(pair), ObliviousPoissonScheme(pair), values
+            )
+            assert means[index] == mean
+            assert variances[index] == variance
+
+    def test_heterogeneous_probability_grid(self):
+        grid = np.array([[0.2, 0.7], [0.5, 0.5], [0.9, 0.1]])
+        means, variances = exact_moments_grid(
+            MaxObliviousL, grid, (3.0, 1.0)
+        )
+        for index in range(len(grid)):
+            pair = tuple(grid[index])
+            mean, variance = exact_moments(
+                MaxObliviousL(pair), ObliviousPoissonScheme(pair), (3.0, 1.0)
+            )
+            assert means[index] == mean
+            assert variances[index] == variance
+
+    def test_general_r_uniform_grid(self):
+        r = 4
+        grid = np.array([0.2, 0.6, 1.0])
+        values = (1.0, 3.0, 2.0, 3.0)
+
+        def factory(p):
+            return MaxObliviousL(p)
+
+        means, variances = exact_moments_grid(factory, grid, values)
+        for index, p in enumerate(grid):
+            vector = (float(p),) * r
+            mean, variance = exact_moments(
+                MaxObliviousL(vector), ObliviousPoissonScheme(vector), values
+            )
+            assert means[index] == pytest.approx(mean, rel=1e-12, abs=1e-12)
+            assert variances[index] == pytest.approx(
+                variance, rel=1e-12, abs=1e-12
+            )
+
+    def test_fallback_for_unregistered_estimator(self):
+        class SampledCount(VectorEstimator):
+            """Toy estimator with no grid kernel registered."""
+
+            is_unbiased = False
+
+            def __init__(self, probabilities):
+                self.probabilities = tuple(probabilities)
+
+            @property
+            def r(self):
+                return len(self.probabilities)
+
+            def estimate(self, outcome):
+                return float(len(outcome.sampled))
+
+        grid = np.array([0.25, 0.75])
+        means, variances = exact_moments_grid(
+            SampledCount, grid, (1.0, 1.0)
+        )
+        for index, p in enumerate(grid):
+            pair = (float(p), float(p))
+            mean, variance = exact_moments(
+                SampledCount(pair), ObliviousPoissonScheme(pair), (1.0, 1.0)
+            )
+            assert means[index] == mean
+            assert variances[index] == variance
+        # E[#sampled] = 2p for r = 2.
+        np.testing.assert_allclose(means, 2.0 * grid)
+
+    def test_invalid_probability_grid(self):
+        with pytest.raises(InvalidParameterError):
+            exact_moments_grid(MaxObliviousL, np.array([0.5, 0.0]), (1.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            exact_moments_grid(
+                MaxObliviousL, np.ones((2, 3)), (1.0, 1.0)
+            )
+
+    def test_nan_probability_rejected(self):
+        # Regression: NaN slipped through a min/max range check and
+        # propagated silently; the scalar path raises, so must the grid.
+        with pytest.raises(InvalidParameterError):
+            exact_moments_grid(
+                MaxObliviousL, np.array([0.5, float("nan")]), (1.0, 1.0)
+            )
+
+    def test_empty_grid(self):
+        means, variances = exact_moments_grid(
+            MaxObliviousL, np.zeros((0,)), (1.0, 1.0)
+        )
+        assert means.shape == variances.shape == (0,)

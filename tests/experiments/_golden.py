@@ -1,0 +1,130 @@
+"""Golden-snapshot helpers for the experiment suite.
+
+The experiment functions are deterministic for a fixed seed, so their
+outputs can be pinned: ``tests/experiments/golden/<name>.json`` stores the
+canonicalised output of each experiment under the fast-mode configuration
+used by :func:`repro.experiments.run_all_experiments`.  The snapshots were
+generated from the scalar (pre-vectorization) experiment pipeline, so the
+golden test proves the vectorized rewiring is result-preserving.
+
+Regenerate (only when an experiment's *intended* output changes) with::
+
+    PYTHONPATH=src python tests/experiments/make_golden.py
+
+Comparison tolerances: exact structural outputs (figure 5, the
+impossibility table) are pinned bit for bit (``rel=0.0``).  The
+exact-enumeration figures (1 and 2) are pinned at ``1e-12``: the rewired
+scalar reference squares with the exactly-rounded ``x * x`` instead of
+libm ``x ** 2`` (at most one ulp apart), and the vectorized engine matches
+the *current* scalar path bit for bit (asserted directly by
+``tests/exact``).  Figures whose pipeline merely reorders floating-point
+reductions (vectorised bisection, deduplicated variance sums, batched
+integration) are pinned at ``1e-9``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Per-experiment relative tolerance; 0.0 means bit-identical floats.
+TOLERANCES: dict[str, float] = {
+    "figure1": 1e-12,
+    "figure2": 1e-12,
+    "figure3": 1e-9,
+    "figure4": 1e-9,
+    "figure5": 0.0,
+    "figure6": 1e-9,
+    "figure7": 1e-9,
+    "impossibility": 0.0,
+}
+
+
+def canonicalize(obj):
+    """Map an experiment result to a JSON-stable structure.
+
+    Dict keys become strings, sets become sorted lists, tuples become
+    lists, and NumPy scalars/arrays become Python numbers/lists.  The
+    mapping is deterministic, so canonical forms of equal results compare
+    equal.
+    """
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(value) for value in obj)
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return canonicalize(obj.tolist())
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def save_golden(name: str, result) -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    with golden_path(name).open("w") as handle:
+        json.dump(canonicalize(result), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_golden(name: str):
+    with golden_path(name).open() as handle:
+        return json.load(handle)
+
+
+def assert_matches_golden(name: str, result) -> None:
+    """Compare a fresh experiment result against its pinned snapshot."""
+    expected = load_golden(name)
+    actual = canonicalize(result)
+    mismatches: list[str] = []
+    _compare(expected, actual, TOLERANCES[name], name, mismatches)
+    assert not mismatches, (
+        f"{len(mismatches)} mismatches vs golden '{name}':\n"
+        + "\n".join(mismatches[:20])
+    )
+
+
+def _compare(expected, actual, rel: float, path: str, out: list[str]) -> None:
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict) or set(expected) != set(actual):
+            out.append(f"{path}: key sets differ")
+            return
+        for key in expected:
+            _compare(expected[key], actual[key], rel, f"{path}.{key}", out)
+        return
+    if isinstance(expected, list):
+        if not isinstance(actual, list) or len(expected) != len(actual):
+            out.append(f"{path}: lengths differ")
+            return
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _compare(e, a, rel, f"{path}[{index}]", out)
+        return
+    if isinstance(expected, float) or isinstance(actual, float):
+        e, a = float(expected), float(actual)
+        if math.isnan(e) or math.isnan(a):
+            ok = math.isnan(e) and math.isnan(a)
+        elif math.isinf(e) or math.isinf(a):
+            ok = e == a
+        elif rel == 0.0:
+            ok = e == a
+        else:
+            ok = abs(e - a) <= rel * max(abs(e), abs(a)) + 1e-300
+        if not ok:
+            out.append(f"{path}: {e!r} != {a!r} (rel={rel})")
+        return
+    if expected != actual:
+        out.append(f"{path}: {expected!r} != {actual!r}")

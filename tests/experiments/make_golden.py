@@ -1,0 +1,32 @@
+"""Regenerate the golden experiment snapshots (fast-mode configuration).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/experiments/make_golden.py
+
+Only regenerate when an experiment's *intended* output changes; the whole
+point of the snapshots is to prove that pipeline rewirings preserve
+results.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _golden import save_golden  # noqa: E402
+
+from repro.experiments.runner import run_all_experiments  # noqa: E402
+
+
+def main() -> None:
+    results = run_all_experiments(fast=True)
+    for name, result in results.items():
+        save_golden(name, result)
+        print(f"wrote golden for {name}")
+
+
+if __name__ == "__main__":
+    main()

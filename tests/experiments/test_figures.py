@@ -223,3 +223,20 @@ class TestRunner:
         )
         assert set(results) == {"figure1", "figure2", "figure6",
                                 "impossibility"}
+
+    def test_parallel_equals_serial(self):
+        names = ["figure1", "figure2", "figure5"]
+        serial = run_all_experiments(names=names, parallel=False)
+        parallel = run_all_experiments(names=names, parallel=True)
+        assert serial == parallel
+
+    def test_timings_collected(self):
+        timings: dict[str, float] = {}
+        run_all_experiments(names=["figure1", "figure5"], timings=timings)
+        assert set(timings) == {"figure1", "figure5"}
+        assert all(t >= 0.0 for t in timings.values())
+
+    def test_verbose_report(self, capsys):
+        run_all_experiments(names=["figure5"], verbose=True)
+        out = capsys.readouterr().out
+        assert "figure5" in out and "total" in out

@@ -1,0 +1,23 @@
+"""Golden-snapshot tests: the rewired experiment pipeline is
+result-preserving.
+
+The snapshots under ``tests/experiments/golden/`` were generated from the
+scalar (pre-vectorization) experiment pipeline with the fast-mode
+configuration; see :mod:`_golden` for the tolerance policy (figure 5 and
+the impossibility table must match bit for bit, the variance figures to
+1e-12 / 1e-9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _golden import TOLERANCES, assert_matches_golden
+
+from repro.experiments.runner import FAST_KWARGS, EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", sorted(TOLERANCES))
+def test_experiment_matches_golden(name):
+    result = EXPERIMENTS[name](**FAST_KWARGS.get(name, {}))
+    assert_matches_golden(name, result)

@@ -1,0 +1,163 @@
+"""Parity tests for the chunked ``update_many`` streaming fast path.
+
+The bulk path must be indistinguishable from a sequence of scalar
+``update`` calls — entries, ranks, seeds, threshold, heap invariants and
+the discard counter — on every stream shape: distinct keys (the bulk
+``argpartition`` path), duplicate-heavy streams and retained-key replays
+(the per-row fallback), zero values, and chunk-boundary splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.ranks import PpsRanks, UniformRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+
+
+def sketch_state(sketch) -> dict:
+    state = {
+        "values": dict(sketch._values),
+        "ranks": dict(sketch._ranks),
+        "n_updates": sketch.n_updates,
+        "n_discarded": sketch.n_discarded_keys,
+        "threshold": sketch.threshold,
+    }
+    if isinstance(sketch, StreamingBottomK):
+        state["seeds"] = dict(sketch._seeds)
+        state["sample"] = sketch.to_sample().entries
+    return state
+
+
+def reference(make_sketch, keys, values):
+    sketch = make_sketch()
+    for key, value in zip(keys, values):
+        sketch.update(key, value)
+    return sketch
+
+
+BOTTOMK_FACTORIES = [
+    lambda salt: StreamingBottomK(k=5, seed_assigner=SeedAssigner(salt=salt)),
+    lambda salt: StreamingBottomK(
+        k=64, rank_family=PpsRanks(), seed_assigner=SeedAssigner(salt=salt)
+    ),
+]
+POISSON_FACTORIES = [
+    lambda salt: StreamingPoisson(0.25, seed_assigner=SeedAssigner(salt=salt)),
+    lambda salt: StreamingPoisson(
+        0.8, rank_family=PpsRanks(), seed_assigner=SeedAssigner(salt=salt)
+    ),
+]
+
+
+@pytest.mark.parametrize("factory", BOTTOMK_FACTORIES + POISSON_FACTORIES)
+@pytest.mark.parametrize("chunk_size", [3, 64, 10_000])
+def test_distinct_keys_bulk_path(factory, chunk_size):
+    rng = np.random.default_rng(7)
+    keys = rng.permutation(np.arange(500, dtype=np.uint64)).tolist()
+    values = np.round(rng.random(500) * 4, 3)
+    ref = reference(lambda: factory(1), keys, values)
+    fast = factory(1)
+    fast.update_many(keys, values, chunk_size=chunk_size)
+    assert sketch_state(fast) == sketch_state(ref)
+
+
+@pytest.mark.parametrize("factory", BOTTOMK_FACTORIES + POISSON_FACTORIES)
+@pytest.mark.parametrize("chunk_size", [5, 128])
+def test_duplicate_heavy_stream_falls_back_exactly(factory, chunk_size):
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 40, size=900).astype(np.uint64).tolist()
+    values = np.round(rng.random(900) * 4, 3)
+    values[rng.random(900) < 0.1] = 0.0
+    ref = reference(lambda: factory(2), keys, values)
+    fast = factory(2)
+    fast.update_many(keys, values, chunk_size=chunk_size)
+    assert sketch_state(fast) == sketch_state(ref)
+
+
+@pytest.mark.parametrize("factory", BOTTOMK_FACTORIES + POISSON_FACTORIES)
+def test_retained_key_replay_accumulates(factory):
+    # Second call replays the same key universe: every chunk intersects the
+    # retained set, so the fallback loop must accumulate, not reinsert.
+    keys = np.arange(60, dtype=np.uint64).tolist()
+    values = np.linspace(0.5, 3.0, 60)
+    ref = reference(lambda: factory(3), keys + keys, np.tile(values, 2))
+    fast = factory(3)
+    fast.update_many(keys, values)
+    fast.update_many(keys, values)
+    assert sketch_state(fast) == sketch_state(ref)
+
+
+def test_streaming_bottomk_discard_counter_matches_scalar():
+    rng = np.random.default_rng(13)
+    keys = rng.permutation(np.arange(2000, dtype=np.uint64)).tolist()
+    values = rng.random(2000) + 0.01
+    make = lambda: StreamingBottomK(k=8, seed_assigner=SeedAssigner(salt=5))
+    ref = reference(make, keys, values)
+    fast = make()
+    fast.update_many(keys, values, chunk_size=256)
+    assert fast.n_discarded_keys == ref.n_discarded_keys
+    assert fast.n_discarded_keys > 0
+
+
+def test_update_many_then_scalar_updates_compose():
+    make = lambda: StreamingBottomK(k=4, seed_assigner=SeedAssigner(salt=9))
+    keys = np.arange(50, dtype=np.uint64).tolist()
+    values = np.linspace(1.0, 2.0, 50)
+    ref = reference(make, keys + [3, 99], list(values) + [1.5, 0.7])
+    fast = make()
+    fast.update_many(keys, values)
+    fast.update(3, 1.5)
+    fast.update(99, 0.7)
+    assert sketch_state(fast) == sketch_state(ref)
+
+
+def test_update_many_validation():
+    sketch = StreamingPoisson(0.5, seed_assigner=SeedAssigner(salt=1))
+    with pytest.raises(InvalidParameterError):
+        sketch.update_many([1, 2], [1.0])
+    with pytest.raises(InvalidParameterError):
+        sketch.update_many([1, 2], [1.0, -2.0])
+    with pytest.raises(InvalidParameterError):
+        sketch.update_many([1], [1.0], chunk_size=0)
+    assert sketch.n_updates == 0
+
+
+def test_update_many_validation_is_atomic_across_chunks():
+    # A negative value in a *later* chunk must be rejected before any
+    # earlier chunk is ingested.
+    sketch = StreamingPoisson(0.9, seed_assigner=SeedAssigner(salt=1))
+    keys = list(range(10))
+    values = np.ones(10)
+    values[7] = -1.0
+    with pytest.raises(InvalidParameterError):
+        sketch.update_many(keys, values, chunk_size=3)
+    assert sketch.n_updates == 0 and len(sketch) == 0
+
+
+def test_update_many_empty_column():
+    sketch = StreamingBottomK(k=3, seed_assigner=SeedAssigner(salt=1))
+    sketch.update_many([], [])
+    assert len(sketch) == 0 and sketch.n_updates == 0
+
+
+def test_uniform_ranks_poisson_bulk_matches_offline_inclusive_rule():
+    # UniformRanks thresholds are inclusive (seed <= p); the bulk mask must
+    # apply the same rule as the scalar path.
+    assigner = SeedAssigner(salt=21)
+    keys = np.arange(400, dtype=np.uint64).tolist()
+    values = np.ones(400)
+    make = lambda: StreamingPoisson(
+        0.5, rank_family=UniformRanks(), seed_assigner=SeedAssigner(salt=21)
+    )
+    ref = reference(make, keys, values)
+    fast = make()
+    fast.update_many(keys, values, chunk_size=128)
+    assert sketch_state(fast) == sketch_state(ref)
+    seeds = assigner.seeds(keys, instance=0)
+    assert set(fast._values) == {
+        key for key, seed in zip(keys, seeds) if seed <= 0.5
+    }

@@ -1,12 +1,13 @@
 """Record the repository's benchmark trajectory to a ``BENCH_*.json`` file.
 
 Runs the headline benchmarks (exact-enumeration grid, streaming
-``update_many``, batch estimation, full fast-mode experiment suite) and
-writes their wall times and speedups to a JSON file at the repository
-root, so successive PRs leave a comparable perf trail::
+``update_many``, full fast-mode experiment suite, and the service layer:
+concurrent store ingest, snapshot/restore codec latency, query-cache
+speedup) and writes their wall times and speedups to a JSON file at the
+repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py                # BENCH_PR3.json
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/record.py                # BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR5.json
 
 Use ``--smoke`` for a quick, smaller-workload run (same schema).
 """
@@ -23,13 +24,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_exact  # noqa: E402
+import bench_service  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR3.json",
+    parser.add_argument("--out", default="BENCH_PR4.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")
@@ -37,6 +39,8 @@ def main(argv: list[str] | None = None) -> int:
 
     grid_points = 300 if args.smoke else 1500
     updates = 20_000 if args.smoke else 200_000
+    service_updates = 40_000 if args.smoke else 400_000
+    query_keys = 20_000 if args.smoke else 100_000
 
     started = time.time()
     record = {
@@ -52,6 +56,15 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "streaming_update_many": bench_exact.bench_update_many(updates),
             "run_all_experiments_fast": bench_exact.bench_run_all(),
+            "service_concurrent_ingest": (
+                bench_service.bench_concurrent_ingest(service_updates)
+            ),
+            "service_snapshot_restore": (
+                bench_service.bench_snapshot_restore(service_updates)
+            ),
+            "service_query_cache": bench_service.bench_query_cache(
+                query_keys, min_speedup=5.0
+            ),
         },
     }
     record["total_bench_seconds"] = time.time() - started

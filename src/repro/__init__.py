@@ -50,6 +50,13 @@ The package is organised as follows:
     For any fixed seed assignment the streaming sketches equal the offline
     samples of the accumulated data exactly.
 
+``repro.service``
+    The persistence and serving layer: a versioned binary wire format for
+    sketch and engine state, the :class:`~repro.service.SketchStore`
+    registry with thread-safe concurrent ingest, snapshots and
+    distributed-style snapshot fan-in, a version-cached declarative query
+    planner, and the ``python -m repro.service`` CLI.
+
 ``repro.analysis``
     Variance analysis utilities: exact enumeration, Monte-Carlo simulation,
     and the sample-size planning math behind Figure 6.
@@ -92,6 +99,7 @@ from repro.sampling.dispersed import ObliviousPoissonScheme, PpsPoissonScheme
 from repro.sampling.outcomes import VectorOutcome
 from repro.sampling.ranks import ExpRanks, PpsRanks, UniformRanks
 from repro.sampling.seeds import SeedAssigner
+from repro.service import Query, SketchStore
 from repro.streaming import (
     StreamEngine,
     StreamingBottomK,
@@ -99,7 +107,7 @@ from repro.streaming import (
     merge_sketches,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "boolean_or",
@@ -136,6 +144,8 @@ __all__ = [
     "StreamEngine",
     "StreamingBottomK",
     "StreamingPoisson",
+    "Query",
+    "SketchStore",
     "merge_sketches",
     "__version__",
 ]

@@ -35,3 +35,15 @@ class InvalidOutcomeError(ReproError):
 
 class InvalidParameterError(ReproError, ValueError):
     """Raised when a constructor or function argument is out of range."""
+
+
+class SketchCodecError(ReproError, ValueError):
+    """Raised by :mod:`repro.service.codec` when bytes cannot be decoded
+    (wrong magic, unsupported format version, truncated or trailing data,
+    corrupt payloads) or when state cannot be represented on the wire
+    (custom rank families, factory-built engines, unsupported key types)."""
+
+
+class UnknownStoreError(ReproError, KeyError):
+    """Raised by :class:`repro.service.SketchStore` when a named engine is
+    not registered in the store."""

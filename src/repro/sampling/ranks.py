@@ -27,8 +27,15 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro._validation import check_nonnegative
+from repro.exceptions import InvalidParameterError
 
-__all__ = ["RankFamily", "PpsRanks", "ExpRanks", "UniformRanks"]
+__all__ = [
+    "RankFamily",
+    "PpsRanks",
+    "ExpRanks",
+    "UniformRanks",
+    "rank_family_from_name",
+]
 
 
 class RankFamily(ABC):
@@ -60,6 +67,17 @@ class RankFamily(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}()"
+
+    # The built-in families are stateless, so two instances of the same
+    # concrete class are interchangeable.  Stateful subclasses must
+    # override both methods.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RankFamily):
+            return NotImplemented
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
 
 
 class PpsRanks(RankFamily):
@@ -150,6 +168,30 @@ class UniformRanks(RankFamily):
         values = np.asarray(values, dtype=float)
         quantiles = np.asarray(quantiles, dtype=float)
         return np.where(values > 0.0, quantiles, np.inf)
+
+
+#: the built-in rank families, by wire/report name
+_FAMILIES_BY_NAME = {
+    PpsRanks.name: PpsRanks,
+    ExpRanks.name: ExpRanks,
+    UniformRanks.name: UniformRanks,
+}
+
+
+def rank_family_from_name(name: str) -> RankFamily:
+    """Instantiate a built-in rank family from its :attr:`RankFamily.name`.
+
+    The inverse of the ``name`` attribute for the three families of the
+    paper; used by the binary sketch codec to round-trip sketch
+    configuration through plain strings.
+    """
+    try:
+        return _FAMILIES_BY_NAME[name]()
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown rank family {name!r}; expected one of "
+            f"{sorted(_FAMILIES_BY_NAME)}"
+        ) from None
 
 
 def poisson_threshold_for_expected_size(

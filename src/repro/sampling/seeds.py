@@ -125,6 +125,20 @@ class SeedAssigner:
             f"SeedAssigner(salt={self.salt}, coordinated={self.coordinated})"
         )
 
+    # Seed assignment is a pure function of (salt, coordinated), so two
+    # assigners with equal configuration are interchangeable — the property
+    # the sketch codec relies on to round-trip assigners by configuration.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeedAssigner):
+            return NotImplemented
+        return (
+            self.salt == other.salt
+            and self.coordinated == other.coordinated
+        )
+
+    def __hash__(self) -> int:
+        return hash((SeedAssigner, self.salt, self.coordinated))
+
     def _mix(self, key_hashes: np.ndarray, instance: object) -> np.ndarray:
         instance_hash = 0 if self.coordinated else _hash_label(instance)
         base = np.asarray(key_hashes, dtype=np.uint64)

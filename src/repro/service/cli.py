@@ -1,0 +1,333 @@
+"""Command-line front end of the sketch service.
+
+Drives the persistent store end-to-end from the shell::
+
+    python -m repro.service ingest   --store s.bin --name traffic \\
+        --kind poisson --threshold 0.5 --salt 7 --input updates.csv
+    python -m repro.service snapshot --store s.bin
+    python -m repro.service merge    --out merged.bin s1.bin s2.bin
+    python -m repro.service query    --store merged.bin --name traffic \\
+        --kind distinct --instances monday tuesday
+
+Update streams are CSV (``instance,key,value`` columns, optional header)
+or JSON lines (objects with ``instance`` / ``key`` / ``value`` fields;
+selected with ``--format jsonl`` or a ``.jsonl`` suffix).  Every command
+prints a JSON summary to stdout, so the CLI composes with shell
+pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.sampling.ranks import rank_family_from_name
+from repro.sampling.seeds import SeedAssigner
+from repro.service.queries import Query
+from repro.service.store import SketchStore
+
+__all__ = ["main"]
+
+_DEFAULT_FAMILIES = {"bottom_k": "exp", "poisson": "uniform"}
+
+
+# ----------------------------------------------------------------------
+# Update-stream parsing
+# ----------------------------------------------------------------------
+def _detect_format(path: Path, explicit: str) -> str:
+    if explicit != "auto":
+        return explicit
+    return "jsonl" if path.suffix in (".jsonl", ".ndjson") else "csv"
+
+
+def _parse_key(key: str, int_keys: bool) -> object:
+    return int(key) if int_keys else key
+
+
+def _read_updates(path: Path, fmt: str, int_keys: bool):
+    """Yield ``(instance, key, value)`` triples from an update file."""
+    if fmt == "jsonl":
+        with path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    yield (
+                        row["instance"],
+                        int(row["key"]) if int_keys else row["key"],
+                        float(row["value"]),
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SystemExit(
+                        f"{path}:{line_number}: bad JSONL update: {exc}"
+                    ) from exc
+        return
+    with path.open(newline="") as handle:
+        for line_number, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise SystemExit(
+                    f"{path}:{line_number}: expected instance,key,value; "
+                    f"got {len(row)} columns"
+                )
+            if line_number == 1 and row == ["instance", "key", "value"]:
+                continue  # optional header
+            try:
+                yield row[0], _parse_key(row[1], int_keys), float(row[2])
+            except ValueError as exc:
+                raise SystemExit(
+                    f"{path}:{line_number}: bad update row: {exc}"
+                ) from exc
+
+
+def _batched(iterable, batch_size: int):
+    batch = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _load_store(path: Path) -> SketchStore:
+    if path.exists():
+        return SketchStore.restore(path)
+    return SketchStore()
+
+
+def _ensure_engine(store: SketchStore, args) -> None:
+    if args.name in store:
+        return
+    ranks = args.ranks or _DEFAULT_FAMILIES[args.kind]
+    kwargs = {
+        "rank_family": rank_family_from_name(ranks),
+        "seed_assigner": SeedAssigner(
+            salt=args.salt, coordinated=args.coordinated
+        ),
+        "n_shards": args.shards,
+    }
+    if args.kind == "bottom_k":
+        store.create(args.name, "bottom_k", k=args.k, **kwargs)
+    else:
+        if args.threshold is None:
+            raise SystemExit(
+                "creating a poisson store requires --threshold"
+            )
+        store.create(
+            args.name, "poisson", threshold=args.threshold, **kwargs
+        )
+
+
+def _cmd_ingest(args) -> dict:
+    store_path = Path(args.store)
+    store = _load_store(store_path)
+    _ensure_engine(store, args)
+    updates = _read_updates(
+        Path(args.input),
+        _detect_format(Path(args.input), args.format),
+        args.int_keys,
+    )
+    batches = _batched(updates, args.batch_size)
+    n_rows = 0
+
+    def ingest(rows) -> int:
+        store.ingest_rows(args.name, rows)
+        return len(rows)
+
+    if args.threads > 1:
+        # Bounded submission: Executor.map would drain the whole update
+        # file into the futures queue; keep only O(threads) batches in
+        # flight so memory stays proportional to --batch-size.
+        with ThreadPoolExecutor(max_workers=args.threads) as pool:
+            in_flight = set()
+            for rows in batches:
+                in_flight.add(pool.submit(ingest, rows))
+                if len(in_flight) >= 2 * args.threads:
+                    done, in_flight = wait(
+                        in_flight, return_when=FIRST_COMPLETED
+                    )
+                    n_rows += sum(future.result() for future in done)
+            n_rows += sum(future.result() for future in in_flight)
+    else:
+        n_rows = sum(ingest(rows) for rows in batches)
+    store.snapshot(store_path)
+    return {
+        "command": "ingest",
+        "store": str(store_path),
+        "name": args.name,
+        "rows_ingested": n_rows,
+        "version": store.version(args.name),
+        "instances": sorted(
+            str(label)
+            for label in store.engine(args.name).instance_labels
+        ),
+    }
+
+
+def _cmd_snapshot(args) -> dict:
+    store_path = Path(args.store)
+    store = SketchStore.restore(store_path)
+    out_path = Path(args.out) if args.out else store_path
+    store.snapshot(out_path)
+    return {
+        "command": "snapshot",
+        "store": str(store_path),
+        "out": str(out_path),
+        "engines": store.describe(),
+    }
+
+
+def _cmd_merge(args) -> dict:
+    store = SketchStore.restore(args.inputs[0])
+    for peer in args.inputs[1:]:
+        store.merge_snapshot(peer)
+    out_path = store.snapshot(args.out)
+    return {
+        "command": "merge",
+        "inputs": [str(path) for path in args.inputs],
+        "out": str(out_path),
+        "engines": store.describe(),
+    }
+
+
+def _query_value_json(value) -> object:
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "estimate") and hasattr(value, "counts"):
+        return {
+            "estimate": float(value.estimate),
+            "counts": dict(value.counts),
+            "estimator": value.estimator,
+        }
+    if hasattr(value, "ht") and hasattr(value, "l"):
+        return {
+            "ht": float(value.ht),
+            "l": float(value.l),
+            "n_sampled_keys": int(value.n_sampled_keys),
+        }
+    return repr(value)
+
+
+def _cmd_query(args) -> dict:
+    store = SketchStore.restore(args.store)
+    instances = [
+        _parse_key(label, args.int_instances) for label in args.instances
+    ]
+    query = Query(args.kind, tuple(instances), variant=args.variant)
+    result = store.query(args.name, query)
+    return {
+        "command": "query",
+        "store": str(args.store),
+        "name": args.name,
+        "kind": args.kind,
+        "instances": args.instances,
+        "version": result.version,
+        "value": _query_value_json(result.value),
+    }
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser(
+        "ingest", help="ingest a CSV/JSONL update stream into a store file"
+    )
+    ingest.add_argument("--store", required=True,
+                        help="store file (created when missing)")
+    ingest.add_argument("--name", required=True, help="engine name")
+    ingest.add_argument("--input", required=True, help="update file")
+    ingest.add_argument("--format", choices=("auto", "csv", "jsonl"),
+                        default="auto")
+    ingest.add_argument("--kind", choices=("bottom_k", "poisson"),
+                        default="bottom_k",
+                        help="sketch kind when creating the engine")
+    ingest.add_argument("--k", type=int, default=64,
+                        help="bottom-k sample size (bottom_k engines)")
+    ingest.add_argument("--threshold", type=float, default=None,
+                        help="Poisson threshold (poisson engines)")
+    ingest.add_argument("--ranks", choices=("pps", "exp", "uniform"),
+                        default=None,
+                        help="rank family (default: exp for bottom_k, "
+                             "uniform for poisson)")
+    ingest.add_argument("--salt", type=int, default=0,
+                        help="seed-assigner salt")
+    ingest.add_argument("--coordinated", action="store_true",
+                        help="share per-key seeds across instances")
+    ingest.add_argument("--shards", type=int, default=8)
+    ingest.add_argument("--batch-size", type=int, default=8192)
+    ingest.add_argument("--threads", type=int, default=1,
+                        help="concurrent ingest threads")
+    ingest.add_argument("--int-keys", action="store_true",
+                        help="parse keys as integers")
+    ingest.set_defaults(run=_cmd_ingest)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="re-encode a store file and print its per-engine summary",
+    )
+    snapshot.add_argument("--store", required=True)
+    snapshot.add_argument("--out", default=None,
+                          help="write the snapshot here instead of "
+                               "overwriting --store")
+    snapshot.set_defaults(run=_cmd_snapshot)
+
+    merge = commands.add_parser(
+        "merge", help="fan peer snapshot files into one store"
+    )
+    merge.add_argument("--out", required=True, help="merged store file")
+    merge.add_argument("inputs", nargs="+",
+                       help="store snapshot files to merge")
+    merge.set_defaults(run=_cmd_merge)
+
+    query = commands.add_parser(
+        "query", help="run an aggregate query against a store file"
+    )
+    query.add_argument("--store", required=True)
+    query.add_argument("--name", required=True)
+    query.add_argument("--kind", required=True,
+                       choices=("distinct", "sum", "dominance", "l1"))
+    query.add_argument("--instances", required=True, nargs="+",
+                       help="instance labels (as ingested)")
+    query.add_argument("--variant", choices=("l", "ht"), default="l",
+                       help="distinct-count estimator variant")
+    query.add_argument("--int-instances", action="store_true",
+                       help="parse instance labels as integers")
+    query.set_defaults(run=_cmd_query)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        result = args.run(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(result, indent=1, sort_keys=True))
+    return 0

@@ -1,0 +1,360 @@
+"""Persistent registry of named sketch engines with concurrent ingest.
+
+:class:`SketchStore` is the long-lived state of the serving layer: a
+registry of named :class:`~repro.streaming.StreamEngine` instances with
+
+* **thread-safe concurrent ingest** — per-(instance, shard) locking over
+  the engine's sharded structure, so writer threads touching different
+  shards proceed in parallel while updates to one shard serialize.
+  Because sketch state is insensitive to update order (the streaming
+  permutation guarantee), concurrent ingest of pre-aggregated updates
+  produces sketches identical to serial ingest;
+* **monotone version counters** — every completed ingest bumps the named
+  engine's version, the invalidation signal for the query-result cache of
+  :class:`repro.service.queries.QueryPlanner`;
+* **durability** — :meth:`snapshot` writes the whole store through the
+  versioned binary codec and :meth:`restore` brings it back,
+  state-identical;
+* **distributed-style fan-in** — :meth:`merge_snapshot` folds a peer's
+  snapshot file into this store shard-by-shard via the associative merge
+  algebra of :mod:`repro.streaming.merge`.
+
+Reads (queries, snapshots, merges) are quiescent: they wait for in-flight
+ingests to drain and briefly block new ones, so every exported state and
+every version observed is a consistent point-in-time view.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.exceptions import InvalidParameterError, UnknownStoreError
+from repro.sampling.ranks import RankFamily
+from repro.sampling.seeds import SeedAssigner
+from repro.service import codec
+from repro.streaming.engine import StreamEngine
+
+__all__ = ["SketchStore"]
+
+
+class _StoreEntry:
+    """A named engine plus its concurrency state."""
+
+    __slots__ = ("engine", "version", "cond", "in_flight", "shard_locks")
+
+    def __init__(self, engine: StreamEngine, version: int = 0) -> None:
+        self.engine = engine
+        self.version = int(version)
+        #: guards version / in_flight / shard-lock creation; readers wait
+        #: on it for quiescence
+        self.cond = threading.Condition()
+        self.in_flight = 0
+        self.shard_locks: dict[tuple, threading.Lock] = {}
+
+
+class SketchStore:
+    """Named, versioned, concurrently ingestible sketch engines.
+
+    Examples
+    --------
+    >>> from repro.sampling.seeds import SeedAssigner
+    >>> store = SketchStore()
+    >>> _ = store.create("traffic", kind="poisson", threshold=0.5,
+    ...                  seed_assigner=SeedAssigner(salt=7))
+    >>> store.ingest("traffic", "monday", ["alice", "bob"], [3.0, 1.0])
+    1
+    >>> store.version("traffic")
+    1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, _StoreEntry] = {}
+        self._planner = None
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        kind: str = "bottom_k",
+        *,
+        k: int | None = None,
+        threshold: float | None = None,
+        rank_family: RankFamily | None = None,
+        seed_assigner: SeedAssigner | None = None,
+        n_shards: int = 8,
+    ) -> StreamEngine:
+        """Create, register and return a named engine."""
+        if kind == "bottom_k":
+            if k is None:
+                raise InvalidParameterError(
+                    "a bottom_k store requires the sample size k"
+                )
+            if threshold is not None:
+                raise InvalidParameterError(
+                    "threshold applies to poisson stores only"
+                )
+            engine = StreamEngine.bottom_k(
+                k=k,
+                rank_family=rank_family,
+                seed_assigner=seed_assigner,
+                n_shards=n_shards,
+            )
+        elif kind == "poisson":
+            if threshold is None:
+                raise InvalidParameterError(
+                    "a poisson store requires a threshold"
+                )
+            if k is not None:
+                raise InvalidParameterError(
+                    "k applies to bottom_k stores only"
+                )
+            engine = StreamEngine.poisson(
+                threshold=threshold,
+                rank_family=rank_family,
+                seed_assigner=seed_assigner,
+                n_shards=n_shards,
+            )
+        else:
+            raise InvalidParameterError(
+                f"unknown sketch kind {kind!r}; use 'bottom_k' or 'poisson'"
+            )
+        self.register(name, engine)
+        return engine
+
+    def register(
+        self, name: str, engine: StreamEngine, version: int = 0
+    ) -> None:
+        """Register an existing engine under ``name``.
+
+        Engines built from custom factories are accepted for in-memory
+        use, but :meth:`snapshot` and :meth:`merge_snapshot` require the
+        recorded configuration of ``StreamEngine.bottom_k`` /
+        ``StreamEngine.poisson`` engines.
+        """
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError(
+                f"store names must be non-empty strings, got {name!r}"
+            )
+        if not isinstance(engine, StreamEngine):
+            raise InvalidParameterError(
+                f"expected a StreamEngine, got {type(engine).__name__}"
+            )
+        with self._lock:
+            if name in self._entries:
+                raise InvalidParameterError(
+                    f"store {name!r} already exists"
+                )
+            self._entries[name] = _StoreEntry(engine, version)
+
+    def names(self) -> list[str]:
+        """Registered engine names, in registration order."""
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def _entry(self, name: str) -> _StoreEntry:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise UnknownStoreError(
+                    f"unknown store {name!r}; registered: "
+                    f"{list(self._entries)}"
+                ) from None
+
+    def engine(self, name: str) -> StreamEngine:
+        """The live engine registered under ``name`` (not a copy)."""
+        return self._entry(name).engine
+
+    def version(self, name: str) -> int:
+        """Monotone ingest counter of ``name`` (0 for a fresh engine)."""
+        entry = self._entry(name)
+        with entry.cond:
+            return entry.version
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self, name: str, instance: object, keys: Sequence[object], values
+    ) -> int:
+        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+
+        Safe to call from many threads at once: batch planning (hashing,
+        sharding, sketch creation) is serialized on the engine, while the
+        per-shard sketch updates run under per-(instance, shard) locks so
+        different shards make progress in parallel.  Returns the new
+        version.
+        """
+        entry = self._entry(name)
+        with entry.cond:
+            jobs = entry.engine.ingest_jobs(instance, keys, values)
+            for job in jobs:
+                entry.shard_locks.setdefault(
+                    (instance, job.shard), threading.Lock()
+                )
+            entry.in_flight += 1
+        try:
+            for job in jobs:
+                with entry.shard_locks[(instance, job.shard)]:
+                    StreamEngine.run_job(job)
+        finally:
+            with entry.cond:
+                entry.in_flight -= 1
+                entry.version += 1
+                version = entry.version
+                entry.cond.notify_all()
+        return version
+
+    def ingest_rows(
+        self, name: str, rows: Iterable[tuple[object, object, float]]
+    ) -> int:
+        """Ingest ``(instance, key, value)`` triples, grouped by instance.
+
+        Returns the version after the last batch (the current version if
+        ``rows`` is empty).
+        """
+        groups: dict[object, tuple[list, list]] = {}
+        for instance, key, value in rows:
+            columns = groups.get(instance)
+            if columns is None:
+                columns = groups[instance] = ([], [])
+            columns[0].append(key)
+            columns[1].append(float(value))
+        version = None
+        for instance, (keys, values) in groups.items():
+            version = self.ingest(name, instance, keys, values)
+        return self.version(name) if version is None else version
+
+    # ------------------------------------------------------------------
+    # Quiescent reads
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _read(self, name: str):
+        """Yield the entry once no ingest is in flight, blocking new
+        ingests for the duration (they queue on the condition lock)."""
+        entry = self._entry(name)
+        with entry.cond:
+            while entry.in_flight:
+                entry.cond.wait()
+            yield entry
+
+    def snapshot_view(
+        self, name: str, instances: Sequence[object]
+    ) -> tuple[int, list]:
+        """A consistent ``(version, merged sketches)`` view of ``name``."""
+        with self._read(name) as entry:
+            return (
+                entry.version,
+                [entry.engine.sketch(label) for label in instances],
+            )
+
+    def merged_sketch(self, name: str, instance: object):
+        """The cross-shard merged sketch of one instance."""
+        with self._read(name) as entry:
+            return entry.engine.sketch(instance)
+
+    def sample(self, name: str, instance: object):
+        """Offline-sample snapshot of one instance."""
+        return self.merged_sketch(name, instance).to_sample()
+
+    def describe(self) -> dict:
+        """Human/JSON-friendly summary of every registered engine."""
+        summary: dict[str, dict] = {}
+        for name in self.names():
+            with self._read(name) as entry:
+                engine = entry.engine
+                config = engine.sketch_config or {}
+                summary[name] = {
+                    "kind": config.get("kind", "custom"),
+                    "version": entry.version,
+                    "n_updates": engine.n_updates,
+                    "n_shards": engine.n_shards,
+                    "instances": {
+                        str(label): len(engine.sketch(label))
+                        for label in engine.instance_labels
+                    },
+                }
+        return summary
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self, path) -> Path:
+        """Write the whole store to ``path`` via the binary codec."""
+        items = []
+        for name in self.names():
+            with self._read(name) as entry:
+                items.append(
+                    (name, entry.version, codec.to_bytes(entry.engine))
+                )
+        path = Path(path)
+        path.write_bytes(codec.store_to_bytes(items))
+        return path
+
+    @classmethod
+    def restore(cls, path) -> "SketchStore":
+        """Rebuild a store from a :meth:`snapshot` file.
+
+        The restored store is state-identical: same engines, same
+        versions, same query results.
+        """
+        store = cls()
+        for name, version, engine in codec.store_from_bytes(
+            Path(path).read_bytes()
+        ):
+            store.register(name, engine, version=version)
+        return store
+
+    # ------------------------------------------------------------------
+    # Fan-in
+    # ------------------------------------------------------------------
+    def merge_store(self, other: "SketchStore") -> None:
+        """Fold every engine of ``other`` into this store.
+
+        Engines present in both stores are merged shard-by-shard through
+        the streaming merge algebra (configurations and shard counts must
+        match); engines only ``other`` has are adopted.  Either way the
+        engines are copied through the codec, so the peer store is left
+        untouched and shares no state.  Merged names get version
+        ``max(local, peer) + 1`` so cached query results are invalidated.
+        """
+        for name in other.names():
+            with other._read(name) as peer_entry:
+                blob = codec.to_bytes(peer_entry.engine)
+                peer_version = peer_entry.version
+            peer_engine = codec.from_bytes(blob)
+            if name not in self:
+                self.register(name, peer_engine, version=peer_version)
+                continue
+            with self._read(name) as entry:
+                entry.engine.merge_from(peer_engine)
+                entry.version = max(entry.version, peer_version) + 1
+                entry.shard_locks.clear()
+
+    def merge_snapshot(self, path) -> None:
+        """Fold a peer's :meth:`snapshot` file into this store."""
+        self.merge_store(SketchStore.restore(path))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, name: str, query):
+        """Run a :class:`repro.service.queries.Query` through the store's
+        default (version-cached) planner."""
+        with self._lock:
+            if self._planner is None:
+                from repro.service.queries import QueryPlanner
+
+                self._planner = QueryPlanner(self)
+            planner = self._planner
+        return planner.run(name, query)

@@ -15,17 +15,38 @@ batch concurrently; by default they run inline.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.sampling.ranks import RankFamily
+from repro.sampling.ranks import (
+    ExpRanks,
+    RankFamily,
+    UniformRanks,
+    rank_family_from_name,
+)
 from repro.sampling.seeds import SeedAssigner, key_hashes
 from repro.streaming.merge import merge_sketches
-from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+from repro.streaming.sketch import (
+    StreamingBottomK,
+    StreamingPoisson,
+    sketch_from_state,
+)
 
-__all__ = ["StreamEngine"]
+__all__ = ["IngestJob", "StreamEngine"]
+
+
+class IngestJob(NamedTuple):
+    """One shard's share of an ingest batch (see
+    :meth:`StreamEngine.ingest_jobs`)."""
+
+    shard: int
+    sketch: object
+    keys: list
+    values: np.ndarray
+    hashes: np.ndarray
 
 
 class StreamEngine:
@@ -71,6 +92,10 @@ class StreamEngine:
         self.executor = executor
         self._shards: dict[object, list] = {}
         self.n_updates = 0
+        #: configuration recorded by the :meth:`bottom_k` / :meth:`poisson`
+        #: constructors; ``None`` for custom factories, which therefore
+        #: cannot be serialized or merged engine-to-engine
+        self.sketch_config: dict | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -87,6 +112,8 @@ class StreamEngine:
         """Engine maintaining a :class:`StreamingBottomK` per instance."""
         if seed_assigner is None:
             seed_assigner = SeedAssigner()
+        if rank_family is None:
+            rank_family = ExpRanks()
 
         def factory(instance: object) -> StreamingBottomK:
             return StreamingBottomK(
@@ -96,7 +123,14 @@ class StreamEngine:
                 seed_assigner=seed_assigner,
             )
 
-        return cls(factory, n_shards=n_shards, executor=executor)
+        engine = cls(factory, n_shards=n_shards, executor=executor)
+        engine.sketch_config = {
+            "kind": "bottom_k",
+            "k": int(k),
+            "rank_family": rank_family,
+            "seed_assigner": seed_assigner,
+        }
+        return engine
 
     @classmethod
     def poisson(
@@ -110,6 +144,8 @@ class StreamEngine:
         """Engine maintaining a :class:`StreamingPoisson` per instance."""
         if seed_assigner is None:
             seed_assigner = SeedAssigner()
+        if rank_family is None:
+            rank_family = UniformRanks()
 
         def factory(instance: object) -> StreamingPoisson:
             return StreamingPoisson(
@@ -119,7 +155,14 @@ class StreamEngine:
                 seed_assigner=seed_assigner,
             )
 
-        return cls(factory, n_shards=n_shards, executor=executor)
+        engine = cls(factory, n_shards=n_shards, executor=executor)
+        engine.sketch_config = {
+            "kind": "poisson",
+            "threshold": float(threshold),
+            "rank_family": rank_family,
+            "seed_assigner": seed_assigner,
+        }
+        return engine
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -131,11 +174,18 @@ class StreamEngine:
             self._shards[instance] = shards
         return shards
 
-    def ingest(self, instance: object, keys: Sequence[object], values) -> None:
-        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+    def ingest_jobs(
+        self, instance: object, keys: Sequence[object], values
+    ) -> list[IngestJob]:
+        """Validate one batch and split it into per-shard update jobs.
 
-        ``keys`` and ``values`` are parallel columns; integer key columns
-        are hashed fully vectorised.
+        This is the planning half of :meth:`ingest`: it hashes the key
+        column, routes each update to its shard, creates missing sketches,
+        and advances ``n_updates`` — but applies nothing.  Callers that
+        need to interleave the per-shard work with their own concurrency
+        control (e.g. the per-shard locking of
+        :class:`repro.service.SketchStore`) run the returned jobs through
+        :meth:`run_job` themselves.
         """
         keys = list(keys)
         values = np.asarray(values, dtype=float)
@@ -143,12 +193,16 @@ class StreamEngine:
             raise InvalidParameterError(
                 "keys and values must have matching length"
             )
+        # Validate the whole batch before any state (sketch creation,
+        # counters, shard contents) changes: a bad value must not leave
+        # some shards updated and others not.
+        if values.size and float(values.min()) < 0.0:
+            raise InvalidParameterError("values must be nonnegative")
         shards = self._instance_shards(instance)
         hashes = key_hashes(keys)
         self.n_updates += len(keys)
         if self.n_shards == 1:
-            shards[0].update_many(keys, values, hashes=hashes)
-            return
+            return [IngestJob(0, shards[0], keys, values, hashes)]
         shard_ids = (hashes % np.uint64(self.n_shards)).astype(np.intp)
         jobs = []
         for shard in range(self.n_shards):
@@ -156,23 +210,33 @@ class StreamEngine:
             if index.size == 0:
                 continue
             jobs.append(
-                (
+                IngestJob(
+                    shard,
                     shards[shard],
                     [keys[i] for i in index],
                     values[index],
                     hashes[index],
                 )
             )
+        return jobs
 
-        def run(job) -> None:
-            sketch, job_keys, job_values, job_hashes = job
-            sketch.update_many(job_keys, job_values, hashes=job_hashes)
+    @staticmethod
+    def run_job(job: IngestJob) -> None:
+        """Apply one shard job produced by :meth:`ingest_jobs`."""
+        job.sketch.update_many(job.keys, job.values, hashes=job.hashes)
 
+    def ingest(self, instance: object, keys: Sequence[object], values) -> None:
+        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+
+        ``keys`` and ``values`` are parallel columns; integer key columns
+        are hashed fully vectorised.
+        """
+        jobs = self.ingest_jobs(instance, keys, values)
         if self.executor is not None:
-            list(self.executor.map(run, jobs))
+            list(self.executor.map(self.run_job, jobs))
         else:
             for job in jobs:
-                run(job)
+                self.run_job(job)
 
     def ingest_updates(self, instances: Sequence[object], keys, values) -> None:
         """Ingest a mixed batch of ``(instance, key, value)`` updates."""
@@ -243,3 +307,170 @@ class StreamEngine:
     def sketches(self) -> dict[object, object]:
         """Merged sketches of every instance, keyed by label."""
         return {label: self.sketch(label) for label in self._shards}
+
+    # ------------------------------------------------------------------
+    # State export / merge
+    # ------------------------------------------------------------------
+    def _require_config(self) -> dict:
+        if self.sketch_config is None:
+            raise InvalidParameterError(
+                "only engines built via StreamEngine.bottom_k() or "
+                "StreamEngine.poisson() record the configuration needed "
+                "to export state or merge engines"
+            )
+        return self.sketch_config
+
+    def state_dict(self) -> dict:
+        """Complete engine state: configuration plus per-shard sketch
+        states of every instance (see the sketches' ``state_dict``)."""
+        config = self._require_config()
+        assigner = config["seed_assigner"]
+        state = {
+            "kind": config["kind"],
+            "rank_family": config["rank_family"],
+            "salt": assigner.salt,
+            "coordinated": assigner.coordinated,
+            "n_shards": self.n_shards,
+            "n_updates": self.n_updates,
+            "instances": {
+                label: tuple(sketch.state_dict() for sketch in shards)
+                for label, shards in self._shards.items()
+            },
+        }
+        if config["kind"] == "bottom_k":
+            state["k"] = config["k"]
+        else:
+            state["threshold"] = config["threshold"]
+        return state
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamEngine":
+        """Rebuild an engine from a :meth:`state_dict` snapshot."""
+        kind = state["kind"]
+        family = state["rank_family"]
+        if isinstance(family, str):
+            family = rank_family_from_name(family)
+        assigner = SeedAssigner(
+            salt=state["salt"], coordinated=bool(state["coordinated"])
+        )
+        if kind == "bottom_k":
+            engine = cls.bottom_k(
+                k=int(state["k"]),
+                rank_family=family,
+                seed_assigner=assigner,
+                n_shards=int(state["n_shards"]),
+            )
+        elif kind == "poisson":
+            engine = cls.poisson(
+                threshold=float(state["threshold"]),
+                rank_family=family,
+                seed_assigner=assigner,
+                n_shards=int(state["n_shards"]),
+            )
+        else:
+            raise InvalidParameterError(
+                f"unknown engine state kind {kind!r}; expected 'bottom_k' "
+                "or 'poisson'"
+            )
+        engine.n_updates = int(state["n_updates"])
+        for label, shard_states in state["instances"].items():
+            shards = [
+                sketch_from_state(shard_state)
+                for shard_state in shard_states
+            ]
+            if len(shards) != engine.n_shards:
+                raise InvalidParameterError(
+                    f"instance {label!r} carries {len(shards)} shard "
+                    f"sketches for an {engine.n_shards}-shard engine"
+                )
+            expected_type = (
+                StreamingBottomK if kind == "bottom_k" else StreamingPoisson
+            )
+            for sketch in shards:
+                if type(sketch) is not expected_type:
+                    raise InvalidParameterError(
+                        f"{kind} engine state carries a "
+                        f"{type(sketch).__name__} shard sketch"
+                    )
+                if sketch.instance != label:
+                    raise InvalidParameterError(
+                        f"shard sketch of instance {sketch.instance!r} "
+                        f"listed under label {label!r}"
+                    )
+                if (
+                    sketch.rank_family != family
+                    or sketch.seed_assigner != assigner
+                    or (
+                        kind == "bottom_k"
+                        and sketch.k != engine.sketch_config["k"]
+                    )
+                    or (
+                        kind == "poisson"
+                        and sketch.threshold
+                        != engine.sketch_config["threshold"]
+                    )
+                ):
+                    raise InvalidParameterError(
+                        "shard sketch configuration does not match the "
+                        "engine configuration"
+                    )
+            engine._shards[label] = shards
+        return engine
+
+    def __eq__(self, other: object) -> bool:
+        """Configuration, counters and per-shard sketch equality.
+
+        Engines built from custom factories (no recorded configuration)
+        only compare equal to themselves.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        if self.sketch_config is None or other.sketch_config is None:
+            return self is other
+        if (
+            self.sketch_config != other.sketch_config
+            or self.n_shards != other.n_shards
+            or self.n_updates != other.n_updates
+            or set(self._shards) != set(other._shards)
+        ):
+            return False
+        return all(
+            self._shards[label] == other._shards[label]
+            for label in self._shards
+        )
+
+    __hash__ = None
+
+    def merge_from(self, other: "StreamEngine") -> None:
+        """Fold another engine's sketches into this one, shard by shard.
+
+        Both engines must share the same recorded configuration and shard
+        count: sharding routes a key by ``hash % n_shards``, so equal
+        shard counts guarantee that shard ``s`` of both engines holds the
+        same key-space partition and per-shard merging is exact.  The
+        other engine is left untouched.
+        """
+        config, other_config = self._require_config(), other._require_config()
+        if config != other_config:
+            raise InvalidParameterError(
+                "cannot merge engines with different sketch configurations"
+            )
+        if self.n_shards != other.n_shards:
+            raise InvalidParameterError(
+                f"cannot merge engines with {self.n_shards} and "
+                f"{other.n_shards} shards; sharding must partition the "
+                "key space identically"
+            )
+        self.n_updates += other.n_updates
+        for label in other.instance_labels:
+            other_shards = other.shard_sketches(label)
+            mine = self._shards.get(label)
+            if mine is None:
+                self._shards[label] = [
+                    merge_sketches([sketch]) for sketch in other_shards
+                ]
+            else:
+                self._shards[label] = [
+                    merge_sketches([ours, theirs])
+                    for ours, theirs in zip(mine, other_shards)
+                ]

@@ -47,17 +47,22 @@ detect the approximate regime.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.sampling.bottomk import BottomKSample
 from repro.sampling.poisson import PoissonSample
-from repro.sampling.ranks import ExpRanks, RankFamily, UniformRanks
+from repro.sampling.ranks import (
+    ExpRanks,
+    RankFamily,
+    UniformRanks,
+    rank_family_from_name,
+)
 from repro.sampling.seeds import SeedAssigner, key_hashes
 
-__all__ = ["StreamingBottomK", "StreamingPoisson"]
+__all__ = ["StreamingBottomK", "StreamingPoisson", "sketch_from_state"]
 
 
 class _StreamingSketch:
@@ -215,6 +220,46 @@ class _StreamingSketch:
 
     def _ingest(self, key: object, value: float, seed: float) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # State export
+    # ------------------------------------------------------------------
+    def _config_state(self) -> dict:
+        """Configuration and counters shared by both sketch families."""
+        return {
+            "instance": self.instance,
+            "rank_family": self.rank_family,
+            "salt": self.seed_assigner.salt,
+            "coordinated": self.seed_assigner.coordinated,
+            "n_updates": self.n_updates,
+            "n_discarded_keys": self.n_discarded_keys,
+        }
+
+    def state_dict(self) -> dict:
+        """Full snapshot of the sketch state (see subclasses)."""
+        raise NotImplementedError
+
+    def _eq_state(self) -> tuple:
+        """Order-insensitive view of the state used by ``__eq__``."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        """Whether two sketches carry identical snapshot state.
+
+        Equality compares configuration, counters and the retained
+        entries — values, ranks and (for bottom-k) seeds — but *not* the
+        internal entry ordering, so sketches built from permutations of
+        the same updates compare equal.  :meth:`state_dict` exposes the
+        ordering too, for consumers (the binary codec) that need
+        bit-identical continuation behaviour.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._eq_state() == other._eq_state()
+
+    # sketches are mutable containers; equality is by state, so identity
+    # hashing would break the hash invariant
+    __hash__ = None
 
 
 class StreamingBottomK(_StreamingSketch):
@@ -458,6 +503,116 @@ class StreamingBottomK(_StreamingSketch):
             seed_assigner=self.seed_assigner,
         )
 
+    def _entry_order(self) -> list:
+        """Retained keys ordered by their effective heap position.
+
+        The heap breaks exact rank ties by insertion sequence number, so
+        the *relative* sequence order of the retained keys is part of the
+        sketch's forward behaviour.  A key's effective position is the
+        smallest sequence number among its non-stale heap entries; stale
+        entries (rank no longer current) never influence behaviour and are
+        dropped from the export.
+        """
+        best: dict[object, int] = {}
+        for neg_rank, seq, key in self._heap:
+            if self._ranks.get(key) == -neg_rank:
+                current = best.get(key)
+                if current is None or seq < current:
+                    best[key] = seq
+        ordered = sorted(best, key=best.get)
+        if len(ordered) != len(self._values):  # pragma: no cover - defensive
+            ordered += [key for key in self._values if key not in best]
+        return ordered
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the sketch state.
+
+        ``entries`` lists the retained keys in dict-insertion order as
+        ``(key, value, rank, seed, heap_position)`` tuples, where
+        ``heap_position`` is the key's index in :meth:`_entry_order`.
+        Restoring from this state (:meth:`from_state`) yields a sketch
+        whose subsequent updates are bit-identical to the live one.
+        """
+        position = {
+            key: index for index, key in enumerate(self._entry_order())
+        }
+        state = self._config_state()
+        state["kind"] = "bottom_k"
+        state["k"] = self.k
+        state["entries"] = tuple(
+            (
+                key,
+                self._values[key],
+                self._ranks[key],
+                self._seeds[key],
+                position[key],
+            )
+            for key in self._values
+        )
+        return state
+
+    def _eq_state(self) -> tuple:
+        return (
+            self.k,
+            self.instance,
+            self.rank_family,
+            self.seed_assigner,
+            self.n_updates,
+            self.n_discarded_keys,
+            frozenset(
+                (key, self._values[key], self._ranks[key], self._seeds[key])
+                for key in self._values
+            ),
+        )
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamingBottomK":
+        """Rebuild a sketch from a :meth:`state_dict` snapshot.
+
+        The restored sketch is state-identical to the exported one: same
+        :meth:`to_sample` snapshot and bit-identical behaviour on any
+        subsequent stream of updates.
+        """
+        family = state["rank_family"]
+        if isinstance(family, str):
+            family = rank_family_from_name(family)
+        sketch = cls(
+            k=int(state["k"]),
+            instance=state["instance"],
+            rank_family=family,
+            seed_assigner=SeedAssigner(
+                salt=state["salt"], coordinated=bool(state["coordinated"])
+            ),
+        )
+        entries = tuple(state["entries"])
+        if len(entries) > sketch.k + 1:
+            raise InvalidParameterError(
+                f"bottom-k state holds {len(entries)} entries; at most "
+                f"k + 1 = {sketch.k + 1} can be retained"
+            )
+        sketch.n_updates = int(state["n_updates"])
+        sketch.n_discarded_keys = int(state["n_discarded_keys"])
+        by_position = sorted(entries, key=lambda entry: entry[4])
+        seq_of = {
+            entry[0]: seq for seq, entry in enumerate(by_position, start=1)
+        }
+        heap: list[tuple[float, int, object]] = []
+        for key, value, rank, seed, _position in entries:
+            if key in sketch._values:
+                raise InvalidParameterError(
+                    f"bottom-k state repeats key {key!r}"
+                )
+            sketch._values[key] = float(value)
+            sketch._ranks[key] = float(rank)
+            sketch._seeds[key] = float(seed)
+            heap.append((-float(rank), seq_of[key], key))
+        heapq.heapify(heap)
+        sketch._heap = heap
+        sketch._seq = len(entries)
+        if len(sketch._values) == sketch.k + 1:
+            sketch._full_max = max(sketch._ranks.values())
+        return sketch
+
 
 class StreamingPoisson(_StreamingSketch):
     """Streaming Poisson-``tau`` sketch of one instance.
@@ -624,3 +779,73 @@ class StreamingPoisson(_StreamingSketch):
             seed_assigner=self.seed_assigner,
             rank_family_name=self.rank_family.name,
         )
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the sketch state.
+
+        ``entries`` lists the retained keys in dict-insertion order as
+        ``(key, value, rank)`` tuples; the order is preserved by
+        :meth:`from_state` so query paths that iterate the entries (and
+        therefore sum floats in that order) reproduce bit-identical
+        results.
+        """
+        state = self._config_state()
+        state["kind"] = "poisson"
+        state["threshold"] = self.threshold
+        state["entries"] = tuple(
+            (key, self._values[key], self._ranks[key])
+            for key in self._values
+        )
+        return state
+
+    def _eq_state(self) -> tuple:
+        return (
+            self.threshold,
+            self.instance,
+            self.rank_family,
+            self.seed_assigner,
+            self.n_updates,
+            self.n_discarded_keys,
+            frozenset(
+                (key, self._values[key], self._ranks[key])
+                for key in self._values
+            ),
+        )
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamingPoisson":
+        """Rebuild a sketch from a :meth:`state_dict` snapshot."""
+        family = state["rank_family"]
+        if isinstance(family, str):
+            family = rank_family_from_name(family)
+        sketch = cls(
+            threshold=float(state["threshold"]),
+            instance=state["instance"],
+            rank_family=family,
+            seed_assigner=SeedAssigner(
+                salt=state["salt"], coordinated=bool(state["coordinated"])
+            ),
+        )
+        sketch.n_updates = int(state["n_updates"])
+        sketch.n_discarded_keys = int(state["n_discarded_keys"])
+        for key, value, rank in state["entries"]:
+            if key in sketch._values:
+                raise InvalidParameterError(
+                    f"Poisson state repeats key {key!r}"
+                )
+            sketch._values[key] = float(value)
+            sketch._ranks[key] = float(rank)
+        return sketch
+
+
+def sketch_from_state(state: Mapping):
+    """Rebuild either sketch family from a ``state_dict()`` snapshot."""
+    kind = state.get("kind")
+    if kind == "bottom_k":
+        return StreamingBottomK.from_state(state)
+    if kind == "poisson":
+        return StreamingPoisson.from_state(state)
+    raise InvalidParameterError(
+        f"unknown sketch state kind {kind!r}; expected 'bottom_k' or "
+        "'poisson'"
+    )

@@ -1,0 +1,236 @@
+"""End-to-end CLI drive: ingest -> snapshot -> merge -> query in a temp
+directory, checked against in-process computation."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.sampling.seeds import SeedAssigner
+from repro.service.cli import main
+from repro.service.queries import Query
+from repro.service.store import SketchStore
+
+SALT = 7
+THRESHOLD = 0.5
+
+
+def make_rows(seed=0):
+    generator = np.random.default_rng(seed)
+    rows = []
+    for instance in ("monday", "tuesday"):
+        keys = generator.choice(4000, size=900, replace=False)
+        values = generator.random(900) * 4.0 + 0.1
+        rows += [
+            (instance, f"user{key}", float(value))
+            for key, value in zip(keys, values)
+        ]
+    return rows
+
+
+def write_csv(path, rows, header=True):
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["instance", "key", "value"])
+        writer.writerows(rows)
+
+
+def run_cli(capsys, *args) -> dict:
+    assert main(list(args)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def reference_store(rows) -> SketchStore:
+    store = SketchStore()
+    store.create(
+        "traffic", "poisson", threshold=THRESHOLD,
+        seed_assigner=SeedAssigner(salt=SALT),
+    )
+    store.ingest_rows("traffic", rows)
+    return store
+
+
+@pytest.fixture
+def rows():
+    return make_rows()
+
+
+class TestCliEndToEnd:
+    def test_ingest_query_matches_in_process(self, tmp_path, capsys, rows):
+        write_csv(tmp_path / "updates.csv", rows)
+        report = run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--input", str(tmp_path / "updates.csv"),
+            "--kind", "poisson", "--threshold", str(THRESHOLD),
+            "--salt", str(SALT),
+        )
+        assert report["rows_ingested"] == len(rows)
+        assert report["instances"] == ["monday", "tuesday"]
+
+        result = run_cli(
+            capsys,
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--kind", "distinct",
+            "--instances", "monday", "tuesday",
+        )
+        expected = reference_store(rows).query(
+            "traffic", Query.distinct("monday", "tuesday")
+        )
+        assert result["value"]["estimate"] == expected.value.estimate
+        assert result["value"]["counts"] == dict(expected.value.counts)
+
+        l1 = run_cli(
+            capsys,
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--kind", "l1",
+            "--instances", "monday", "tuesday",
+        )
+        direct = reference_store(rows).query(
+            "traffic", Query.l1("monday", "tuesday")
+        )
+        assert l1["value"] == direct.value
+
+    def test_threaded_ingest_matches_single_thread(
+        self, tmp_path, capsys, rows
+    ):
+        write_csv(tmp_path / "updates.csv", rows)
+        for threads, name in (("1", "serial.bin"), ("4", "threaded.bin")):
+            run_cli(
+                capsys,
+                "ingest", "--store", str(tmp_path / name),
+                "--name", "traffic",
+                "--input", str(tmp_path / "updates.csv"),
+                "--kind", "poisson", "--threshold", str(THRESHOLD),
+                "--salt", str(SALT), "--threads", threads,
+                "--batch-size", "256",
+            )
+        serial = SketchStore.restore(tmp_path / "serial.bin")
+        threaded = SketchStore.restore(tmp_path / "threaded.bin")
+        assert threaded.engine("traffic") == serial.engine("traffic")
+
+    def test_split_ingest_then_merge_matches_full_ingest(
+        self, tmp_path, capsys, rows
+    ):
+        half = len(rows) // 2
+        write_csv(tmp_path / "full.csv", rows)
+        write_csv(tmp_path / "a.csv", rows[:half], header=False)
+        write_csv(tmp_path / "b.csv", rows[half:], header=False)
+        for source, target in (
+            ("full.csv", "full.bin"),
+            ("a.csv", "a.bin"),
+            ("b.csv", "b.bin"),
+        ):
+            run_cli(
+                capsys,
+                "ingest", "--store", str(tmp_path / target),
+                "--name", "traffic", "--input", str(tmp_path / source),
+                "--kind", "poisson", "--threshold", str(THRESHOLD),
+                "--salt", str(SALT),
+            )
+        merged = run_cli(
+            capsys,
+            "merge", "--out", str(tmp_path / "merged.bin"),
+            str(tmp_path / "a.bin"), str(tmp_path / "b.bin"),
+        )
+        assert "traffic" in merged["engines"]
+        full = SketchStore.restore(tmp_path / "full.bin")
+        fan_in = SketchStore.restore(tmp_path / "merged.bin")
+        for label in ("monday", "tuesday"):
+            assert fan_in.merged_sketch(
+                "traffic", label
+            ) == full.merged_sketch("traffic", label)
+
+    def test_snapshot_summarises_engines(self, tmp_path, capsys, rows):
+        write_csv(tmp_path / "updates.csv", rows)
+        run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--input", str(tmp_path / "updates.csv"),
+            "--kind", "poisson", "--threshold", str(THRESHOLD),
+            "--salt", str(SALT),
+        )
+        report = run_cli(
+            capsys,
+            "snapshot", "--store", str(tmp_path / "store.bin"),
+            "--out", str(tmp_path / "copy.bin"),
+        )
+        summary = report["engines"]["traffic"]
+        assert summary["kind"] == "poisson"
+        assert summary["n_updates"] == len(rows)
+        assert set(summary["instances"]) == {"monday", "tuesday"}
+        copy = SketchStore.restore(tmp_path / "copy.bin")
+        original = SketchStore.restore(tmp_path / "store.bin")
+        assert copy.engine("traffic") == original.engine("traffic")
+
+    def test_jsonl_input_and_int_keys(self, tmp_path, capsys):
+        path = tmp_path / "updates.jsonl"
+        with path.open("w") as handle:
+            for key in range(50):
+                handle.write(json.dumps(
+                    {"instance": "d", "key": key, "value": 1.5}
+                ) + "\n")
+        report = run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "store.bin"),
+            "--name", "bk", "--input", str(path),
+            "--kind", "bottom_k", "--k", "8", "--salt", "1", "--int-keys",
+        )
+        assert report["rows_ingested"] == 50
+        store = SketchStore.restore(tmp_path / "store.bin")
+        direct = SketchStore()
+        direct.create(
+            "bk", "bottom_k", k=8, seed_assigner=SeedAssigner(salt=1),
+        )
+        direct.ingest("bk", "d", list(range(50)), [1.5] * 50)
+        assert store.engine("bk") == direct.engine("bk")
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        code = main([
+            "ingest", "--store", str(tmp_path / "s.bin"),
+            "--name", "t", "--input", str(tmp_path / "absent.csv"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_query_unknown_name_reports_error(self, tmp_path, capsys, rows):
+        write_csv(tmp_path / "updates.csv", rows)
+        run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--input", str(tmp_path / "updates.csv"),
+            "--kind", "poisson", "--threshold", str(THRESHOLD),
+        )
+        code = main([
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "nope", "--kind", "sum", "--instances", "monday",
+        ])
+        assert code == 2
+        assert "unknown store" in capsys.readouterr().err
+
+    def test_module_entry_point(self, tmp_path):
+        write_csv(tmp_path / "updates.csv", make_rows())
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service",
+                "ingest", "--store", str(tmp_path / "store.bin"),
+                "--name", "traffic",
+                "--input", str(tmp_path / "updates.csv"),
+                "--kind", "poisson", "--threshold", str(THRESHOLD),
+            ],
+            capture_output=True, text=True, env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout)["command"] == "ingest"

@@ -1,0 +1,314 @@
+"""Property-based round-trip suite for the binary sketch codec.
+
+The contract under test is *state-exactness*: for random streams over
+both sketch families and all three rank families,
+``from_bytes(to_bytes(s))`` must reproduce the sketch — snapshots, full
+``state_dict`` (entry order included), and bit-identical behaviour on
+subsequent updates — and serialization must commute with the merge
+algebra: ``restore(merge(a, b)) == merge(restore(a), restore(b))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, SketchCodecError
+from repro.sampling.ranks import (
+    ExpRanks,
+    PpsRanks,
+    RankFamily,
+    UniformRanks,
+)
+from repro.sampling.seeds import SeedAssigner
+from repro.service.codec import (
+    FORMAT_VERSION,
+    MAGIC,
+    from_bytes,
+    store_from_bytes,
+    store_to_bytes,
+    to_bytes,
+)
+from repro.streaming.engine import StreamEngine
+from repro.streaming.merge import merge_sketches
+from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
+
+keys = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.text(max_size=6),
+    st.binary(max_size=4),
+    st.tuples(st.integers(min_value=0, max_value=99), st.text(max_size=3)),
+)
+streams = st.lists(
+    st.tuples(keys, st.floats(min_value=0.0, max_value=1000.0)),
+    max_size=60,
+)
+weighted_families = st.sampled_from([ExpRanks(), PpsRanks()])
+all_families = st.sampled_from([ExpRanks(), PpsRanks(), UniformRanks()])
+salts = st.integers(min_value=0, max_value=10_000)
+
+
+def feed(sketch, stream) -> None:
+    for key, value in stream:
+        sketch.update(key, value)
+
+
+def assert_roundtrip_exact(sketch, extra_stream) -> None:
+    """Restored sketch: equal state, equal snapshot, bit-identical
+    continuation."""
+    restored = from_bytes(to_bytes(sketch))
+    assert restored == sketch
+    assert restored.state_dict() == sketch.state_dict()
+    assert restored.to_sample() == sketch.to_sample()
+    feed(sketch, extra_stream)
+    feed(restored, extra_stream)
+    assert restored.state_dict() == sketch.state_dict()
+    assert restored.to_sample() == sketch.to_sample()
+    assert list(restored._values) == list(sketch._values)
+
+
+class TestSketchRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=streams,
+        extra=streams,
+        k=st.integers(min_value=1, max_value=12),
+        salt=salts,
+        family=all_families,
+        coordinated=st.booleans(),
+    )
+    def test_bottom_k_roundtrip_is_state_exact(
+        self, stream, extra, k, salt, family, coordinated
+    ):
+        sketch = StreamingBottomK(
+            k=k,
+            instance="day0",
+            rank_family=family,
+            seed_assigner=SeedAssigner(salt=salt, coordinated=coordinated),
+        )
+        feed(sketch, stream)
+        assert_roundtrip_exact(sketch, extra)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=streams,
+        extra=streams,
+        threshold=st.floats(min_value=0.05, max_value=1.0),
+        salt=salts,
+        family=all_families,
+    )
+    def test_poisson_roundtrip_is_state_exact(
+        self, stream, extra, threshold, salt, family
+    ):
+        sketch = StreamingPoisson(
+            threshold=threshold,
+            instance=("poisson", 1),
+            rank_family=family,
+            seed_assigner=SeedAssigner(salt=salt),
+        )
+        feed(sketch, stream)
+        assert_roundtrip_exact(sketch, extra)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream_a=streams,
+        stream_b=streams,
+        k=st.integers(min_value=1, max_value=10),
+        salt=salts,
+        family=weighted_families,
+    )
+    def test_merge_commutes_with_restore_bottom_k(
+        self, stream_a, stream_b, k, salt, family
+    ):
+        assigner = SeedAssigner(salt=salt)
+
+        def build(stream):
+            sketch = StreamingBottomK(
+                k=k, instance="d", rank_family=family, seed_assigner=assigner
+            )
+            feed(sketch, stream)
+            return sketch
+
+        part_a, part_b = build(stream_a), build(stream_b)
+        merged_then_restored = from_bytes(
+            to_bytes(merge_sketches([part_a, part_b]))
+        )
+        restored_then_merged = merge_sketches(
+            [from_bytes(to_bytes(part_a)), from_bytes(to_bytes(part_b))]
+        )
+        assert merged_then_restored == restored_then_merged
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream_a=streams,
+        stream_b=streams,
+        threshold=st.floats(min_value=0.05, max_value=1.0),
+        salt=salts,
+        family=all_families,
+    )
+    def test_merge_commutes_with_restore_poisson(
+        self, stream_a, stream_b, threshold, salt, family
+    ):
+        assigner = SeedAssigner(salt=salt)
+
+        def build(stream):
+            sketch = StreamingPoisson(
+                threshold=threshold,
+                instance="d",
+                rank_family=family,
+                seed_assigner=assigner,
+            )
+            feed(sketch, stream)
+            return sketch
+
+        part_a, part_b = build(stream_a), build(stream_b)
+        merged_then_restored = from_bytes(
+            to_bytes(merge_sketches([part_a, part_b]))
+        )
+        restored_then_merged = merge_sketches(
+            [from_bytes(to_bytes(part_a)), from_bytes(to_bytes(part_b))]
+        )
+        assert merged_then_restored == restored_then_merged
+
+
+class TestEngineRoundTrip:
+    def make_columns(self, n=600, seed=0):
+        generator = np.random.default_rng(seed)
+        return (
+            generator.choice(10**7, size=n, replace=False),
+            generator.random(n) * 10.0 + 0.01,
+        )
+
+    def test_bottom_k_engine_roundtrip_and_continuation(self):
+        keys_column, values = self.make_columns()
+        engine = StreamEngine.bottom_k(
+            k=20, seed_assigner=SeedAssigner(salt=3), n_shards=4
+        )
+        engine.ingest("mon", keys_column[:400], values[:400])
+        engine.ingest("tue", keys_column[200:], values[200:])
+        restored = from_bytes(to_bytes(engine))
+        assert restored == engine
+        assert restored.sample("mon") == engine.sample("mon")
+        engine.ingest("mon", keys_column[400:], values[400:])
+        restored.ingest("mon", keys_column[400:], values[400:])
+        assert restored == engine
+        assert restored.state_dict() == engine.state_dict()
+
+    def test_poisson_engine_roundtrip(self):
+        keys_column, values = self.make_columns(seed=1)
+        engine = StreamEngine.poisson(
+            0.4,
+            seed_assigner=SeedAssigner(salt=9, coordinated=True),
+            n_shards=3,
+        )
+        engine.ingest("a", keys_column, values)
+        restored = from_bytes(to_bytes(engine))
+        assert restored == engine
+        assert dict(restored.sample("a").entries) == dict(
+            engine.sample("a").entries
+        )
+
+    def test_empty_engine_roundtrip(self):
+        engine = StreamEngine.poisson(0.5, n_shards=2)
+        assert from_bytes(to_bytes(engine)) == engine
+
+    def test_from_state_rejects_shard_config_mismatch(self):
+        engine = StreamEngine.bottom_k(
+            k=4, seed_assigner=SeedAssigner(salt=1), n_shards=2
+        )
+        engine.ingest("d", [1, 2, 3], [1.0, 2.0, 3.0])
+        state = engine.state_dict()
+        doctored = dict(state, k=9)  # header disagrees with shard bodies
+        with pytest.raises(InvalidParameterError, match="configuration"):
+            StreamEngine.from_state(doctored)
+
+        poisson = StreamEngine.poisson(
+            0.5, seed_assigner=SeedAssigner(salt=1), n_shards=2
+        )
+        poisson.ingest("d", [1, 2, 3], [1.0, 2.0, 3.0])
+        mixed = dict(poisson.state_dict())
+        mixed["instances"] = state["instances"]  # bottom-k shards inside
+        with pytest.raises(InvalidParameterError, match="shard"):
+            StreamEngine.from_state(mixed)
+
+    def test_custom_factory_engine_is_rejected(self):
+        engine = StreamEngine(
+            lambda instance: StreamingBottomK(k=3, instance=instance)
+        )
+        with pytest.raises(SketchCodecError):
+            to_bytes(engine)
+
+
+class TestStoreBlob:
+    def test_store_blob_roundtrip(self):
+        engine = StreamEngine.bottom_k(k=5, seed_assigner=SeedAssigner(salt=1))
+        engine.ingest("d", [1, 2, 3], [1.0, 2.0, 3.0])
+        items = store_from_bytes(
+            store_to_bytes([("traffic", 11, to_bytes(engine))])
+        )
+        assert items == [("traffic", 11, engine)]
+
+    def test_sketch_blob_is_not_a_store(self):
+        sketch = StreamingBottomK(k=2, seed_assigner=SeedAssigner())
+        with pytest.raises(SketchCodecError, match="store"):
+            store_from_bytes(to_bytes(sketch))
+
+
+class TestCodecErrors:
+    def make_blob(self):
+        sketch = StreamingBottomK(k=4, seed_assigner=SeedAssigner(salt=2))
+        sketch.update_many(list(range(50)), np.arange(50, dtype=float) + 1)
+        return to_bytes(sketch)
+
+    def test_bad_magic(self):
+        blob = self.make_blob()
+        with pytest.raises(SketchCodecError, match="magic"):
+            from_bytes(b"XXXX" + blob[4:])
+
+    def test_future_version(self):
+        blob = bytearray(self.make_blob())
+        blob[4:6] = (FORMAT_VERSION + 1).to_bytes(2, "little")
+        with pytest.raises(SketchCodecError, match="version"):
+            from_bytes(bytes(blob))
+
+    def test_truncated_buffer(self):
+        blob = self.make_blob()
+        for cut in (3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(SketchCodecError):
+                from_bytes(blob[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SketchCodecError, match="trailing"):
+            from_bytes(self.make_blob() + b"\x00")
+
+    def test_store_blob_rejected_by_from_bytes(self):
+        blob = store_to_bytes([])
+        with pytest.raises(SketchCodecError, match="SketchStore.restore"):
+            from_bytes(blob)
+
+    def test_custom_rank_family_is_rejected(self):
+        class HalfRanks(UniformRanks):
+            pass
+
+        sketch = StreamingPoisson(0.5, rank_family=HalfRanks())
+        with pytest.raises(SketchCodecError, match="rank famil"):
+            to_bytes(sketch)
+
+    def test_unsupported_key_type_is_rejected(self):
+        sketch = StreamingBottomK(k=2, seed_assigner=SeedAssigner())
+        sketch.update(frozenset({1}), 1.0)
+        with pytest.raises(SketchCodecError, match="frozenset"):
+            to_bytes(sketch)
+
+    def test_non_sketch_object_is_rejected(self):
+        with pytest.raises(SketchCodecError, match="cannot encode"):
+            to_bytes(object())
+
+    def test_magic_constant_is_stable(self):
+        # the on-disk format is a compatibility surface; catching an
+        # accidental change here beats debugging unreadable snapshots
+        assert MAGIC == b"RSVC"
+        assert FORMAT_VERSION == 1
+        assert self.make_blob()[:4] == MAGIC

@@ -1,0 +1,278 @@
+"""SketchStore: concurrent ingest parity, versioning, persistence,
+fan-in."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, UnknownStoreError
+from repro.sampling.ranks import PpsRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.service.store import SketchStore
+from repro.streaming.engine import StreamEngine
+
+
+def make_batches(n_keys=6000, n_batches=12, seed=0, instances=("d",)):
+    """Per-instance update batches over *distinct* keys (the
+    pre-aggregated model in which sketches are order-insensitive)."""
+    generator = np.random.default_rng(seed)
+    batches = []
+    for index, instance in enumerate(instances):
+        keys = generator.choice(10**8, size=n_keys, replace=False)
+        values = generator.random(n_keys) * 10.0 + 0.01
+        for start in range(0, n_keys, n_keys // n_batches):
+            stop = start + n_keys // n_batches
+            batches.append((instance, keys[start:stop], values[start:stop]))
+    return batches
+
+
+def build_store(kind="bottom_k", **kwargs):
+    store = SketchStore()
+    defaults = {
+        "seed_assigner": SeedAssigner(salt=5, coordinated=True),
+        "n_shards": 4,
+    }
+    defaults.update(kwargs)
+    if kind == "bottom_k":
+        defaults.setdefault("k", 48)
+    else:
+        defaults.setdefault("threshold", 0.4)
+    store.create("traffic", kind, **defaults)
+    return store
+
+
+class TestConcurrentIngest:
+    @pytest.mark.parametrize("kind", ["bottom_k", "poisson"])
+    def test_four_thread_ingest_matches_serial(self, kind):
+        batches = make_batches(instances=("mon", "tue"))
+
+        serial = build_store(kind)
+        for instance, keys, values in batches:
+            serial.ingest("traffic", instance, keys, values)
+
+        concurrent = build_store(kind)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(
+                pool.map(
+                    lambda batch: concurrent.ingest("traffic", *batch),
+                    batches,
+                )
+            )
+
+        assert concurrent.version("traffic") == serial.version("traffic")
+        assert concurrent.engine("traffic") == serial.engine("traffic")
+        for instance in ("mon", "tue"):
+            merged = concurrent.merged_sketch("traffic", instance)
+            assert merged == serial.merged_sketch("traffic", instance)
+            assert (
+                concurrent.sample("traffic", instance).entries
+                == serial.sample("traffic", instance).entries
+            )
+
+    def test_concurrent_ingest_with_queries_interleaved(self):
+        batches = make_batches(n_keys=3000, instances=("mon",))
+        store = build_store("poisson")
+        with ThreadPoolExecutor(max_workers=5) as pool:
+            ingest_futures = [
+                pool.submit(store.ingest, "traffic", *batch)
+                for batch in batches
+            ]
+            read_futures = [
+                pool.submit(store.merged_sketch, "traffic", "mon")
+                for _ in range(8)
+            ]
+            for future in ingest_futures + read_futures:
+                future.result()
+        # every quiescent read is a consistent prefix; the final state
+        # matches serial ingest
+        serial = build_store("poisson")
+        for batch in batches:
+            serial.ingest("traffic", *batch)
+        assert store.engine("traffic") == serial.engine("traffic")
+
+
+class TestRegistryAndVersions:
+    def test_versions_are_monotone_per_ingest(self):
+        store = build_store()
+        assert store.version("traffic") == 0
+        for expected in (1, 2, 3):
+            version = store.ingest(
+                "traffic", "d", [expected], [float(expected)]
+            )
+            assert version == expected == store.version("traffic")
+
+    def test_unknown_name_raises_typed_error(self):
+        store = SketchStore()
+        with pytest.raises(UnknownStoreError):
+            store.engine("nope")
+        with pytest.raises(UnknownStoreError):
+            store.ingest("nope", "d", [1], [1.0])
+        assert issubclass(UnknownStoreError, KeyError)
+
+    def test_duplicate_and_invalid_creation(self):
+        store = build_store()
+        with pytest.raises(InvalidParameterError, match="already exists"):
+            store.create("traffic", "bottom_k", k=4)
+        with pytest.raises(InvalidParameterError, match="requires"):
+            store.create("x", "bottom_k")
+        with pytest.raises(InvalidParameterError, match="requires"):
+            store.create("x", "poisson")
+        with pytest.raises(InvalidParameterError, match="kind"):
+            store.create("x", "unknown")
+        with pytest.raises(InvalidParameterError, match="poisson"):
+            store.create("x", "bottom_k", k=3, threshold=0.5)
+
+    def test_failed_ingest_changes_nothing(self):
+        store = build_store()
+        store.ingest("traffic", "d", [1, 2], [1.0, 2.0])
+        before = store.engine("traffic").state_dict()
+        bad_values = np.ones(50)
+        bad_values[-1] = -1.0  # would otherwise fail mid-apply
+        with pytest.raises(InvalidParameterError, match="nonnegative"):
+            store.ingest("traffic", "d", list(range(100, 150)), bad_values)
+        # atomic rejection: no partial shard updates, no version bump
+        assert store.version("traffic") == 1
+        assert store.engine("traffic").state_dict() == before
+
+    def test_ingest_rows_groups_by_instance(self):
+        store = build_store(kind="poisson")
+        rows = [("mon", 1, 2.0), ("tue", 2, 3.0), ("mon", 3, 4.0)]
+        store.ingest_rows("traffic", rows)
+        direct = build_store(kind="poisson")
+        direct.ingest("traffic", "mon", [1, 3], [2.0, 4.0])
+        direct.ingest("traffic", "tue", [2], [3.0])
+        assert store.engine("traffic") == direct.engine("traffic")
+
+
+class TestPersistence:
+    def test_snapshot_restore_is_state_identical(self, tmp_path):
+        store = build_store()
+        store.create(
+            "pps",
+            "poisson",
+            threshold=0.2,
+            rank_family=PpsRanks(),
+            seed_assigner=SeedAssigner(salt=1),
+            n_shards=2,
+        )
+        for instance, keys, values in make_batches(
+            n_keys=2000, instances=("mon", "tue")
+        ):
+            store.ingest("traffic", instance, keys, values)
+            store.ingest("pps", instance, keys, values)
+        path = store.snapshot(tmp_path / "store.bin")
+
+        restored = SketchStore.restore(path)
+        assert restored.names() == store.names()
+        for name in store.names():
+            assert restored.version(name) == store.version(name)
+            assert restored.engine(name) == store.engine(name)
+        assert restored.describe() == store.describe()
+
+    def test_restored_store_continues_ingesting_identically(self, tmp_path):
+        batches = make_batches(n_keys=2000, instances=("mon",))
+        store = build_store()
+        for batch in batches[:6]:
+            store.ingest("traffic", *batch)
+        restored = SketchStore.restore(
+            store.snapshot(tmp_path / "mid.bin")
+        )
+        for batch in batches[6:]:
+            store.ingest("traffic", *batch)
+            restored.ingest("traffic", *batch)
+        assert restored.engine("traffic") == store.engine("traffic")
+        assert (
+            restored.engine("traffic").state_dict()
+            == store.engine("traffic").state_dict()
+        )
+
+
+class TestFanIn:
+    def test_merge_snapshot_equals_single_store_ingest(self, tmp_path):
+        batches = make_batches(instances=("mon", "tue"))
+        reference = build_store("poisson")
+        for batch in batches:
+            reference.ingest("traffic", *batch)
+
+        half = len(batches) // 2
+        peers = []
+        for index, part in enumerate((batches[:half], batches[half:])):
+            peer = build_store("poisson")
+            for batch in part:
+                peer.ingest("traffic", *batch)
+            peers.append(peer.snapshot(tmp_path / f"peer{index}.bin"))
+
+        merged = SketchStore.restore(peers[0])
+        merged.merge_snapshot(peers[1])
+        assert merged.engine("traffic") == reference.engine("traffic")
+        # fan-in bumps the version past both peers
+        assert merged.version("traffic") > max(
+            SketchStore.restore(path).version("traffic") for path in peers
+        )
+
+    def test_merge_adopts_names_missing_locally(self, tmp_path):
+        local = build_store()
+        peer = SketchStore()
+        peer.create(
+            "other", "poisson", threshold=0.5,
+            seed_assigner=SeedAssigner(salt=2),
+        )
+        peer.ingest("other", "d", [1, 2], [1.0, 2.0])
+        local.merge_snapshot(peer.snapshot(tmp_path / "peer.bin"))
+        assert set(local.names()) == {"traffic", "other"}
+        assert local.engine("other") == peer.engine("other")
+
+    def test_merge_rejects_mismatched_configs(self, tmp_path):
+        local = build_store(n_shards=4)
+        peer = SketchStore()
+        peer.create(
+            "traffic", "bottom_k", k=48,
+            seed_assigner=SeedAssigner(salt=5, coordinated=True),
+            n_shards=2,
+        )
+        path = peer.snapshot(tmp_path / "peer.bin")
+        with pytest.raises(InvalidParameterError, match="shards"):
+            local.merge_snapshot(path)
+
+        other_k = SketchStore()
+        other_k.create(
+            "traffic", "bottom_k", k=7,
+            seed_assigner=SeedAssigner(salt=5, coordinated=True),
+            n_shards=4,
+        )
+        path = other_k.snapshot(tmp_path / "otherk.bin")
+        with pytest.raises(InvalidParameterError, match="configuration"):
+            local.merge_snapshot(path)
+
+    def test_merge_leaves_peer_untouched(self, tmp_path):
+        local = build_store("poisson")
+        local.ingest("traffic", "d", [1], [1.0])
+        peer = build_store("poisson")
+        peer.ingest("traffic", "d", [2], [2.0])
+        before = peer.engine("traffic").state_dict()
+        local.merge_store(peer)
+        assert peer.engine("traffic").state_dict() == before
+        local.ingest("traffic", "d", [3], [3.0])
+        assert peer.engine("traffic").state_dict() == before
+
+
+class TestRegisterCustomEngine:
+    def test_custom_engine_is_usable_but_not_serializable(self, tmp_path):
+        from repro.exceptions import SketchCodecError
+        from repro.streaming.sketch import StreamingBottomK
+
+        store = SketchStore()
+        engine = StreamEngine(
+            lambda instance: StreamingBottomK(
+                k=3, instance=instance, seed_assigner=SeedAssigner(salt=1)
+            ),
+            n_shards=2,
+        )
+        store.register("custom", engine)
+        store.ingest("custom", "d", [1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0])
+        assert len(store.sample("custom", "d")) == 3
+        with pytest.raises(SketchCodecError):
+            store.snapshot(tmp_path / "nope.bin")

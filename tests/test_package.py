@@ -10,7 +10,7 @@ from repro import exceptions
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolvable(self):
         for name in repro.__all__:
@@ -23,11 +23,12 @@ class TestPublicApi:
         import repro.datasets
         import repro.experiments
         import repro.sampling
+        import repro.service
         import repro.streaming
 
         for module in (repro.core, repro.sampling, repro.aggregates,
                        repro.analysis, repro.datasets, repro.experiments,
-                       repro.streaming):
+                       repro.streaming, repro.service):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
 
@@ -43,6 +44,12 @@ class TestExceptions:
         assert issubclass(exceptions.InvalidParameterError,
                           exceptions.ReproError)
         assert issubclass(exceptions.InvalidParameterError, ValueError)
+        assert issubclass(exceptions.SketchCodecError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.SketchCodecError, ValueError)
+        assert issubclass(exceptions.UnknownStoreError,
+                          exceptions.ReproError)
+        assert issubclass(exceptions.UnknownStoreError, KeyError)
 
     def test_invalid_parameter_is_catchable_as_value_error(self):
         from repro._validation import check_probability

@@ -92,7 +92,7 @@ def bench_figure2_grid(n_points: int, repeats: int = 2) -> dict:
         f"figure-2 grid ({n_points} p-points x 6 curves): "
         f"scalar {scalar_seconds*1e3:8.1f} ms   "
         f"grid {grid_seconds*1e3:7.1f} ms   speedup {speedup:6.1f}x   "
-        f"(bit-identical)"
+        "(bit-identical)"
     )
     return {
         "scalar_seconds": scalar_seconds,

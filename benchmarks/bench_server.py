@@ -1,0 +1,237 @@
+"""Async load generator for the HTTP sketch server.
+
+Boots a :class:`repro.server.SketchServer` in-process on an ephemeral
+port and drives it with a mixed workload of concurrent HTTP clients:
+ingest workers POST distinct-key update batches while query workers
+interleave ``GET /query`` reads (a mix of cold and version-cached hits,
+since every ingest bumps the engine version).  Two gates:
+
+* **throughput** — the sustained mixed request rate must reach
+  ``--min-rps`` (default 2,000 requests/second);
+* **ingest parity** — after the load, the engine built through
+  concurrent HTTP ingest must be *bit-exact equal* to a serial
+  in-process ingest of the same batches (the streaming permutation
+  guarantee carried through the network layer).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.sampling.seeds import SeedAssigner
+from repro.server import AsyncSketchClient, ServerConfig, SketchServer
+from repro.service.queries import Query, query_value_json
+from repro.service.store import SketchStore
+
+SALT = 7
+INSTANCES = ("mon", "tue")
+
+
+def make_batches(n_updates: int, batch_rows: int, seed: int = 0):
+    """Distinct-integer-key update batches alternating over instances."""
+    generator = np.random.default_rng(seed)
+    keys = generator.choice(1 << 40, size=n_updates, replace=False)
+    values = generator.random(n_updates) * 10.0 + 0.01
+    batches = []
+    for index, start in enumerate(range(0, n_updates, batch_rows)):
+        stop = min(start + batch_rows, n_updates)
+        batches.append(
+            (
+                INSTANCES[index % len(INSTANCES)],
+                [int(key) for key in keys[start:stop]],
+                [float(value) for value in values[start:stop]],
+            )
+        )
+    return batches
+
+
+def make_store() -> SketchStore:
+    """A weight-oblivious Poisson engine sized for serving.
+
+    A low threshold keeps the retained set (and therefore per-query
+    work) bounded the way a production sketch would be — the whole point
+    of sketch-based serving is that query cost tracks the sketch, not
+    the stream.
+    """
+    store = SketchStore()
+    store.create(
+        "bench",
+        "poisson",
+        threshold=0.005,
+        seed_assigner=SeedAssigner(salt=SALT),
+        n_shards=4,
+    )
+    return store
+
+
+async def _ingest_worker(port, batches, counters) -> None:
+    async with AsyncSketchClient("127.0.0.1", port) as client:
+        for instance, keys, values in batches:
+            await client.ingest("bench", instance, keys, values)
+            counters["ingest_requests"] += 1
+            counters["rows"] += len(keys)
+
+
+async def _query_worker(port, done, counters) -> None:
+    """Rotate per-instance subset sums with cross-instance distinct
+    counts — a mix of cheap and compound reads, cold after every ingest
+    version bump and cache-served in between."""
+    async with AsyncSketchClient("127.0.0.1", port) as client:
+        position = 0
+        while not done.is_set():
+            if position % 3 == 2:
+                result = await client.query("bench", "distinct", list(INSTANCES))
+            else:
+                instance = INSTANCES[position % len(INSTANCES)]
+                result = await client.query("bench", "sum", [instance])
+            counters["query_requests"] += 1
+            counters["cache_hits"] += bool(result["from_cache"])
+            position += 1
+
+
+async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dict:
+    server = SketchServer(
+        store,
+        ServerConfig(port=0, ingest_threads=4, max_pending_batches=64),
+    )
+    await server.start()
+    counters = {
+        "ingest_requests": 0,
+        "query_requests": 0,
+        "cache_hits": 0,
+        "rows": 0,
+    }
+    done = asyncio.Event()
+    try:
+        started = time.perf_counter()
+        # seed both instances first so query workers never race the
+        # creation of an instance they want to read
+        n_seed = len(INSTANCES)
+        async with AsyncSketchClient("127.0.0.1", server.port) as client:
+            for instance, keys, values in batches[:n_seed]:
+                await client.ingest("bench", instance, keys, values)
+                counters["ingest_requests"] += 1
+                counters["rows"] += len(keys)
+        ingest_tasks = [
+            asyncio.ensure_future(
+                _ingest_worker(
+                    server.port,
+                    batches[n_seed + index :: ingest_workers],
+                    counters,
+                )
+            )
+            for index in range(ingest_workers)
+        ]
+        query_tasks = [
+            asyncio.ensure_future(_query_worker(server.port, done, counters))
+            for index in range(query_workers)
+        ]
+        await asyncio.gather(*ingest_tasks)
+        done.set()
+        await asyncio.gather(*query_tasks)
+        elapsed = time.perf_counter() - started
+    finally:
+        done.set()
+        await server.shutdown()
+    n_requests = counters["ingest_requests"] + counters["query_requests"]
+    return {
+        "seconds": elapsed,
+        "ingest_requests": counters["ingest_requests"],
+        "query_requests": counters["query_requests"],
+        "query_cache_hits": counters["cache_hits"],
+        "rows": counters["rows"],
+        "requests_per_second": n_requests / elapsed,
+        "ingest_rows_per_second": counters["rows"] / elapsed,
+    }
+
+
+def bench_load(
+    n_updates: int,
+    batch_rows: int = 100,
+    ingest_workers: int = 2,
+    query_workers: int = 8,
+    min_rps: float = 2000.0,
+) -> dict:
+    """Mixed ingest/query load with throughput and parity gates."""
+    batches = make_batches(n_updates, batch_rows)
+    store = make_store()
+    numbers = asyncio.run(_drive(store, batches, ingest_workers, query_workers))
+    assert numbers["rows"] == n_updates
+
+    serial = make_store()
+    for instance, keys, values in batches:
+        serial.ingest("bench", instance, keys, values)
+    assert store.engine("bench") == serial.engine("bench"), (
+        "concurrent HTTP ingest diverged from serial in-process ingest"
+    )
+    for query in (Query.sum(INSTANCES[0]), Query.distinct(*INSTANCES)):
+        final = store.query("bench", query)
+        reference = serial.query("bench", query)
+        assert query_value_json(final.value) == query_value_json(reference.value)
+
+    print(
+        f"server load ({n_updates} updates, {batch_rows} rows/batch, "
+        f"{ingest_workers}+{query_workers} workers): "
+        f"{numbers['requests_per_second']:8.0f} req/s "
+        f"({numbers['ingest_requests']} ingest + "
+        f"{numbers['query_requests']} query in "
+        f"{numbers['seconds']:.2f}s), "
+        f"{numbers['ingest_rows_per_second']:10.0f} rows/s  "
+        f"[ingest parity with serial: ok]  (gate >= {min_rps:g} req/s)"
+    )
+    assert numbers["requests_per_second"] >= min_rps, (
+        f"mixed throughput {numbers['requests_per_second']:.0f} req/s "
+        f"below the {min_rps:g} req/s gate"
+    )
+    return {
+        "n_updates": n_updates,
+        "batch_rows": batch_rows,
+        "ingest_workers": ingest_workers,
+        "query_workers": query_workers,
+        "parity": "ok",
+        "min_rps_gate": min_rps,
+        **numbers,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--updates", type=int, default=200_000,
+                        help="total update rows to ingest over HTTP")
+    parser.add_argument("--batch-rows", type=int, default=100,
+                        help="rows per ingest request")
+    parser.add_argument("--ingest-workers", type=int, default=2)
+    parser.add_argument("--query-workers", type=int, default=8)
+    parser.add_argument("--min-rps", type=float, default=2000.0,
+                        help="sustained mixed requests/second gate")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload for CI (same gates)")
+    parser.add_argument("--json", action="store_true", help="print the record as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.updates = 40_000
+
+    record = bench_load(
+        args.updates,
+        batch_rows=args.batch_rows,
+        ingest_workers=args.ingest_workers,
+        query_workers=args.query_workers,
+        min_rps=args.min_rps,
+    )
+    if args.json:
+        print(json.dumps(record, indent=1, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,46 +1,191 @@
-"""Record the repository's benchmark trajectory to a ``BENCH_*.json`` file.
+"""Record and compare the repository's benchmark trajectory.
 
 Runs the headline benchmarks (exact-enumeration grid, streaming
-``update_many``, full fast-mode experiment suite, and the service layer:
+``update_many``, full fast-mode experiment suite, the service layer —
 concurrent store ingest, snapshot/restore codec latency, query-cache
-speedup) and writes their wall times and speedups to a JSON file at the
+speedup — and the HTTP server's mixed ingest/query load) and writes
+their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
 repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py                # BENCH_PR4.json
     PYTHONPATH=src python benchmarks/record.py --out BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR5.json
 
-Use ``--smoke`` for a quick, smaller-workload run (same schema).
+After writing (or with ``--compare-only``, instead of benching at all)
+the record is diffed against every earlier ``BENCH_PR*.json``:
+
+* metrics ending in ``_per_second`` are **hard-gated** — a drop of more
+  than ``--max-regression`` (default 30%) against the most recent prior
+  recording fails the run (or annotates, with ``--warn-only``);
+* ``speedup`` metrics are **soft** — they compare cold vs cached or
+  scalar vs vectorized timings and are too noisy to gate, so drifts
+  only warn.
+
+Comparisons between a ``--smoke`` record and full-workload priors are
+downgraded to warnings as well (different workload sizes).  Inside
+GitHub Actions the messages use ``::warning``/``::error`` workflow
+annotations.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import re
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_exact  # noqa: E402
-import bench_service  # noqa: E402
-
 REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_FILE = re.compile(r"^BENCH_PR(\d+)\.json$")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR4.json",
-                        help="output file name (written at the repo root)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="smaller workloads for a quick run")
-    args = parser.parse_args(argv)
+# ----------------------------------------------------------------------
+# Trajectory comparison
+# ----------------------------------------------------------------------
+def bench_history(root: Path = REPO_ROOT) -> list[tuple[int, Path, dict]]:
+    """Every ``BENCH_PR<n>.json`` at the repo root, ordered by PR."""
+    history = []
+    for path in root.iterdir():
+        match = _BENCH_FILE.match(path.name)
+        if match:
+            with path.open() as handle:
+                history.append(
+                    (int(match.group(1)), path, json.load(handle))
+                )
+    return sorted(history, key=lambda item: item[0])
 
-    grid_points = 300 if args.smoke else 1500
-    updates = 20_000 if args.smoke else 200_000
-    service_updates = 40_000 if args.smoke else 400_000
-    query_keys = 20_000 if args.smoke else 100_000
+
+def throughput_metrics(record: dict) -> dict[str, float]:
+    """Comparable metrics of one record as ``dotted.path -> value``.
+
+    Only the ``benchmarks`` subtree is scanned; a metric is comparable
+    when its leaf name ends in ``_per_second`` or is ``speedup``.
+    """
+    metrics: dict[str, float] = {}
+
+    def walk(node: object, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = prefix.rsplit(".", 1)[-1]
+            if leaf.endswith("_per_second") or leaf == "speedup":
+                metrics[prefix] = float(node)
+
+    walk(record.get("benchmarks", {}), "")
+    return metrics
+
+
+def compare_records(
+    new_name: str,
+    new_record: dict,
+    history: list[tuple[int, Path, dict]],
+    max_regression: float,
+) -> tuple[list[str], list[str]]:
+    """Diff ``new_record`` against the prior recordings.
+
+    Returns ``(hard_failures, messages)``: every shared metric produces
+    a human-readable message; drops beyond ``max_regression`` on hard
+    (``_per_second``) metrics of a workload-comparable prior also land
+    in ``hard_failures``.
+    """
+    new_metrics = throughput_metrics(new_record)
+    messages: list[str] = []
+    failures: list[str] = []
+    if not history:
+        messages.append(
+            "bench trajectory: no prior BENCH_PR*.json to compare against"
+        )
+        return failures, messages
+    # baseline per metric = the most recent prior record carrying it
+    baselines: dict[str, tuple[str, float, bool]] = {}
+    for _, path, record in history:
+        smoke = bool(record.get("smoke"))
+        for metric, value in throughput_metrics(record).items():
+            baselines[metric] = (path.name, value, smoke)
+    smoke_mismatch_notes = set()
+    for metric in sorted(new_metrics):
+        if metric not in baselines:
+            messages.append(
+                f"  new       {metric} = {new_metrics[metric]:,.1f}"
+            )
+            continue
+        baseline_name, baseline, baseline_smoke = baselines[metric]
+        value = new_metrics[metric]
+        change = (value - baseline) / baseline if baseline else 0.0
+        soft = metric.rsplit(".", 1)[-1] == "speedup"
+        mismatch = bool(new_record.get("smoke")) != baseline_smoke
+        if mismatch:
+            smoke_mismatch_notes.add(baseline_name)
+        regressed = change < -max_regression
+        status = "ok"
+        if regressed:
+            status = "drifted" if (soft or mismatch) else "REGRESSED"
+        messages.append(
+            f"  {status:9s} {metric}  {baseline:,.1f} -> {value:,.1f} "
+            f"({change:+.1%})  [vs {baseline_name}]"
+        )
+        if regressed and not soft and not mismatch:
+            failures.append(
+                f"{metric} regressed {change:+.1%} vs {baseline_name} "
+                f"({baseline:,.1f} -> {value:,.1f}; gate is "
+                f"-{max_regression:.0%})"
+            )
+    for name in sorted(smoke_mismatch_notes):
+        messages.append(
+            f"  note: exactly one of {new_name} and {name} is a smoke "
+            "record; their regressions only warn (workload sizes differ)"
+        )
+    return failures, messages
+
+
+def run_comparison(
+    new_name: str,
+    new_record: dict,
+    max_regression: float,
+    warn_only: bool,
+    root: Path = REPO_ROOT,
+) -> int:
+    history = [
+        item for item in bench_history(root) if item[1].name != new_name
+    ]
+    failures, messages = compare_records(
+        new_name, new_record, history, max_regression
+    )
+    prior_names = ", ".join(path.name for _, path, _ in history) or "none"
+    print(f"\nbench trajectory: {new_name} vs {prior_names}")
+    for message in messages:
+        print(message)
+    annotate = "GITHUB_ACTIONS" in os.environ
+    for failure in failures:
+        if annotate:
+            kind = "warning" if warn_only else "error"
+            print(f"::{kind} title=Bench trajectory::{failure}")
+        print(f"{'warning' if warn_only else 'FAIL'}: {failure}")
+    if failures and not warn_only:
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def record_benchmarks(smoke: bool) -> dict:
+    # imported here, not at module level: the --compare-only path diffs
+    # committed JSON files and must not require numpy/scipy/repro
+    import bench_exact
+    import bench_server
+    import bench_service
+
+    grid_points = 300 if smoke else 1500
+    updates = 20_000 if smoke else 200_000
+    service_updates = 40_000 if smoke else 400_000
+    query_keys = 20_000 if smoke else 100_000
+    server_updates = 40_000 if smoke else 200_000
 
     started = time.time()
     record = {
@@ -49,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "smoke": args.smoke,
+        "smoke": smoke,
         "benchmarks": {
             "figure2_exact_moments_grid": bench_exact.bench_figure2_grid(
                 grid_points
@@ -65,16 +210,49 @@ def main(argv: list[str] | None = None) -> int:
             "service_query_cache": bench_service.bench_query_cache(
                 query_keys, min_speedup=5.0
             ),
+            "server_mixed_load": bench_server.bench_load(server_updates),
         },
     }
     record["total_bench_seconds"] = time.time() - started
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="output file name (written at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workloads for a quick run")
+    parser.add_argument("--compare-only", action="store_true",
+                        help="skip the benchmarks; just diff --out "
+                             "against the earlier BENCH_PR*.json files")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated fractional drop of hard "
+                             "(_per_second) metrics (default 0.30)")
+    args = parser.parse_args(argv)
 
     out_path = REPO_ROOT / args.out
-    with out_path.open("w") as handle:
-        json.dump(record, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    print(f"\nwrote {out_path}")
-    return 0
+    if args.compare_only:
+        if not out_path.exists():
+            print(
+                f"error: {out_path} does not exist; record it first",
+                file=sys.stderr,
+            )
+            return 2
+        with out_path.open() as handle:
+            record = json.load(handle)
+    else:
+        record = record_benchmarks(args.smoke)
+        with out_path.open("w") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {out_path}")
+
+    return run_comparison(
+        out_path.name, record, args.max_regression, args.warn_only
+    )
 
 
 if __name__ == "__main__":

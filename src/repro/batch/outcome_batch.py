@@ -27,7 +27,7 @@ into a batch.  Vectorized estimators consume whole batches through
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 

@@ -364,7 +364,7 @@ class MaxPpsL(VectorEstimator):
         values_matrix = np.asarray(values_matrix, dtype=np.float64)
         if values_matrix.ndim != 2 or values_matrix.shape[1] != 2:
             raise InvalidOutcomeError(
-                f"values matrix must have shape (n, 2), "
+                "values matrix must have shape (n, 2), "
                 f"got {values_matrix.shape}"
             )
         unique_rows, inverse = np.unique(

@@ -17,7 +17,6 @@ columnar ``OutcomeBatch`` pass per sampling rate.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.aggregates.dominance import (
     max_dominance_estimates,

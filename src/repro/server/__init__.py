@@ -1,0 +1,42 @@
+"""Asyncio HTTP front-end for the sketch service.
+
+The service layer (:mod:`repro.service`) gives coordinated sketches
+persistent, queryable state; this package puts that state on the
+network, standard-library only:
+
+* :mod:`repro.server.protocol` — minimal HTTP/1.1 framing over asyncio
+  streams with size limits and a typed :class:`HttpError` channel;
+* :mod:`repro.server.routing` — the exact-path method router (404/405
+  with ``Allow``);
+* :mod:`repro.server.app` — :class:`SketchServer`: ``POST /ingest``
+  (JSON/CSV batches, per-engine backpressure), ``GET /query`` through
+  the version-cached planner, ``POST /snapshot`` / ``POST /merge``
+  codec-backed persistence, ``GET /healthz`` / ``GET /metrics``.
+  Store work runs on a thread-pool executor; graceful shutdown drains
+  requests and snapshots engines that changed since the last snapshot;
+* :mod:`repro.server.metrics` — the serving counters behind
+  ``/metrics``;
+* :mod:`repro.server.client` — :class:`AsyncSketchClient`, the
+  keep-alive client used by the load generator, the examples and the
+  test suite;
+* :mod:`repro.server.config` — :class:`ServerConfig`, the shared
+  configuration surface of the API and the ``python -m repro.service
+  serve`` CLI.
+"""
+
+from repro.server.app import SketchServer
+from repro.server.client import AsyncSketchClient, ClientResponseError
+from repro.server.config import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import HttpError
+from repro.server.routing import Router
+
+__all__ = [
+    "AsyncSketchClient",
+    "ClientResponseError",
+    "HttpError",
+    "Router",
+    "ServerConfig",
+    "ServerMetrics",
+    "SketchServer",
+]

@@ -1,0 +1,672 @@
+"""The asyncio HTTP front-end of the sketch service.
+
+:class:`SketchServer` turns a :class:`repro.service.SketchStore` into a
+long-lived network service using nothing but the standard library: an
+``asyncio`` accept loop speaking the minimal HTTP/1.1 of
+:mod:`repro.server.protocol`, with every store operation — ingest,
+query, snapshot, merge — pushed onto a thread-pool executor so the event
+loop never blocks on shard locks or estimator math.
+
+Endpoints
+---------
+=======  ============  ====================================================
+method   path          action
+=======  ============  ====================================================
+POST     /engines      create a named engine (JSON config)
+POST     /ingest       ingest a JSON or CSV update batch (bounded
+                       per-engine backpressure; oversized batches 413)
+GET      /query        distinct / sum / dominance / l1 through the
+                       version-cached :class:`QueryPlanner`
+POST     /snapshot     persist the store through the binary codec
+POST     /merge        fold a peer snapshot file into the store
+GET      /healthz      liveness + uptime
+GET      /metrics      throughput, cache hit rate, per-engine probes
+=======  ============  ====================================================
+
+Concurrency model
+-----------------
+The event loop parses requests and serializes responses; ingest and
+query handlers ``await`` the executor.  Per-engine in-flight ingest
+batches are bounded by ``ServerConfig.max_pending_batches`` — beyond the
+bound the server answers ``503`` with ``Retry-After`` instead of letting
+queues grow without bound.  Because the store's per-shard locking makes
+concurrent ingest of pre-aggregated updates equal to serial ingest, any
+interleaving of HTTP clients yields bit-identical sketches.
+
+Graceful shutdown drains in-flight requests, closes idle keep-alive
+connections, and — when ``snapshot_path`` is configured — writes a final
+snapshot if any engine changed since the last one (the engines' cheap
+``probe``/version counters are the dirty check).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import csv
+import io
+import signal
+import socket
+import sys
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+
+from repro.exceptions import (
+    InvalidParameterError,
+    ReproError,
+    UnknownStoreError,
+)
+from repro.server.config import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    HttpError,
+    Request,
+    json_response_bytes,
+    read_request,
+)
+from repro.server.routing import Router
+from repro.service.queries import Query, query_value_json
+from repro.service.store import SketchStore
+
+__all__ = ["SketchServer"]
+
+#: query kinds reachable over HTTP — ``custom`` needs a Python callable
+#: and is therefore CLI/API-only
+_HTTP_QUERY_KINDS = ("distinct", "sum", "dominance", "l1")
+
+_TRUE_VALUES = ("1", "true", "yes")
+
+#: ingest bodies larger than this are parsed on the executor instead of
+#: the event loop (JSON/CSV decoding of a 100k-row batch takes tens of
+#: milliseconds — long enough to stall every other connection)
+_PARSE_INLINE_BYTES = 64 * 1024
+
+
+def _flag(params: dict[str, str], name: str) -> bool:
+    return params.get(name, "").lower() in _TRUE_VALUES
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on the connection.
+
+    Request/response round-trips are single small writes in each
+    direction; letting Nagle batch them against delayed ACKs costs
+    milliseconds per request and caps a keep-alive connection at a few
+    hundred requests/second.
+    """
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        with contextlib.suppress(OSError):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class SketchServer:
+    """Asyncio HTTP server over one :class:`SketchStore`.
+
+    Examples
+    --------
+    Programmatic use (tests, benchmarks, embedding)::
+
+        server = SketchServer(store, ServerConfig(port=0))
+        await server.start()          # server.port is now bound
+        ...
+        await server.shutdown()
+
+    Blocking use (the ``python -m repro.service serve`` CLI)::
+
+        SketchServer(store, config).run()   # returns after SIGINT/SIGTERM
+    """
+
+    def __init__(self, store: SketchStore, config: ServerConfig | None = None) -> None:
+        if not isinstance(store, SketchStore):
+            raise InvalidParameterError(
+                f"expected a SketchStore, got {type(store).__name__}"
+            )
+        self.store = store
+        self.config = config if config is not None else ServerConfig()
+        self.planner = store.planner()
+        self.planner.resize(self.config.max_cache_entries)
+        self.metrics = ServerMetrics()
+        self.port: int | None = None
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/metrics", self._handle_metrics)
+        self.router.add("POST", "/engines", self._handle_create_engine)
+        self.router.add("POST", "/ingest", self._handle_ingest)
+        self.router.add("GET", "/query", self._handle_query)
+        self.router.add("POST", "/snapshot", self._handle_snapshot)
+        self.router.add("POST", "/merge", self._handle_merge)
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.ingest_threads,
+            thread_name_prefix="sketch-server",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._shutdown_done = False
+        #: engine name -> in-flight ingest batches (event-loop only)
+        self._pending: dict[str, int] = {}
+        #: server-wide ingest requests being parsed or applied
+        self._ingest_requests = 0
+        self._active_requests = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        #: engine name -> (version, change_tick) at the last snapshot
+        self._clean_marks: dict[str, tuple[int, int]] = {}
+        self.last_shutdown_snapshot: Path | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SketchServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise InvalidParameterError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def shutdown(self, drain_seconds: float = 10.0) -> None:
+        """Stop accepting, drain in-flight requests, snapshot if dirty.
+
+        Idempotent: the second call returns immediately.
+        """
+        if self._shutdown_done:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_seconds
+        while self._active_requests and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # idle keep-alive connections sit in read_request(); closing the
+        # transport unblocks them with a clean EOF
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=drain_seconds)
+        self._executor.shutdown(wait=True)
+        if (
+            self.config.snapshot_on_shutdown
+            and self.config.snapshot_path is not None
+            and self._dirty_engines()
+        ):
+            path = Path(self.config.snapshot_path)
+            _, marks = self.store.snapshot_marked(path)
+            self._clean_marks = dict(marks)
+            self.last_shutdown_snapshot = path
+        self._shutdown_done = True
+
+    async def serve_forever(self, on_ready=None) -> None:
+        """Start (if needed), run until SIGINT/SIGTERM, shut down."""
+        if self._server is None:
+            await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signal_number, stop.set)
+                installed.append(signal_number)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            for signal_number in installed:
+                loop.remove_signal_handler(signal_number)
+            await self.shutdown()
+
+    def run(self, on_ready=None) -> None:
+        """Blocking entry point: serve until SIGINT/SIGTERM."""
+        asyncio.run(self.serve_forever(on_ready=on_ready))
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        _set_nodelay(writer)
+        try:
+            await self._connection_loop(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _connection_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            try:
+                request = await read_request(reader, self.config.max_body_bytes)
+            except HttpError as error:
+                # framing is unreliable after a parse error: answer and
+                # close rather than misinterpret the rest of the stream
+                self.metrics.record_response(error.status)
+                writer.write(
+                    json_response_bytes(
+                        error.status,
+                        {"error": error.message},
+                        keep_alive=False,
+                        extra_headers=error.extra_headers,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            status, payload, extra_headers = await self._dispatch(request)
+            keep_alive = request.keep_alive and not self._closing
+            writer.write(
+                json_response_bytes(
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    extra_headers=extra_headers,
+                )
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _dispatch(self, request: Request) -> tuple[int, object, tuple]:
+        self.metrics.record_request(request.method, request.path)
+        self._active_requests += 1
+        extra_headers: tuple = ()
+        try:
+            handler = self.router.resolve(request.method, request.path)
+            status, payload = await handler(request)
+        except HttpError as error:
+            status, payload = error.status, {"error": error.message}
+            extra_headers = error.extra_headers
+        except UnknownStoreError as error:
+            # KeyError subclass: str() would repr-quote the message
+            status, payload = 404, {"error": error.args[0]}
+        except FileNotFoundError as error:
+            status, payload = 404, {"error": str(error)}
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            status, payload = 400, {"error": f"{error}"}
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            traceback.print_exc(file=sys.stderr)
+            status, payload = 500, {"error": f"internal error: {error!r}"}
+        finally:
+            self._active_requests -= 1
+        self.metrics.record_response(status)
+        return status, payload, extra_headers
+
+    async def _in_executor(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, partial(fn, *args, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
+        return 200, {
+            "status": "closing" if self._closing else "ok",
+            "uptime_seconds": self.metrics.uptime_seconds(),
+            "engines": len(self.store.names()),
+        }
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
+        payload = await self._in_executor(
+            self.metrics.snapshot,
+            self.store,
+            self.planner,
+            dict(self._pending),
+        )
+        return 200, payload
+
+    async def _handle_create_engine(self, request: Request) -> tuple[int, dict]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "engine config must be a JSON object")
+        # deliberately NOT marked clean afterwards: a freshly created
+        # engine has never been snapshotted, so shutdown must persist it
+        self.store.create_from_config(payload)
+        return 201, {
+            "name": payload["name"],
+            "kind": payload.get("kind", "bottom_k"),
+            "created": True,
+        }
+
+    async def _handle_ingest(self, request: Request) -> tuple[int, dict]:
+        # The per-engine bound needs the parsed engine name, so a
+        # server-wide cap engages first — before any parse work or
+        # parsed rows can queue on the executor without bound.
+        server_bound = self.config.max_pending_batches * self.config.ingest_threads
+        if self._ingest_requests >= server_bound:
+            raise HttpError(
+                503,
+                f"{self._ingest_requests} ingest requests in flight "
+                f"(server bound {server_bound}); retry later",
+                extra_headers=(("Retry-After", "1"),),
+            )
+        self._ingest_requests += 1
+        try:
+            return await self._ingest_bounded(request)
+        finally:
+            self._ingest_requests -= 1
+
+    async def _ingest_bounded(self, request: Request) -> tuple[int, dict]:
+        # small payloads parse faster than an executor hop costs; large
+        # ones would stall every other connection, so they hop
+        if len(request.body) > _PARSE_INLINE_BYTES:
+            name, plan, n_rows, n_batches = await self._in_executor(
+                self._parse_ingest, request
+            )
+        else:
+            name, plan, n_rows, n_batches = self._parse_ingest(request)
+        if name not in self.store:
+            raise UnknownStoreError(
+                f"unknown store {name!r}; create it first via POST /engines"
+            )
+        if n_rows > self.config.max_batch_rows:
+            raise HttpError(
+                413,
+                f"batch of {n_rows} rows exceeds the "
+                f"{self.config.max_batch_rows}-row limit; split the batch",
+            )
+        pending = self._pending.get(name, 0)
+        if pending >= self.config.max_pending_batches:
+            raise HttpError(
+                503,
+                f"engine {name!r} has {pending} ingest batches in flight "
+                f"(bound {self.config.max_pending_batches}); retry later",
+                extra_headers=(("Retry-After", "1"),),
+            )
+        self._pending[name] = pending + 1
+        started = time.perf_counter()
+        try:
+            version = await self._in_executor(self._apply_ingest, name, plan)
+        finally:
+            remaining = self._pending.get(name, 1) - 1
+            if remaining > 0:
+                self._pending[name] = remaining
+            else:
+                self._pending.pop(name, None)
+        self.metrics.record_ingest(n_rows, time.perf_counter() - started)
+        return 200, {
+            "name": name,
+            "rows": n_rows,
+            "batches": n_batches,
+            "version": version,
+        }
+
+    def _apply_ingest(self, name: str, plan: tuple) -> int:
+        """Run a parsed ingest plan through the store; returns the new
+        version.  Row-shaped plans reuse the store's own instance
+        grouping (:meth:`SketchStore.ingest_rows`)."""
+        if plan[0] == "columns":
+            _, instance, keys, values = plan
+            return self.store.ingest(name, instance, keys, values)
+        return self.store.ingest_rows(name, plan[1])
+
+    def _parse_ingest(self, request: Request) -> tuple[str, tuple, int, int]:
+        """Normalise an ingest request to a store-ready plan.
+
+        Returns ``(name, plan, n_rows, n_batches)`` where ``plan`` is
+        either ``("columns", instance, keys, values)`` (one per-instance
+        batch) or ``("rows", triples)`` (mixed instances, grouped by
+        :meth:`SketchStore.ingest_rows`).  Accepted shapes:
+
+        * JSON ``{"name", "instance", "keys": [...], "values": [...]}``;
+        * JSON ``{"name", "rows": [[instance, key, value], ...]}``;
+        * CSV body (``?format=csv`` or ``Content-Type: text/csv``) of
+          ``instance,key,value`` lines with ``?name=`` in the query
+          string (``?int_keys=1`` parses keys as integers).
+        """
+        content_type = (
+            request.headers.get("content-type", "").split(";")[0].strip().lower()
+        )
+        fmt = request.params.get(
+            "format", "csv" if content_type == "text/csv" else "json"
+        )
+        if fmt == "csv":
+            return self._parse_ingest_csv(request)
+        if fmt != "json":
+            raise HttpError(400, f"unknown ingest format {fmt!r}; use 'json' or 'csv'")
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "ingest body must be a JSON object")
+        name = payload.get("name", request.params.get("name"))
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "ingest requires a string 'name'")
+        if "rows" in payload:
+            rows = payload["rows"]
+            if not isinstance(rows, list):
+                raise HttpError(400, "'rows' must be a list of triples")
+            parsed = []
+            for position, row in enumerate(rows):
+                if not isinstance(row, (list, tuple)) or len(row) != 3:
+                    raise HttpError(
+                        400,
+                        f"rows[{position}] is not an "
+                        "[instance, key, value] triple",
+                    )
+                instance, key, value = row
+                parsed.append((instance, key, self._number(value)))
+            n_batches = len({instance for instance, _, _ in parsed})
+            return name, ("rows", parsed), len(parsed), n_batches
+        if "keys" in payload:
+            if "instance" not in payload:
+                raise HttpError(400, "column-style ingest requires an 'instance'")
+            keys = payload["keys"]
+            values = payload.get("values")
+            if not isinstance(keys, list) or not isinstance(values, list):
+                raise HttpError(400, "'keys' and 'values' must be JSON arrays")
+            if len(keys) != len(values):
+                raise HttpError(
+                    400,
+                    f"'keys' ({len(keys)}) and 'values' ({len(values)}) "
+                    "must have matching length",
+                )
+            values = [self._number(value) for value in values]
+            plan = ("columns", payload["instance"], keys, values)
+            return name, plan, len(keys), 1
+        raise HttpError(400, "ingest body needs either 'rows' or 'instance'+'keys'")
+
+    def _parse_ingest_csv(self, request: Request) -> tuple[str, tuple, int, int]:
+        name = request.params.get("name")
+        if not name:
+            raise HttpError(400, "CSV ingest requires ?name=<engine>")
+        int_keys = _flag(request.params, "int_keys")
+        parsed = []
+        reader = csv.reader(io.StringIO(request.text()))
+        for line_number, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise HttpError(
+                    400,
+                    f"CSV line {line_number}: expected instance,key,value;"
+                    f" got {len(row)} columns",
+                )
+            if line_number == 1 and row == ["instance", "key", "value"]:
+                continue  # optional header
+            try:
+                key: object = int(row[1]) if int_keys else row[1]
+                parsed.append((row[0], key, float(row[2])))
+            except ValueError as exc:
+                raise HttpError(
+                    400, f"CSV line {line_number}: bad update row: {exc}"
+                ) from exc
+        n_batches = len({instance for instance, _, _ in parsed})
+        return name, ("rows", parsed), len(parsed), n_batches
+
+    @staticmethod
+    def _number(value: object) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise HttpError(400, f"update values must be numbers, got {value!r}")
+        return float(value)
+
+    async def _handle_query(self, request: Request) -> tuple[int, dict]:
+        params = request.params
+        name = params.get("name")
+        if not name:
+            raise HttpError(400, "query requires ?name=<engine>")
+        kind = params.get("kind")
+        if kind not in _HTTP_QUERY_KINDS:
+            raise HttpError(
+                400,
+                f"query kind must be one of {_HTTP_QUERY_KINDS}, "
+                f"got {kind!r}",
+            )
+        raw_instances = params.get("instances", "")
+        labels = [label for label in raw_instances.split(",") if label]
+        if not labels:
+            raise HttpError(
+                400,
+                "query requires ?instances=<label>[,<label>...]",
+            )
+        instances: list[object] = (
+            [int(label) for label in labels]
+            if _flag(params, "int_instances")
+            else list(labels)
+        )
+        query = Query(kind, tuple(instances), variant=params.get("variant", "l"))
+        # cache probes are cheap enough for the event loop; only pay the
+        # executor hop when the result actually needs recomputing
+        result = self.planner.peek(name, query)
+        if result is None:
+            result = await self._in_executor(self.planner.run, name, query)
+        return 200, {
+            "name": name,
+            "kind": kind,
+            "instances": labels,
+            "version": result.version,
+            "from_cache": result.from_cache,
+            "value": query_value_json(result.value),
+        }
+
+    def _resolve_data_path(self, raw: object) -> Path:
+        """Confine a network-supplied snapshot/merge path.
+
+        Network clients may only read and write inside the server's data
+        directory — the directory of the configured snapshot file.
+        Relative paths resolve against it; absolute paths must stay
+        inside it.  Without a configured ``snapshot_path`` there is no
+        data directory and caller-supplied paths are rejected, so an
+        exposed server never hands out an arbitrary file-write/read
+        primitive.
+        """
+        if self.config.snapshot_path is None:
+            raise HttpError(
+                403,
+                "network-supplied paths are disabled: the server has no "
+                "data directory (snapshot_path is not configured)",
+            )
+        base = Path(self.config.snapshot_path).resolve().parent
+        candidate = Path(str(raw))
+        if not candidate.is_absolute():
+            candidate = base / candidate
+        resolved = candidate.resolve()
+        if not resolved.is_relative_to(base):
+            raise HttpError(
+                403,
+                f"path {str(raw)!r} is outside the server data "
+                f"directory {str(base)!r}",
+            )
+        return resolved
+
+    async def _handle_snapshot(self, request: Request) -> tuple[int, dict]:
+        explicit = None
+        if request.body:
+            payload = request.json()
+            if not isinstance(payload, dict):
+                raise HttpError(400, "snapshot body must be a JSON object")
+            explicit = payload.get("path")
+        if explicit is not None:
+            target = self._resolve_data_path(explicit)
+        elif self.config.snapshot_path is not None:
+            target = Path(self.config.snapshot_path)
+        else:
+            raise HttpError(
+                400,
+                'no snapshot path: pass {"path": ...} or configure snapshot_path',
+            )
+        written, marks = await self._in_executor(self.store.snapshot_marked, target)
+        # Only a snapshot of the configured store file makes the engines
+        # "clean" — a backup elsewhere must not suppress the shutdown
+        # snapshot that keeps --store current.  The marks were captured
+        # inside each engine's quiescent read, so an ingest that landed
+        # while a later engine was being serialized still reads dirty.
+        if (
+            self.config.snapshot_path is not None
+            and target.resolve() == Path(self.config.snapshot_path).resolve()
+        ):
+            self._clean_marks = dict(marks)
+        return 200, {
+            "path": str(written),
+            "bytes": written.stat().st_size,
+            "engines": self.store.names(),
+        }
+
+    async def _handle_merge(self, request: Request) -> tuple[int, dict]:
+        payload = request.json()
+        if not isinstance(payload, dict) or "path" not in payload:
+            raise HttpError(400, 'merge requires a JSON body {"path": <snapshot>}')
+        path = self._resolve_data_path(payload["path"])
+        await self._in_executor(self.store.merge_snapshot, path)
+        describe = await self._in_executor(self.store.describe)
+        return 200, {"merged": str(path), "engines": describe}
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+    def _mark_clean_name(self, name: str) -> None:
+        self._clean_marks[name] = (
+            self.store.version(name),
+            self.store.engine(name).change_tick,
+        )
+
+    def mark_clean(self) -> None:
+        """Record the current state of every engine as "snapshotted".
+
+        Called after writing the configured snapshot file; callers that
+        hand the server a store whose exact state is already on disk
+        (e.g. the ``serve`` CLI right after ``SketchStore.restore``)
+        call it up front so an idle server does not rewrite an unchanged
+        snapshot at shutdown.
+        """
+        for name in self.store.names():
+            self._mark_clean_name(name)
+
+    def _dirty_engines(self) -> list[str]:
+        """Engines that changed since the last snapshot (or were never
+        snapshotted)."""
+        dirty = []
+        for name in self.store.names():
+            mark = (
+                self.store.version(name),
+                self.store.engine(name).change_tick,
+            )
+            if self._clean_marks.get(name) != mark:
+                dirty.append(name)
+        return dirty

@@ -1,0 +1,239 @@
+"""Asyncio client for the sketch server.
+
+:class:`AsyncSketchClient` speaks the same minimal HTTP/1.1 as the
+server over one persistent keep-alive connection (requests on a single
+client serialize on an internal lock — run many clients for
+concurrency, as the load generator in ``benchmarks/bench_server.py``
+does).  The typed convenience methods mirror the endpoint surface and
+raise :class:`ClientResponseError` on non-2xx responses; use
+:meth:`request` directly to observe error statuses without exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+from urllib.parse import quote, urlencode
+
+__all__ = ["AsyncSketchClient", "ClientResponseError"]
+
+
+class ClientResponseError(Exception):
+    """A non-2xx response from the sketch server."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(message or f"HTTP {status}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class AsyncSketchClient:
+    """One keep-alive HTTP connection to a :class:`SketchServer`.
+
+    Examples
+    --------
+    ::
+
+        async with AsyncSketchClient("127.0.0.1", server.port) as client:
+            await client.ingest("traffic", "monday", keys, values)
+            result = await client.query(
+                "traffic", "distinct", ["monday", "tuesday"])
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncSketchClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            sock = self._writer.get_extra_info("socket")
+            if sock is not None:
+                # single-write request/response round-trips: Nagle only
+                # adds latency here
+                with contextlib.suppress(OSError):
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    async def close(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def __aenter__(self) -> "AsyncSketchClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        params: dict | None = None,
+        json_body: object = None,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, object]:
+        """One round-trip; returns ``(status, decoded JSON payload)``.
+
+        Idempotent requests (GET/HEAD) reconnect and retry once when the
+        server closed the idle keep-alive connection between requests;
+        non-idempotent requests surface the connection error instead,
+        because the server may already have applied them.
+        """
+        if body is not None and json_body is not None:
+            raise ValueError("pass either json_body or body, not both")
+        if json_body is not None:
+            body = json.dumps(json_body, separators=(",", ":")).encode()
+        target = quote(path)
+        if params:
+            target += "?" + urlencode(params)
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Connection: keep-alive\r\n"
+        )
+        if body is not None:
+            head += (
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        payload = head.encode("latin-1") + b"\r\n" + (body or b"")
+        # Only idempotent requests are retried after a connection error:
+        # a POST may already have been applied by the time the connection
+        # died, and resending it would e.g. double-ingest a batch.
+        retriable = method.upper() in ("GET", "HEAD")
+        async with self._lock:
+            for attempt in (0, 1):
+                await self.connect()
+                assert self._reader is not None
+                assert self._writer is not None
+                try:
+                    self._writer.write(payload)
+                    await self._writer.drain()
+                    return await self._read_response(self._reader)
+                except (
+                    ConnectionResetError,
+                    BrokenPipeError,
+                    asyncio.IncompleteReadError,
+                ):
+                    await self.close()
+                    if attempt or not retriable:
+                        raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def _read_response(self, reader: asyncio.StreamReader) -> tuple[int, object]:
+        status_line = await reader.readuntil(b"\n")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionResetError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readuntil(b"\n")
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        if not raw:
+            return status, None
+        try:
+            return status, json.loads(raw)
+        except json.JSONDecodeError:
+            return status, raw.decode("utf-8", "replace")
+
+    async def _checked(self, *args, **kwargs) -> object:
+        status, payload = await self.request(*args, **kwargs)
+        if status >= 400:
+            raise ClientResponseError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Endpoint surface
+    # ------------------------------------------------------------------
+    async def healthz(self) -> dict:
+        return await self._checked("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self._checked("GET", "/metrics")
+
+    async def create_engine(self, name: str, kind: str = "bottom_k", **config) -> dict:
+        return await self._checked(
+            "POST",
+            "/engines",
+            json_body={"name": name, "kind": kind, **config},
+        )
+
+    async def ingest(
+        self, name: str, instance: object, keys: list, values: list
+    ) -> dict:
+        return await self._checked(
+            "POST",
+            "/ingest",
+            json_body={
+                "name": name,
+                "instance": instance,
+                "keys": list(keys),
+                "values": [float(value) for value in values],
+            },
+        )
+
+    async def ingest_rows(self, name: str, rows: list) -> dict:
+        return await self._checked(
+            "POST",
+            "/ingest",
+            json_body={
+                "name": name,
+                "rows": [
+                    [instance, key, float(value)]
+                    for instance, key, value in rows
+                ],
+            },
+        )
+
+    async def query(
+        self,
+        name: str,
+        kind: str,
+        instances: list,
+        variant: str = "l",
+        int_instances: bool = False,
+    ) -> dict:
+        params = {
+            "name": name,
+            "kind": kind,
+            "instances": ",".join(str(label) for label in instances),
+            "variant": variant,
+        }
+        if int_instances:
+            params["int_instances"] = "1"
+        return await self._checked("GET", "/query", params=params)
+
+    async def snapshot(self, path: object = None) -> dict:
+        json_body = {"path": str(path)} if path is not None else {}
+        return await self._checked("POST", "/snapshot", json_body=json_body)
+
+    async def merge(self, path: object) -> dict:
+        return await self._checked("POST", "/merge", json_body={"path": str(path)})

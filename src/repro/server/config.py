@@ -1,0 +1,83 @@
+"""Configuration surface of the HTTP sketch server.
+
+One frozen dataclass carries every operational knob — bind address,
+ingest concurrency, backpressure bounds, request-size limits, and the
+graceful-shutdown snapshot path — so the programmatic API
+(:class:`repro.server.SketchServer`), the CLI (``python -m repro.service
+serve``), and tests all configure the server the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational knobs of a :class:`repro.server.SketchServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` asks the OS for an ephemeral port
+        (the bound port is reported by ``SketchServer.port``).
+    ingest_threads:
+        Size of the thread-pool executor that runs store ingests and
+        queries, keeping shard-lock waits off the event loop.
+    max_pending_batches:
+        Per-engine bound on ingest batches that may be queued or running
+        at once.  Requests beyond the bound are rejected with ``503`` and
+        a ``Retry-After`` header — the backpressure signal.  A
+        server-wide bound of ``max_pending_batches * ingest_threads``
+        additionally engages *before* request parsing, keeping executor
+        queue depth and parsed-row memory bounded even when the engine
+        name is not known yet.
+    max_body_bytes:
+        Largest accepted request body; larger payloads get ``413``.
+    max_batch_rows:
+        Largest accepted number of update rows in one ingest request;
+        larger batches get ``413`` (split the batch instead).
+    max_cache_entries:
+        LRU bound of the shared query-result cache.
+    snapshot_path:
+        Where :meth:`~repro.server.SketchServer.shutdown` (and ``POST
+        /snapshot`` without an explicit path) persists the store.
+        ``None`` disables both.  Its directory doubles as the server's
+        *data directory*: network-supplied ``/snapshot`` and ``/merge``
+        paths are confined to it (and rejected with ``403`` when no
+        snapshot path is configured).
+    snapshot_on_shutdown:
+        Snapshot engines that changed since the last snapshot when the
+        server shuts down gracefully (requires ``snapshot_path``).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    ingest_threads: int = 4
+    max_pending_batches: int = 32
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_batch_rows: int = 100_000
+    max_cache_entries: int = 1024
+    snapshot_path: str | Path | None = None
+    snapshot_on_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise InvalidParameterError(f"port must be in [0, 65535], got {self.port}")
+        for attribute in (
+            "ingest_threads",
+            "max_pending_batches",
+            "max_body_bytes",
+            "max_batch_rows",
+            "max_cache_entries",
+        ):
+            value = getattr(self, attribute)
+            if int(value) <= 0:
+                raise InvalidParameterError(
+                    f"{attribute} must be positive, got {value}"
+                )

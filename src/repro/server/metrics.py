@@ -1,0 +1,113 @@
+"""Serving metrics of the HTTP sketch server.
+
+:class:`ServerMetrics` is a small thread-safe counter bag — the HTTP
+handlers run on the event loop but ingest work lands on executor
+threads, so every mutation takes the lock.  :meth:`snapshot` assembles
+the full ``GET /metrics`` payload: request/response counters, ingest
+throughput, the query planner's cache hit rate, and a per-engine block
+built from the store's version counters and the engines' cheap
+:meth:`~repro.streaming.StreamEngine.probe`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Thread-safe counters plus the ``/metrics`` payload builder."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
+        self._requests_by_route: Counter[str] = Counter()
+        self._responses_by_status: Counter[int] = Counter()
+        self._ingested_rows = 0
+        self._ingest_batches = 0
+        self._ingest_seconds = 0.0
+        self._rejected_oversized = 0
+        self._rejected_backpressure = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, method: str, path: str) -> None:
+        with self._lock:
+            self._requests_by_route[f"{method} {path}"] += 1
+
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self._responses_by_status[int(status)] += 1
+            if status == 413:
+                self._rejected_oversized += 1
+            elif status == 503:
+                self._rejected_backpressure += 1
+
+    def record_ingest(self, n_rows: int, seconds: float) -> None:
+        with self._lock:
+            self._ingested_rows += int(n_rows)
+            self._ingest_batches += 1
+            self._ingest_seconds += float(seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def snapshot(self, store, planner, pending: dict) -> dict:
+        """The full ``/metrics`` payload.
+
+        ``pending`` maps engine names to their in-flight ingest batch
+        counts (the server's backpressure state).
+        """
+        uptime = self.uptime_seconds()
+        with self._lock:
+            requests = dict(self._requests_by_route)
+            responses = {
+                str(status): count
+                for status, count in self._responses_by_status.items()
+            }
+            ingested_rows = self._ingested_rows
+            ingest_batches = self._ingest_batches
+            ingest_seconds = self._ingest_seconds
+            rejected_oversized = self._rejected_oversized
+            rejected_backpressure = self._rejected_backpressure
+
+        engines: dict[str, dict] = {}
+        for name in store.names():
+            probe = store.engine(name).probe()
+            engines[name] = {
+                "version": store.version(name),
+                "pending_batches": int(pending.get(name, 0)),
+                **probe,
+            }
+
+        return {
+            "started_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self._started_wall)
+            ),
+            "uptime_seconds": uptime,
+            "requests": requests,
+            "responses": responses,
+            "ingest": {
+                "rows": ingested_rows,
+                "batches": ingest_batches,
+                "busy_seconds": ingest_seconds,
+                # sustained throughput over the server lifetime ...
+                "rows_per_second": ingested_rows / uptime if uptime else 0.0,
+                # ... and while actually ingesting
+                "rows_per_busy_second": (
+                    ingested_rows / ingest_seconds if ingest_seconds else 0.0
+                ),
+                "rejected_oversized": rejected_oversized,
+                "rejected_backpressure": rejected_backpressure,
+            },
+            "query_cache": planner.cache_stats(),
+            "engines": engines,
+        }

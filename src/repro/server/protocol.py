@@ -1,0 +1,227 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+The server speaks just enough HTTP for its JSON API — request-line +
+headers + ``Content-Length`` bodies, percent-encoded query strings,
+keep-alive by default — with hard limits on header and body sizes so a
+misbehaving client cannot balloon memory.  No third-party dependency:
+everything here is the standard library.
+
+:class:`HttpError` is the protocol-level error channel: handlers (and
+the parser itself) raise it with a status code, and the connection loop
+turns it into a JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "response_bytes",
+    "json_response_bytes",
+]
+
+MAX_REQUEST_LINE_BYTES = 8192
+MAX_HEADER_BYTES = 32768
+#: how much of an oversized body is read and discarded before the 413
+_MAX_DRAIN_BYTES = 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An HTTP error response as an exception.
+
+    ``extra_headers`` lets a handler attach response headers to the
+    error (e.g. ``Retry-After`` on a 503 backpressure rejection).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.extra_headers = tuple(extra_headers)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+    #: parsed JSON body, memoised by :meth:`json`
+    _json: object = field(default=None, repr=False)
+
+    def json(self) -> object:
+        """The body decoded as JSON (raises ``HttpError(400)`` if not)."""
+        if self._json is None:
+            if not self.body:
+                raise HttpError(400, "request body must be JSON")
+            try:
+                self._json = json.loads(self.body)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpError(400, f"malformed JSON body: {exc}") from exc
+        return self._json
+
+    def text(self) -> str:
+        """The body decoded as UTF-8 (raises ``HttpError(400)`` if not)."""
+        try:
+            return self.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, f"body is not valid UTF-8: {exc}") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Read and parse one request from an asyncio stream reader.
+
+    Returns ``None`` when the client closed the connection cleanly
+    between requests.  Raises :class:`HttpError` on malformed requests,
+    oversized headers, or bodies larger than ``max_body_bytes``.
+    """
+    try:
+        request_line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request line too long") from exc
+    if len(request_line) > MAX_REQUEST_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {parts!r}")
+    method, target, http_version = parts
+    if not http_version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {http_version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HttpError(400, "truncated headers") from exc
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, f"headers exceed {MAX_HEADER_BYTES} bytes")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, separator, value = text.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            content_length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "malformed Content-Length") from exc
+        if content_length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if content_length > max_body_bytes:
+            # drain a bounded amount of the oversized body before
+            # rejecting, so closing the connection cannot RST the 413
+            # response out from under a client that already sent it
+            drain = min(content_length, _MAX_DRAIN_BYTES)
+            with contextlib.suppress(asyncio.IncompleteReadError):
+                await reader.readexactly(drain)
+            raise HttpError(
+                413,
+                f"request body of {content_length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+            )
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    params = {
+        key: value
+        for key, value in parse_qsl(split.query, keep_blank_values=True)
+    }
+    keep_alive = headers.get("connection", "").lower() != "close" and (
+        http_version != "HTTP/1.0"
+        or headers.get("connection", "").lower() == "keep-alive"
+    )
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        params=params,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + body
+
+
+def json_response_bytes(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one JSON response (compact separators, sorted keys)."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return response_bytes(
+        status,
+        body,
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )

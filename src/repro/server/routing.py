@@ -1,0 +1,55 @@
+"""Exact-path request routing for the sketch server.
+
+The API surface is a handful of fixed paths, so the router is a plain
+``(method, path) -> handler`` table.  It still does the two pieces of
+HTTP bookkeeping that matter for clients: an unknown path is ``404``,
+while a known path hit with the wrong method is ``405`` carrying an
+``Allow`` header listing the methods that would work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.server.protocol import HttpError
+
+__all__ = ["Router"]
+
+
+class Router:
+    """A ``(method, path)`` dispatch table with 404/405 semantics."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[tuple[str, str], Callable] = {}
+        self._methods_by_path: dict[str, set[str]] = {}
+
+    def add(self, method: str, path: str, handler: Callable) -> None:
+        """Register ``handler`` for ``method path``."""
+        method = method.upper()
+        key = (method, path)
+        if key in self._handlers:
+            raise ValueError(f"duplicate route {method} {path}")
+        self._handlers[key] = handler
+        self._methods_by_path.setdefault(path, set()).add(method)
+
+    def routes(self) -> list[tuple[str, str]]:
+        """Registered ``(method, path)`` pairs, sorted by path."""
+        return sorted(self._handlers, key=lambda key: (key[1], key[0]))
+
+    def resolve(self, method: str, path: str) -> Callable:
+        """The handler for ``method path``.
+
+        Raises ``HttpError(404)`` for unknown paths and ``HttpError(405)``
+        (with an ``Allow`` header) for known paths with other methods.
+        """
+        handler = self._handlers.get((method.upper(), path))
+        if handler is not None:
+            return handler
+        allowed = self._methods_by_path.get(path)
+        if allowed:
+            raise HttpError(
+                405,
+                f"{method} is not supported on {path}",
+                extra_headers=(("Allow", ", ".join(sorted(allowed))),),
+            )
+        raise HttpError(404, f"unknown path {path!r}")

@@ -8,6 +8,14 @@ Drives the persistent store end-to-end from the shell::
     python -m repro.service merge    --out merged.bin s1.bin s2.bin
     python -m repro.service query    --store merged.bin --name traffic \\
         --kind distinct --instances monday tuesday
+    python -m repro.service serve    --store s.bin --port 8080 \\
+        --create name=traffic,kind=poisson,threshold=0.5,salt=7
+
+``serve`` boots the :mod:`repro.server` asyncio HTTP front-end over the
+store file (restored when it exists, created otherwise), prints one
+JSON "listening" line to stdout, and on SIGINT/SIGTERM shuts down
+gracefully — draining in-flight requests and snapshotting back to the
+store file if any engine changed.
 
 Update streams are CSV (``instance,key,value`` columns, optional header)
 or JSON lines (objects with ``instance`` / ``key`` / ``value`` fields;
@@ -28,7 +36,7 @@ from pathlib import Path
 from repro.exceptions import ReproError
 from repro.sampling.ranks import rank_family_from_name
 from repro.sampling.seeds import SeedAssigner
-from repro.service.queries import Query
+from repro.service.queries import Query, query_value_json
 from repro.service.store import SketchStore
 
 __all__ = ["main"]
@@ -203,24 +211,6 @@ def _cmd_merge(args) -> dict:
     }
 
 
-def _query_value_json(value) -> object:
-    if isinstance(value, (int, float)):
-        return value
-    if hasattr(value, "estimate") and hasattr(value, "counts"):
-        return {
-            "estimate": float(value.estimate),
-            "counts": dict(value.counts),
-            "estimator": value.estimator,
-        }
-    if hasattr(value, "ht") and hasattr(value, "l"):
-        return {
-            "ht": float(value.ht),
-            "l": float(value.l),
-            "n_sampled_keys": int(value.n_sampled_keys),
-        }
-    return repr(value)
-
-
 def _cmd_query(args) -> dict:
     store = SketchStore.restore(args.store)
     instances = [
@@ -235,7 +225,107 @@ def _cmd_query(args) -> dict:
         "kind": args.kind,
         "instances": args.instances,
         "version": result.version,
-        "value": _query_value_json(result.value),
+        "value": query_value_json(result.value),
+    }
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+def _parse_engine_spec(spec: str) -> dict:
+    """Parse one ``--create`` engine spec.
+
+    A spec is comma-separated ``key=value`` pairs, e.g.
+    ``name=traffic,kind=poisson,threshold=0.5,salt=7,ranks=uniform``.
+    Supported keys: ``name`` (required), ``kind``, ``k``, ``threshold``,
+    ``ranks``, ``salt``, ``coordinated``, ``shards``.
+    """
+    allowed = {
+        "name", "kind", "k", "threshold", "ranks", "salt", "coordinated",
+        "shards",
+    }
+    fields: dict[str, str] = {}
+    for pair in spec.split(","):
+        key, separator, value = pair.partition("=")
+        key = key.strip()
+        if not separator or key not in allowed:
+            raise SystemExit(
+                f"bad --create spec {spec!r}: expected comma-separated "
+                f"key=value pairs with keys in {sorted(allowed)}"
+            )
+        fields[key] = value.strip()
+    if "name" not in fields:
+        raise SystemExit(f"--create spec {spec!r} requires name=<engine>")
+    return fields
+
+
+def _create_from_spec(store: SketchStore, fields: dict) -> None:
+    """Create an engine from a parsed ``--create`` spec.
+
+    Delegates to :meth:`SketchStore.create_from_config` — the same
+    creation path as the HTTP ``POST /engines`` endpoint — so both
+    serving surfaces apply identical defaults.  The spec's ``shards``
+    shorthand maps to the canonical ``n_shards`` key.
+    """
+    config = dict(fields)
+    if "shards" in config:
+        config["n_shards"] = config.pop("shards")
+    store.create_from_config(config)
+
+
+def _cmd_serve(args) -> dict:
+    from repro.server import ServerConfig, SketchServer
+
+    store_path = Path(args.store)
+    restored = store_path.exists()
+    store = _load_store(store_path)
+    created_engines = []
+    for spec in args.create or ():
+        fields = _parse_engine_spec(spec)
+        if fields["name"] not in store:
+            _create_from_spec(store, fields)
+            created_engines.append(fields["name"])
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        ingest_threads=args.threads,
+        max_pending_batches=args.max_pending_batches,
+        max_body_bytes=args.max_body_bytes,
+        max_batch_rows=args.max_batch_rows,
+        snapshot_path=store_path,
+        snapshot_on_shutdown=not args.no_snapshot_on_shutdown,
+    )
+    server = SketchServer(store, config)
+    if restored and not created_engines:
+        # the store state came verbatim from --store; an idle server
+        # should not rewrite an identical snapshot at shutdown
+        server.mark_clean()
+
+    def on_ready(ready_server) -> None:
+        print(
+            json.dumps(
+                {
+                    "command": "serve",
+                    "listening": f"{config.host}:{ready_server.port}",
+                    "store": str(store_path),
+                    "engines": store.names(),
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+
+    server.run(on_ready=on_ready)
+    return {
+        "command": "serve",
+        "shutdown": "clean",
+        "store": str(store_path),
+        "snapshot_written": (
+            str(server.last_shutdown_snapshot)
+            if server.last_shutdown_snapshot is not None
+            else None
+        ),
+        "engines": store.names(),
     }
 
 
@@ -314,6 +404,34 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--int-instances", action="store_true",
                        help="parse instance labels as integers")
     query.set_defaults(run=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a store file over HTTP (asyncio, stdlib only)",
+    )
+    serve.add_argument("--store", required=True,
+                       help="store file (restored when present, created "
+                            "on shutdown otherwise)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--create", action="append", metavar="SPEC",
+                       help="engine to create when missing, as "
+                            "comma-separated key=value pairs "
+                            "(name=...,kind=...,k=.../threshold=...,"
+                            "ranks=...,salt=...,coordinated=...,"
+                            "shards=...); repeatable")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="ingest/query executor threads")
+    serve.add_argument("--max-pending-batches", type=int, default=32,
+                       help="per-engine in-flight ingest bound "
+                            "(backpressure: 503 beyond it)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=8 * 1024 * 1024)
+    serve.add_argument("--max-batch-rows", type=int, default=100_000)
+    serve.add_argument("--no-snapshot-on-shutdown", action="store_true",
+                       help="do not snapshot dirty engines on shutdown")
+    serve.set_defaults(run=_cmd_serve)
 
     return parser
 

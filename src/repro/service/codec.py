@@ -301,7 +301,7 @@ def _read_common(reader: _Reader) -> dict:
     salt = _read_label(reader)
     if not isinstance(salt, int) or isinstance(salt, bool):
         raise SketchCodecError(
-            f"seed-assigner salt must decode to an integer, got "
+            "seed-assigner salt must decode to an integer, got "
             f"{type(salt).__name__}"
         )
     state["salt"] = salt

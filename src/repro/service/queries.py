@@ -44,7 +44,7 @@ from repro.streaming.query import (
 )
 from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
 
-__all__ = ["Query", "QueryPlanner", "QueryResult"]
+__all__ = ["Query", "QueryPlanner", "QueryResult", "query_value_json"]
 
 _KINDS = ("distinct", "sum", "dominance", "l1", "custom")
 
@@ -142,7 +142,7 @@ class QueryPlanner:
     def __init__(self, store, max_cache_entries: int = 1024) -> None:
         if max_cache_entries <= 0:
             raise InvalidParameterError(
-                f"max_cache_entries must be positive, got "
+                "max_cache_entries must be positive, got "
                 f"{max_cache_entries}"
             )
         self._store = store
@@ -153,25 +153,93 @@ class QueryPlanner:
         self.misses = 0
 
     @staticmethod
-    def _cache_key(name: str, version: int, query: Query):
+    def _param_token(value: object):
+        """Hashable cache token of one query parameter.
+
+        Plain values key by value, but behavioural parameters — custom
+        query functions, predicates, estimator objects — key by
+        *identity*: two distinct callables must never share a cache
+        entry even when they compare equal (bound methods of equal
+        instances, or user callables with an ``__eq__`` coarser than
+        their behaviour).  The object itself rides along in the token so
+        its ``id`` cannot be recycled while the cache still holds it.
+        """
+        if value is None or isinstance(
+            value, (str, int, float, bool, bytes, frozenset)
+        ):
+            return value
+        return (id(value), value)
+
+    @classmethod
+    def _cache_key(cls, name: str, version: int, query: Query):
+        key = (
+            name,
+            version,
+            query.kind,
+            query.instances,
+            query.variant,
+            cls._param_token(query.estimator),
+            cls._param_token(query.predicate),
+            cls._param_token(query.fn),
+        )
         try:
-            key = (name, version, query)
             hash(key)
         except TypeError:
             return None
         return key
 
+    def resize(self, max_cache_entries: int) -> None:
+        """Change the LRU bound, evicting oldest entries if shrinking."""
+        if max_cache_entries <= 0:
+            raise InvalidParameterError(
+                "max_cache_entries must be positive, got "
+                f"{max_cache_entries}"
+            )
+        with self._lock:
+            self.max_cache_entries = int(max_cache_entries)
+            while len(self._cache) > self.max_cache_entries:
+                self._cache.popitem(last=False)
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters and current size, for monitoring surfaces."""
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._cache)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "entries": size,
+            "max_entries": self.max_cache_entries,
+        }
+
+    def peek(self, name: str, query: Query) -> QueryResult | None:
+        """The cached result at the store's current version, or ``None``.
+
+        Never computes anything and never waits on the store's
+        per-engine locks — a cache probe cheap enough for a serving
+        event loop to call inline before deciding whether to pay for a
+        recompute on a worker thread.  A hit counts toward :attr:`hits`;
+        a miss leaves the counters untouched (the caller is expected to
+        follow up with :meth:`run`).
+        """
+        version = self._store.version_hint(name)
+        key = self._cache_key(name, version, query)
+        if key is None:
+            return None
+        with self._lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return QueryResult(self._cache[key], version, True)
+        return None
+
     def run(self, name: str, query: Query) -> QueryResult:
         """Execute ``query`` against store ``name``, serving from the
         cache when the engine version has not moved."""
-        version = self._store.version(name)
-        key = self._cache_key(name, version, query)
-        if key is not None:
-            with self._lock:
-                if key in self._cache:
-                    self._cache.move_to_end(key)
-                    self.hits += 1
-                    return QueryResult(self._cache[key], version, True)
+        cached = self.peek(name, query)
+        if cached is not None:
+            return cached
         # A consistent view: the version the sketches are merged at is the
         # version the result is cached under (ingests between the check
         # above and here just cause a recompute at the newer version).
@@ -242,7 +310,7 @@ class QueryPlanner:
                     query.predicate
                 )
             raise InvalidParameterError(
-                f"sum queries support streaming sketches, got "
+                "sum queries support streaming sketches, got "
                 f"{type(sketch).__name__}"
             )
         # __post_init__ guarantees kind == "custom" here
@@ -251,3 +319,28 @@ class QueryPlanner:
                 "custom queries require a query function (fn=...)"
             )
         return query.fn(sketches)
+
+
+def query_value_json(value: object) -> object:
+    """JSON-encodable form of a query result value.
+
+    Shared by every serving surface (the CLI and the HTTP front-end):
+    plain numbers pass through, the aggregate result objects
+    (estimate/counts, ht/l distinct-count pairs) flatten to dicts, and
+    anything else falls back to ``repr``.
+    """
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "estimate") and hasattr(value, "counts"):
+        return {
+            "estimate": float(value.estimate),
+            "counts": dict(value.counts),
+            "estimator": value.estimator,
+        }
+    if hasattr(value, "ht") and hasattr(value, "l"):
+        return {
+            "ht": float(value.ht),
+            "l": float(value.l),
+            "n_sampled_keys": int(value.n_sampled_keys),
+        }
+    return repr(value)

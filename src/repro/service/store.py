@@ -26,16 +26,21 @@ every version observed is a consistent point-in-time view.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections.abc import Iterable, Sequence
 from contextlib import contextmanager
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.exceptions import InvalidParameterError, UnknownStoreError
-from repro.sampling.ranks import RankFamily
+from repro.sampling.ranks import RankFamily, rank_family_from_name
 from repro.sampling.seeds import SeedAssigner
 from repro.service import codec
 from repro.streaming.engine import StreamEngine
+
+if TYPE_CHECKING:
+    from repro.service.queries import QueryPlanner
 
 __all__ = ["SketchStore"]
 
@@ -73,7 +78,7 @@ class SketchStore:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, _StoreEntry] = {}
-        self._planner = None
+        self._planner: "QueryPlanner | None" = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -126,6 +131,60 @@ class SketchStore:
             )
         self.register(name, engine)
         return engine
+
+    def create_from_config(self, config) -> StreamEngine:
+        """Create a named engine from a flat, JSON-style configuration.
+
+        The shared creation path of the serving surfaces — HTTP ``POST
+        /engines`` bodies and the serve CLI's ``--create`` specs — so
+        both apply identical defaults.  Keys: ``name`` (required),
+        ``kind`` (default ``bottom_k``), ``k`` (default 64),
+        ``threshold`` (required for poisson), ``ranks`` (rank-family
+        name; the family default when omitted), ``salt`` (default 0),
+        ``coordinated`` (bool or "1"/"true"/"yes" string), ``n_shards``
+        (default 8).  Numeric values may arrive as strings.
+        """
+        allowed = {
+            "name", "kind", "k", "threshold", "ranks", "salt",
+            "coordinated", "n_shards",
+        }
+        unknown = sorted(set(config) - allowed)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown engine config keys {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        name = config.get("name")
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError(
+                f"engine config requires a string 'name', got {name!r}"
+            )
+        kind = config.get("kind", "bottom_k")
+        ranks = config.get("ranks")
+        coordinated = config.get("coordinated", False)
+        if isinstance(coordinated, str):
+            coordinated = coordinated.lower() in ("1", "true", "yes")
+        kwargs = {
+            "rank_family": (
+                rank_family_from_name(ranks) if ranks is not None else None
+            ),
+            "seed_assigner": SeedAssigner(
+                salt=int(config.get("salt", 0)),
+                coordinated=bool(coordinated),
+            ),
+            "n_shards": int(config.get("n_shards", 8)),
+        }
+        if kind == "bottom_k":
+            kwargs["k"] = int(config.get("k", 64))
+        elif kind == "poisson":
+            if config.get("threshold") is None:
+                raise InvalidParameterError(
+                    f"a poisson engine requires a 'threshold' "
+                    f"(engine {name!r})"
+                )
+            kwargs["threshold"] = float(config["threshold"])
+        # unknown kinds fall through to create(), which rejects them
+        return self.create(name, kind, **kwargs)
 
     def register(
         self, name: str, engine: StreamEngine, version: int = 0
@@ -180,6 +239,18 @@ class SketchStore:
         entry = self._entry(name)
         with entry.cond:
             return entry.version
+
+    def version_hint(self, name: str) -> int:
+        """Lock-free read of :meth:`version` — possibly a moment stale.
+
+        :meth:`version` waits on the per-engine condition lock, which an
+        in-flight ingest holds while planning a whole batch; serving
+        event loops that must never block (the HTTP server's cache
+        probe) read the counter without it.  Under the GIL the read is
+        atomic, and a stale value only makes a cache probe miss or
+        return a result correctly labelled with the older version.
+        """
+        return self._entry(name).version
 
     # ------------------------------------------------------------------
     # Ingest
@@ -291,15 +362,33 @@ class SketchStore:
     # ------------------------------------------------------------------
     def snapshot(self, path) -> Path:
         """Write the whole store to ``path`` via the binary codec."""
+        return self.snapshot_marked(path)[0]
+
+    def snapshot_marked(self, path) -> tuple[Path, dict]:
+        """:meth:`snapshot` plus the exact per-engine marks written.
+
+        Returns ``(path, marks)`` where ``marks[name]`` is the
+        ``(version, change_tick)`` pair captured *inside* each engine's
+        quiescent read — i.e. exactly the state that landed in the file.
+        Serving layers use the marks for dirty tracking: an ingest that
+        completes while a later engine is still being serialized must
+        not be considered snapshotted.
+        """
         items = []
+        marks: dict[str, tuple[int, int]] = {}
         for name in self.names():
             with self._read(name) as entry:
                 items.append(
                     (name, entry.version, codec.to_bytes(entry.engine))
                 )
+                marks[name] = (entry.version, entry.engine.change_tick)
         path = Path(path)
-        path.write_bytes(codec.store_to_bytes(items))
-        return path
+        # atomic replace: a crash mid-write must never truncate the only
+        # copy of the store (the serve CLI snapshots onto --store itself)
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_bytes(codec.store_to_bytes(items))
+        os.replace(scratch, path)
+        return path, marks
 
     @classmethod
     def restore(cls, path) -> "SketchStore":
@@ -348,13 +437,21 @@ class SketchStore:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, name: str, query):
-        """Run a :class:`repro.service.queries.Query` through the store's
-        default (version-cached) planner."""
+    def planner(self) -> "QueryPlanner":
+        """The store's default (version-cached) query planner.
+
+        Built lazily on first use and shared by every serving surface —
+        :meth:`query`, the CLI, and the HTTP front-end — so they all see
+        one cache and one set of hit/miss counters.
+        """
         with self._lock:
             if self._planner is None:
                 from repro.service.queries import QueryPlanner
 
                 self._planner = QueryPlanner(self)
-            planner = self._planner
-        return planner.run(name, query)
+            return self._planner
+
+    def query(self, name: str, query):
+        """Run a :class:`repro.service.queries.Query` through the store's
+        default (version-cached) planner."""
+        return self.planner().run(name, query)

@@ -92,6 +92,11 @@ class StreamEngine:
         self.executor = executor
         self._shards: dict[object, list] = {}
         self.n_updates = 0
+        #: session-local monotone mutation counter — bumped by every
+        #: :meth:`ingest_jobs` plan and every :meth:`merge_from`, never
+        #: serialized, so a freshly restored engine always reads 0
+        #: ("clean").  The serving layer polls it as a cheap dirty probe.
+        self.change_tick = 0
         #: configuration recorded by the :meth:`bottom_k` / :meth:`poisson`
         #: constructors; ``None`` for custom factories, which therefore
         #: cannot be serialized or merged engine-to-engine
@@ -201,6 +206,7 @@ class StreamEngine:
         shards = self._instance_shards(instance)
         hashes = key_hashes(keys)
         self.n_updates += len(keys)
+        self.change_tick += 1
         if self.n_shards == 1:
             return [IngestJob(0, shards[0], keys, values, hashes)]
         shard_ids = (hashes % np.uint64(self.n_shards)).astype(np.intp)
@@ -307,6 +313,28 @@ class StreamEngine:
     def sketches(self) -> dict[object, object]:
         """Merged sketches of every instance, keyed by label."""
         return {label: self.sketch(label) for label in self._shards}
+
+    def probe(self) -> dict:
+        """Cheap state probe for monitoring and shutdown decisions.
+
+        Touches only counters and per-shard lengths — no merging, no
+        copying — so callers (the HTTP ``/metrics`` endpoint, the
+        graceful-shutdown dirty check) can poll it on every request.
+        ``change_tick`` is session-local: it advances on every ingest
+        plan and engine merge and resets to 0 on restore, so comparing
+        two probes tells whether the engine mutated in between.
+        """
+        return {
+            "change_tick": self.change_tick,
+            "n_updates": self.n_updates,
+            "n_instances": len(self._shards),
+            "n_shards": self.n_shards,
+            "retained_keys": sum(
+                len(sketch)
+                for shards in self._shards.values()
+                for sketch in shards
+            ),
+        }
 
     # ------------------------------------------------------------------
     # State export / merge
@@ -462,6 +490,7 @@ class StreamEngine:
                 "key space identically"
             )
         self.n_updates += other.n_updates
+        self.change_tick += 1
         for label in other.instance_labels:
             other_shards = other.shard_sketches(label)
             mine = self._shards.get(label)

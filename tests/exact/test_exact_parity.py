@@ -8,7 +8,6 @@ raise the same exceptions on invalid inputs.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.max_oblivious import (

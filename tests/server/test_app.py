@@ -1,0 +1,515 @@
+"""Endpoint behaviour of :class:`repro.server.SketchServer`.
+
+Covers the happy paths of every route plus the error surface the issue
+calls out: malformed requests (400), unknown engines/paths (404),
+oversized bodies and batches (413), per-engine backpressure (503), and
+the graceful-shutdown snapshot of dirty engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sampling.seeds import SeedAssigner
+from repro.server import AsyncSketchClient, ClientResponseError
+from repro.service import Query, SketchStore
+
+SALT = 7
+
+
+def make_store(kind: str = "poisson") -> SketchStore:
+    store = SketchStore()
+    if kind == "poisson":
+        store.create(
+            "traffic",
+            "poisson",
+            threshold=0.4,
+            seed_assigner=SeedAssigner(salt=SALT),
+            n_shards=4,
+        )
+    else:
+        store.create(
+            "traffic",
+            "bottom_k",
+            k=64,
+            seed_assigner=SeedAssigner(salt=SALT),
+            n_shards=4,
+        )
+    return store
+
+
+def make_columns(n: int, seed: int = 0):
+    generator = np.random.default_rng(seed)
+    keys = [f"user{k}" for k in generator.choice(10**6, n, replace=False)]
+    values = (generator.random(n) * 4 + 0.1).tolist()
+    return keys, values
+
+
+class TestBasics:
+    def test_healthz_and_metrics(self, run_scenario):
+        async def scenario(server, client):
+            health = await client.healthz()
+            assert health["status"] == "ok"
+            assert health["engines"] == 1
+            keys, values = make_columns(200)
+            await client.ingest("traffic", "monday", keys, values)
+            await client.query("traffic", "sum", ["monday"])
+            await client.query("traffic", "sum", ["monday"])
+            metrics = await client.metrics()
+            assert metrics["ingest"]["rows"] == 200
+            assert metrics["ingest"]["batches"] == 1
+            assert metrics["query_cache"]["hits"] == 1
+            assert metrics["query_cache"]["misses"] == 1
+            engine = metrics["engines"]["traffic"]
+            assert engine["version"] == 1
+            assert engine["n_updates"] == 200
+            assert engine["change_tick"] == 1
+            assert metrics["responses"]["200"] >= 4
+
+        run_scenario(scenario, store=make_store())
+
+    def test_create_engine_then_ingest(self, run_scenario):
+        async def scenario(server, client):
+            created = await client.create_engine(
+                "fresh", "bottom_k", k=32, salt=3, coordinated=True
+            )
+            assert created == {
+                "name": "fresh",
+                "kind": "bottom_k",
+                "created": True,
+            }
+            keys, values = make_columns(50)
+            report = await client.ingest("fresh", "day", keys, values)
+            assert report["version"] == 1
+            # duplicate creation is a client error
+            with pytest.raises(ClientResponseError) as excinfo:
+                await client.create_engine("fresh", "bottom_k", k=32)
+            assert excinfo.value.status == 400
+            # poisson without threshold is a client error
+            status, payload = await client.request(
+                "POST",
+                "/engines",
+                json_body={"name": "p", "kind": "poisson"},
+            )
+            assert status == 400
+            assert "threshold" in payload["error"]
+
+        run_scenario(scenario)
+
+    def test_ingest_shapes_and_query_parity(self, run_scenario):
+        store = make_store()
+        reference = make_store()
+        keys, values = make_columns(600)
+
+        async def scenario(server, client):
+            # column style for monday, row style for tuesday
+            await client.ingest("traffic", "monday", keys[:400], values[:400])
+            await client.ingest_rows(
+                "traffic",
+                [
+                    ("tuesday", key, value)
+                    for key, value in zip(keys[200:], values[200:])
+                ],
+            )
+            result = await client.query("traffic", "distinct", ["monday", "tuesday"])
+            assert not result["from_cache"]
+            again = await client.query("traffic", "distinct", ["monday", "tuesday"])
+            assert again["from_cache"]
+            assert again["value"] == result["value"]
+            return result
+
+        result = run_scenario(scenario, store=store)
+        reference.ingest("traffic", "monday", keys[:400], values[:400])
+        reference.ingest("traffic", "tuesday", keys[200:], values[200:])
+        assert store.engine("traffic") == reference.engine("traffic")
+        expected = reference.query("traffic", Query.distinct("monday", "tuesday"))
+        assert result["value"]["estimate"] == float(expected.value.estimate)
+        assert result["value"]["counts"] == {
+            key: int(count)
+            for key, count in expected.value.counts.items()
+        }
+
+    def test_csv_ingest_matches_json_ingest(self, run_scenario):
+        json_store = make_store()
+        csv_store = make_store()
+        keys, values = make_columns(300)
+        lines = "".join(f"monday,{key},{value!r}\n" for key, value in zip(keys, values))
+
+        async def json_scenario(server, client):
+            await client.ingest("traffic", "monday", keys, values)
+
+        async def csv_scenario(server, client):
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                params={"name": "traffic"},
+                body=lines.encode(),
+                content_type="text/csv",
+            )
+            assert status == 200
+            assert payload["rows"] == 300
+
+        run_scenario(json_scenario, store=json_store)
+        run_scenario(csv_scenario, store=csv_store)
+        assert json_store.engine("traffic") == csv_store.engine("traffic")
+
+
+class TestErrorPaths:
+    def test_malformed_requests_are_400(self, run_scenario):
+        async def scenario(server, client):
+            checks = [
+                ("POST", "/ingest", {"body": b"not json"}),
+                ("POST", "/ingest", {"json_body": ["not", "an", "object"]}),
+                ("POST", "/ingest", {"json_body": {"instance": "d"}}),
+                (
+                    "POST",
+                    "/ingest",
+                    {"json_body": {"name": "traffic", "instance": "d"}},
+                ),
+                (
+                    "POST",
+                    "/ingest",
+                    {
+                        "json_body": {
+                            "name": "traffic",
+                            "instance": "d",
+                            "keys": ["a", "b"],
+                            "values": [1.0],
+                        }
+                    },
+                ),
+                (
+                    "POST",
+                    "/ingest",
+                    {
+                        "json_body": {
+                            "name": "traffic",
+                            "rows": [["d", "a", 1.0], ["d", "b"]],
+                        }
+                    },
+                ),
+                (
+                    "POST",
+                    "/ingest",
+                    {
+                        "json_body": {
+                            "name": "traffic",
+                            "instance": "d",
+                            "keys": ["a"],
+                            "values": ["NaN-ish"],
+                        }
+                    },
+                ),
+                (
+                    "POST",
+                    "/ingest",
+                    {
+                        "json_body": {
+                            "name": "traffic",
+                            "instance": "d",
+                            "keys": ["a"],
+                            "values": [-1.0],
+                        }
+                    },
+                ),
+                ("GET", "/query", {"params": {"name": "traffic"}}),
+                (
+                    "GET",
+                    "/query",
+                    {
+                        "params": {
+                            "name": "traffic",
+                            "kind": "custom",
+                            "instances": "a,b",
+                        }
+                    },
+                ),
+                (
+                    "GET",
+                    "/query",
+                    {"params": {"name": "traffic", "kind": "distinct"}},
+                ),
+                ("POST", "/merge", {"json_body": {}}),
+                ("POST", "/snapshot", {"json_body": {}}),
+            ]
+            for method, path, kwargs in checks:
+                status, payload = await client.request(method, path, **kwargs)
+                assert status == 400, (method, path, kwargs, payload)
+                assert "error" in payload
+
+        run_scenario(scenario, store=make_store())
+
+    def test_unknown_targets_are_404(self, run_scenario, tmp_path):
+        async def scenario(server, client):
+            status, _ = await client.request("GET", "/nope")
+            assert status == 404
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                json_body={
+                    "name": "ghost",
+                    "instance": "d",
+                    "keys": ["a"],
+                    "values": [1.0],
+                },
+            )
+            assert status == 404
+            assert "ghost" in payload["error"]
+            status, _ = await client.request(
+                "GET",
+                "/query",
+                params={
+                    "name": "ghost",
+                    "kind": "sum",
+                    "instances": "d",
+                },
+            )
+            assert status == 404
+            # a missing-but-confined peer file is 404
+            status, _ = await client.request(
+                "POST",
+                "/merge",
+                json_body={"path": "missing-peer.bin"},
+            )
+            assert status == 404
+
+        run_scenario(
+            scenario,
+            store=make_store(),
+            snapshot_path=tmp_path / "store.bin",
+        )
+
+    def test_network_paths_are_confined_to_the_data_dir(self, run_scenario, tmp_path):
+        """/snapshot and /merge must never become an arbitrary
+        file-write/read primitive for network clients."""
+
+        async def scenario(server, client):
+            for path in ("/etc/passwd", "../outside.bin"):
+                status, payload = await client.request(
+                    "POST", "/snapshot", json_body={"path": path}
+                )
+                assert status == 403, (path, payload)
+                status, payload = await client.request(
+                    "POST", "/merge", json_body={"path": path}
+                )
+                assert status == 403, (path, payload)
+
+        run_scenario(
+            scenario,
+            store=make_store(),
+            snapshot_path=tmp_path / "store.bin",
+        )
+        assert not (tmp_path.parent / "outside.bin").exists()
+
+    def test_network_paths_rejected_without_data_dir(self, run_scenario):
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "POST", "/snapshot", json_body={"path": "anywhere.bin"}
+            )
+            assert status == 403
+            assert "data directory" in payload["error"]
+            status, _ = await client.request(
+                "POST", "/merge", json_body={"path": "anywhere.bin"}
+            )
+            assert status == 403
+
+        run_scenario(scenario, store=make_store())
+
+    def test_wrong_method_is_405(self, run_scenario):
+        async def scenario(server, client):
+            status, _ = await client.request("DELETE", "/query")
+            assert status == 405
+            status, _ = await client.request("GET", "/ingest")
+            assert status == 405
+
+        run_scenario(scenario)
+
+    def test_oversized_batch_is_413(self, run_scenario):
+        async def scenario(server, client):
+            keys, values = make_columns(21)
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                json_body={
+                    "name": "traffic",
+                    "instance": "d",
+                    "keys": keys,
+                    "values": values,
+                },
+            )
+            assert status == 413
+            assert "21 rows" in payload["error"]
+            # nothing was ingested
+            assert server.store.version("traffic") == 0
+
+        run_scenario(scenario, store=make_store(), max_batch_rows=20)
+
+    def test_oversized_body_is_413(self, run_scenario):
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                body=b"x" * 4096,
+                content_type="text/csv",
+                params={"name": "traffic"},
+            )
+            assert status == 413
+            assert "exceeds" in payload["error"]
+
+        run_scenario(scenario, store=make_store(), max_body_bytes=1024)
+
+
+class GatedStore(SketchStore):
+    """A store whose ingests block until the test opens the gate."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gate = threading.Event()
+
+    def ingest(self, name, instance, keys, values):
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        return super().ingest(name, instance, keys, values)
+
+
+class TestBackpressure:
+    def test_excess_ingest_is_rejected_503(self, run_scenario):
+        store = GatedStore()
+        store.create(
+            "traffic",
+            "bottom_k",
+            k=16,
+            seed_assigner=SeedAssigner(salt=SALT),
+            n_shards=2,
+        )
+
+        async def scenario(server, client):
+            blocked = AsyncSketchClient("127.0.0.1", server.port)
+            async with blocked:
+                first = asyncio.ensure_future(
+                    blocked.ingest("traffic", "d", ["a"], [1.0])
+                )
+                # wait until the first batch occupies the engine's slot
+                for _ in range(500):
+                    if server._pending.get("traffic"):
+                        break
+                    await asyncio.sleep(0.01)
+                assert server._pending.get("traffic") == 1
+                status, payload = await client.request(
+                    "POST",
+                    "/ingest",
+                    json_body={
+                        "name": "traffic",
+                        "instance": "d",
+                        "keys": ["b"],
+                        "values": [1.0],
+                    },
+                )
+                assert status == 503
+                assert "in flight" in payload["error"]
+                store.gate.set()
+                report = await first
+                assert report["version"] == 1
+            metrics = await client.metrics()
+            assert metrics["ingest"]["rejected_backpressure"] == 1
+
+        run_scenario(
+            scenario,
+            store=store,
+            max_pending_batches=1,
+            ingest_threads=2,
+        )
+
+
+class TestShutdown:
+    def test_shutdown_snapshots_dirty_engines(self, run_scenario, tmp_path):
+        snapshot_path = tmp_path / "store.bin"
+        store = make_store()
+
+        async def scenario(server, client):
+            keys, values = make_columns(150)
+            await client.ingest("traffic", "monday", keys, values)
+
+        run_scenario(scenario, store=store, snapshot_path=snapshot_path)
+        assert snapshot_path.exists()
+        restored = SketchStore.restore(snapshot_path)
+        assert restored.engine("traffic") == store.engine("traffic")
+        assert restored.version("traffic") == store.version("traffic")
+
+    def test_shutdown_persists_http_created_engine(self, run_scenario, tmp_path):
+        """An engine created over HTTP but never ingested into is still
+        new state: shutdown must persist its definition (regression —
+        creation used to mark the engine clean)."""
+        snapshot_path = tmp_path / "store.bin"
+
+        async def scenario(server, client):
+            await client.create_engine("fresh", "poisson", threshold=0.5, salt=3)
+
+        run_scenario(scenario, snapshot_path=snapshot_path)
+        assert snapshot_path.exists()
+        assert "fresh" in SketchStore.restore(snapshot_path).names()
+
+    def test_backup_snapshot_does_not_suppress_shutdown_snapshot(
+        self, run_scenario, tmp_path
+    ):
+        """POST /snapshot to a path other than the configured store file
+        is a backup: the engines stay dirty and shutdown still persists
+        the store file (regression — any snapshot used to mark clean)."""
+        snapshot_path = tmp_path / "store.bin"
+
+        async def scenario(server, client):
+            keys, values = make_columns(60)
+            await client.ingest("traffic", "monday", keys, values)
+            await client.snapshot(tmp_path / "backup.bin")
+
+        run_scenario(scenario, store=make_store(), snapshot_path=snapshot_path)
+        assert (tmp_path / "backup.bin").exists()
+        assert snapshot_path.exists()
+
+    def test_config_cache_bound_reaches_planner(self, run_scenario):
+        async def scenario(server, client):
+            assert server.planner.max_cache_entries == 2
+
+        run_scenario(scenario, max_cache_entries=2)
+
+    def test_clean_engines_are_not_resnapshotted(self, run_scenario, tmp_path):
+        snapshot_path = tmp_path / "store.bin"
+
+        async def scenario(server, client):
+            keys, values = make_columns(50)
+            await client.ingest("traffic", "monday", keys, values)
+            await client.snapshot()
+            # drop the file: shutdown must NOT rewrite it, because no
+            # engine changed since the explicit snapshot
+            snapshot_path.unlink()
+
+        run_scenario(scenario, store=make_store(), snapshot_path=snapshot_path)
+        assert not snapshot_path.exists()
+
+    def test_explicit_snapshot_and_merge_round_trip(self, run_scenario, tmp_path):
+        peer_store = make_store()
+        keys, values = make_columns(400, seed=5)
+        peer_store.ingest("traffic", "monday", keys[:250], values[:250])
+        peer_path = peer_store.snapshot(tmp_path / "peer.bin")
+        main_store = make_store()
+
+        async def scenario(server, client):
+            await client.ingest("traffic", "monday", keys[250:], values[250:])
+            report = await client.merge(peer_path)
+            assert report["engines"]["traffic"]["n_updates"] == 400
+            saved = await client.snapshot(tmp_path / "merged.bin")
+            assert saved["engines"] == ["traffic"]
+            return saved
+
+        saved = run_scenario(
+            scenario,
+            store=main_store,
+            snapshot_path=tmp_path / "live.bin",
+        )
+        merged = SketchStore.restore(saved["path"])
+        reference = make_store()
+        reference.ingest("traffic", "monday", keys, values)
+        assert merged.engine("traffic") == reference.engine("traffic")

@@ -1,0 +1,140 @@
+"""HTTP/1.1 framing: request parsing, limits, response serialization."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    HttpError,
+    json_response_bytes,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes, max_body_bytes: int = 4096):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes)
+
+    return asyncio.run(main())
+
+
+class TestRequestParsing:
+    def test_get_with_percent_encoded_params(self):
+        request = parse(
+            b"GET /query?name=a%20b&kind=distinct&empty= HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/query"
+        assert request.params == {
+            "name": "a b",
+            "kind": "distinct",
+            "empty": "",
+        }
+        assert request.body == b""
+
+    def test_headers_are_lowercased_and_stripped(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing:   padded value \r\n\r\n")
+        assert request.headers["x-thing"] == "padded value"
+
+    def test_post_body_read_by_content_length(self):
+        body = json.dumps({"name": "traffic"}).encode()
+        request = parse(
+            b"POST /ingest HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.body == body
+        assert request.json() == {"name": "traffic"}
+
+    def test_keep_alive_defaults(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        assert not parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_protocol_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/2\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"abc", b"-5"):
+            with pytest.raises(HttpError) as excinfo:
+                parse(b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+            assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413_before_reading(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+                max_body_bytes=100,
+            )
+        assert excinfo.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+    def test_chunked_bodies_are_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_json_body_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\n\r\n").json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_response_framing(self):
+        raw = response_bytes(200, b"hi", keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"hi"
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Length: 2" in lines
+        assert "Connection: close" in lines
+
+    def test_json_response_round_trip(self):
+        raw = json_response_bytes(
+            503,
+            {"error": "busy"},
+            extra_headers=(("Retry-After", "1"),),
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"error": "busy"}
+        assert b"503 Service Unavailable" in head
+        assert b"Retry-After: 1" in head
+
+    def test_http_error_carries_extra_headers(self):
+        error = HttpError(503, "busy", extra_headers=(("Retry-After", "2"),))
+        assert error.status == 503
+        assert error.extra_headers == (("Retry-After", "2"),)

@@ -1,0 +1,53 @@
+"""Router semantics: exact-path dispatch, 404 vs 405, Allow header."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.protocol import HttpError
+from repro.server.routing import Router
+
+
+def handler_a():
+    return "a"
+
+
+def handler_b():
+    return "b"
+
+
+class TestRouter:
+    def test_dispatch_by_method_and_path(self):
+        router = Router()
+        router.add("GET", "/x", handler_a)
+        router.add("POST", "/x", handler_b)
+        assert router.resolve("GET", "/x") is handler_a
+        assert router.resolve("post", "/x") is handler_b
+
+    def test_unknown_path_is_404(self):
+        router = Router()
+        router.add("GET", "/x", handler_a)
+        with pytest.raises(HttpError) as excinfo:
+            router.resolve("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405_with_allow(self):
+        router = Router()
+        router.add("GET", "/x", handler_a)
+        router.add("POST", "/x", handler_b)
+        with pytest.raises(HttpError) as excinfo:
+            router.resolve("DELETE", "/x")
+        assert excinfo.value.status == 405
+        assert dict(excinfo.value.extra_headers)["Allow"] == "GET, POST"
+
+    def test_duplicate_route_rejected(self):
+        router = Router()
+        router.add("GET", "/x", handler_a)
+        with pytest.raises(ValueError, match="duplicate"):
+            router.add("GET", "/x", handler_b)
+
+    def test_routes_listing_sorted(self):
+        router = Router()
+        router.add("POST", "/b", handler_b)
+        router.add("GET", "/a", handler_a)
+        assert router.routes() == [("GET", "/a"), ("POST", "/b")]

@@ -234,3 +234,60 @@ class TestCliEndToEnd:
         )
         assert completed.returncode == 0, completed.stderr
         assert json.loads(completed.stdout)["command"] == "ingest"
+
+
+class TestServeSpecs:
+    """--create engine-spec parsing of the `serve` subcommand."""
+
+    def test_parse_engine_spec(self):
+        from repro.service.cli import _parse_engine_spec
+
+        fields = _parse_engine_spec(
+            "name=traffic,kind=poisson,threshold=0.5,salt=7,"
+            "ranks=uniform,coordinated=1,shards=4"
+        )
+        assert fields == {
+            "name": "traffic", "kind": "poisson", "threshold": "0.5",
+            "salt": "7", "ranks": "uniform", "coordinated": "1",
+            "shards": "4",
+        }
+
+    def test_parse_engine_spec_rejects_bad_input(self):
+        from repro.service.cli import _parse_engine_spec
+
+        with pytest.raises(SystemExit, match="key=value"):
+            _parse_engine_spec("name=x,bogus_key=1")
+        with pytest.raises(SystemExit, match="key=value"):
+            _parse_engine_spec("no-equals-here")
+        with pytest.raises(SystemExit, match="name="):
+            _parse_engine_spec("kind=poisson,threshold=0.5")
+
+    def test_create_from_spec_builds_matching_engines(self):
+        from repro.service.cli import _create_from_spec, _parse_engine_spec
+
+        store = SketchStore()
+        _create_from_spec(store, _parse_engine_spec(
+            "name=t,kind=poisson,threshold=0.5,salt=7"
+        ))
+        reference = SketchStore()
+        reference.create(
+            "t", "poisson", threshold=0.5,
+            seed_assigner=SeedAssigner(salt=7), n_shards=8,
+        )
+        assert store.engine("t") == reference.engine("t")
+
+        _create_from_spec(store, _parse_engine_spec(
+            "name=b,kind=bottom_k,k=32,ranks=pps,shards=2"
+        ))
+        config = store.engine("b").sketch_config
+        assert config["kind"] == "bottom_k" and config["k"] == 32
+        assert store.engine("b").n_shards == 2
+
+    def test_create_from_spec_requires_poisson_threshold(self):
+        from repro.exceptions import InvalidParameterError
+        from repro.service.cli import _create_from_spec
+
+        with pytest.raises(InvalidParameterError, match="threshold"):
+            _create_from_spec(SketchStore(), {"name": "t", "kind": "poisson"})
+        with pytest.raises(InvalidParameterError, match="unknown sketch kind"):
+            _create_from_spec(SketchStore(), {"name": "t", "kind": "nope"})

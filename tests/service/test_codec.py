@@ -19,7 +19,6 @@ from repro.exceptions import InvalidParameterError, SketchCodecError
 from repro.sampling.ranks import (
     ExpRanks,
     PpsRanks,
-    RankFamily,
     UniformRanks,
 )
 from repro.sampling.seeds import SeedAssigner

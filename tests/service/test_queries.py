@@ -174,6 +174,42 @@ class TestCache:
         second = oblivious_store.query("traffic", query)
         assert not first.from_cache and second.from_cache
 
+    def test_distinct_custom_callables_never_collide(self, oblivious_store):
+        """Regression: the cache used to key on ``Query`` equality alone,
+        so two *distinct* custom callables that compare equal (a user
+        ``__eq__`` coarser than the callable's behaviour, equal bound
+        methods, ...) shared one cache entry at the same store version.
+        Parameters must key by identity."""
+
+        class CutoffQuery:
+            def __init__(self, cutoff):
+                self.cutoff = cutoff
+
+            def __call__(self, sketches):
+                return self.cutoff
+
+            def __eq__(self, other):  # deliberately coarser than behaviour
+                return isinstance(other, CutoffQuery)
+
+            def __hash__(self):
+                return hash(CutoffQuery)
+
+        low, high = CutoffQuery(1.0), CutoffQuery(2.0)
+        query_low = Query.custom("mon", fn=low)
+        query_high = Query.custom("mon", fn=high)
+        assert query_low == query_high  # the collision precondition
+        first = oblivious_store.query("traffic", query_low)
+        second = oblivious_store.query("traffic", query_high)
+        assert not second.from_cache
+        assert (first.value, second.value) == (1.0, 2.0)
+        # the same callable object still hits
+        assert oblivious_store.query("traffic", query_low).from_cache
+        assert (
+            oblivious_store.query("traffic", Query.custom("mon", fn=high))
+            .value
+            == 2.0
+        )
+
     def test_cache_is_bounded_lru(self, oblivious_store):
         planner = QueryPlanner(oblivious_store, max_cache_entries=2)
         queries = [
@@ -187,6 +223,23 @@ class TestCache:
         # the oldest entry was evicted, the newest two still hit
         assert planner.run("traffic", queries[2]).from_cache
         assert not planner.run("traffic", queries[0]).from_cache
+
+    def test_resize_shrinks_lru(self, oblivious_store):
+        planner = QueryPlanner(oblivious_store)
+        queries = [
+            Query.sum("mon"),
+            Query.sum("tue"),
+            Query.distinct("mon", "tue"),
+        ]
+        for query in queries:
+            planner.run("traffic", query)
+        planner.resize(1)
+        assert len(planner._cache) == 1
+        # the newest entry survives the shrink
+        assert planner.run("traffic", queries[2]).from_cache
+        assert not planner.run("traffic", queries[0]).from_cache
+        with pytest.raises(InvalidParameterError, match="positive"):
+            planner.resize(0)
 
     def test_execute_bypasses_cache(self, oblivious_store):
         planner = QueryPlanner(oblivious_store)

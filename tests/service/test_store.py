@@ -276,3 +276,23 @@ class TestRegisterCustomEngine:
         assert len(store.sample("custom", "d")) == 3
         with pytest.raises(SketchCodecError):
             store.snapshot(tmp_path / "nope.bin")
+
+
+class TestSnapshotMarked:
+    def test_marks_report_exactly_the_written_state(self, tmp_path):
+        store = SketchStore()
+        store.create(
+            "t", "poisson", threshold=0.5,
+            seed_assigner=SeedAssigner(salt=7),
+        )
+        store.ingest("t", "mon", ["a", "b"], [1.0, 2.0])
+        path, marks = store.snapshot_marked(tmp_path / "s.bin")
+        assert marks == {
+            "t": (store.version("t"), store.engine("t").change_tick)
+        }
+        assert SketchStore.restore(path).engine("t") == store.engine("t")
+        # further ingest moves the live state past the recorded marks
+        store.ingest("t", "mon", ["c"], [1.0])
+        assert marks["t"] != (
+            store.version("t"), store.engine("t").change_tick
+        )

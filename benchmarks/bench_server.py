@@ -140,6 +140,16 @@ async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dic
         done.set()
         await asyncio.gather(*query_tasks)
         elapsed = time.perf_counter() - started
+        # per-route latency quantiles from the server's own histograms
+        latency = {
+            label: histogram.to_dict()
+            for label, route in (
+                ("ingest", "POST /ingest"),
+                ("query", "GET /query"),
+            )
+            if (histogram := server.metrics.route_histogram(route))
+            is not None
+        }
     finally:
         done.set()
         await server.shutdown()
@@ -152,6 +162,7 @@ async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dic
         "rows": counters["rows"],
         "requests_per_second": n_requests / elapsed,
         "ingest_rows_per_second": counters["rows"] / elapsed,
+        "latency": latency,
     }
 
 
@@ -189,6 +200,14 @@ def bench_load(
         f"{numbers['ingest_rows_per_second']:10.0f} rows/s  "
         f"[ingest parity with serial: ok]  (gate >= {min_rps:g} req/s)"
     )
+    for label, quantiles in sorted(numbers["latency"].items()):
+        print(
+            f"  {label:6s} latency: "
+            f"p50 {quantiles['p50_seconds'] * 1000:7.2f} ms, "
+            f"p95 {quantiles['p95_seconds'] * 1000:7.2f} ms, "
+            f"p99 {quantiles['p99_seconds'] * 1000:7.2f} ms "
+            f"({quantiles['count']} requests)"
+        )
     assert numbers["requests_per_second"] >= min_rps, (
         f"mixed throughput {numbers['requests_per_second']:.0f} req/s "
         f"below the {min_rps:g} req/s gate"

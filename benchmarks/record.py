@@ -7,8 +7,8 @@ speedup — and the HTTP server's mixed ingest/query load) and writes
 their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
 repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR5.json
-    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR6.json
 
 After writing (or with ``--compare-only``, instead of benching at all)
 the record is diffed against every earlier ``BENCH_PR*.json``:
@@ -18,7 +18,11 @@ the record is diffed against every earlier ``BENCH_PR*.json``:
   recording fails the run (or annotates, with ``--warn-only``);
 * ``speedup`` metrics are **soft** — they compare cold vs cached or
   scalar vs vectorized timings and are too noisy to gate, so drifts
-  only warn.
+  only warn;
+* latency quantiles (``p50_seconds`` .. ``p99_seconds``) are **soft
+  and direction-reversed** — an *increase* beyond ``--max-regression``
+  warns, but tail latency under a saturating load generator is too
+  noisy to gate.
 
 Comparisons between a ``--smoke`` record and full-workload priors are
 downgraded to warnings as well (different workload sizes).  Inside
@@ -59,11 +63,17 @@ def bench_history(root: Path = REPO_ROOT) -> list[tuple[int, Path, dict]]:
     return sorted(history, key=lambda item: item[0])
 
 
+#: latency-quantile leaves (``p50_seconds``, ``p99_seconds``, ...) —
+#: compared in the *opposite* direction to throughput: bigger is worse
+_LATENCY_LEAF = re.compile(r"^p\d+_seconds$")
+
+
 def throughput_metrics(record: dict) -> dict[str, float]:
     """Comparable metrics of one record as ``dotted.path -> value``.
 
     Only the ``benchmarks`` subtree is scanned; a metric is comparable
-    when its leaf name ends in ``_per_second`` or is ``speedup``.
+    when its leaf name ends in ``_per_second``, is ``speedup``, or is a
+    latency quantile (``p<n>_seconds``).
     """
     metrics: dict[str, float] = {}
 
@@ -73,7 +83,11 @@ def throughput_metrics(record: dict) -> dict[str, float]:
                 walk(value, f"{prefix}.{key}" if prefix else str(key))
         elif isinstance(node, (int, float)) and not isinstance(node, bool):
             leaf = prefix.rsplit(".", 1)[-1]
-            if leaf.endswith("_per_second") or leaf == "speedup":
+            if (
+                leaf.endswith("_per_second")
+                or leaf == "speedup"
+                or _LATENCY_LEAF.match(leaf)
+            ):
                 metrics[prefix] = float(node)
 
     walk(record.get("benchmarks", {}), "")
@@ -93,6 +107,11 @@ def compare_records(
     (``_per_second``) metrics of a workload-comparable prior also land
     in ``hard_failures``.
     """
+    def fmt(value: float) -> str:
+        # latency quantiles are fractions of a second; ",.1f" would
+        # flatten them all to 0.0
+        return f"{value:,.1f}" if abs(value) >= 10 else f"{value:.4g}"
+
     new_metrics = throughput_metrics(new_record)
     messages: list[str] = []
     failures: list[str] = []
@@ -111,28 +130,35 @@ def compare_records(
     for metric in sorted(new_metrics):
         if metric not in baselines:
             messages.append(
-                f"  new       {metric} = {new_metrics[metric]:,.1f}"
+                f"  new       {metric} = {fmt(new_metrics[metric])}"
             )
             continue
         baseline_name, baseline, baseline_smoke = baselines[metric]
         value = new_metrics[metric]
         change = (value - baseline) / baseline if baseline else 0.0
-        soft = metric.rsplit(".", 1)[-1] == "speedup"
+        leaf = metric.rsplit(".", 1)[-1]
+        # latency quantiles warn, never gate: tail latency under a
+        # saturating load generator is far noisier than throughput
+        latency = bool(_LATENCY_LEAF.match(leaf))
+        soft = leaf == "speedup" or latency
         mismatch = bool(new_record.get("smoke")) != baseline_smoke
         if mismatch:
             smoke_mismatch_notes.add(baseline_name)
-        regressed = change < -max_regression
+        # latency regresses by going *up*, throughput by going down
+        regressed = (
+            change > max_regression if latency else change < -max_regression
+        )
         status = "ok"
         if regressed:
             status = "drifted" if (soft or mismatch) else "REGRESSED"
         messages.append(
-            f"  {status:9s} {metric}  {baseline:,.1f} -> {value:,.1f} "
+            f"  {status:9s} {metric}  {fmt(baseline)} -> {fmt(value)} "
             f"({change:+.1%})  [vs {baseline_name}]"
         )
         if regressed and not soft and not mismatch:
             failures.append(
                 f"{metric} regressed {change:+.1%} vs {baseline_name} "
-                f"({baseline:,.1f} -> {value:,.1f}; gate is "
+                f"({fmt(baseline)} -> {fmt(value)}; gate is "
                 f"-{max_regression:.0%})"
             )
     for name in sorted(smoke_mismatch_notes):
@@ -219,7 +245,7 @@ def record_benchmarks(smoke: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR5.json",
+    parser.add_argument("--out", default="BENCH_PR6.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")

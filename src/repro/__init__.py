@@ -107,7 +107,7 @@ from repro.streaming import (
     merge_sketches,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "boolean_or",

@@ -1,0 +1,267 @@
+"""Mergeable fixed-log-bucket latency histograms.
+
+:class:`LatencyHistogram` records durations into geometrically spaced
+buckets so that tail quantiles (p50/p95/p99) can be read back with
+bounded relative error and *without* retaining the observations.  The
+design mirrors the repository's sketch algebra:
+
+* **lock-cheap** — one ``threading.Lock`` guards a handful of integer
+  increments per observation; the bucket search runs outside the lock;
+* **mergeable** — two histograms over the same bucket layout merge by
+  elementwise count addition, which is associative and commutative
+  (property-tested in ``tests/obs/test_hist.py``), so per-worker or
+  per-shard histograms fold into fleet-wide ones exactly like the
+  coordinated sketches they instrument;
+* **quantile-queryable** — :meth:`quantile` interpolates inside the
+  bucket containing the requested rank, clamped to the observed
+  min/max, so the answer is always within one bucket of the exact
+  percentile of the underlying observations.
+
+The bucket layout is fixed at construction: upper bounds grow
+geometrically from ``lowest`` to at least ``highest`` by ``growth``,
+with a final overflow bucket for everything larger.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["LatencyHistogram"]
+
+#: default layout: 100 microseconds .. 60 seconds, sqrt(2) growth
+#: (two buckets per doubling, ~40 buckets total)
+DEFAULT_LOWEST = 1e-4
+DEFAULT_HIGHEST = 60.0
+DEFAULT_GROWTH = math.sqrt(2.0)
+
+
+def _bucket_bounds(lowest: float, highest: float, growth: float) -> tuple[float, ...]:
+    if not (lowest > 0.0 and highest > lowest):
+        raise InvalidParameterError(
+            f"need 0 < lowest < highest, got {lowest} and {highest}"
+        )
+    if growth <= 1.0:
+        raise InvalidParameterError(f"growth must exceed 1, got {growth}")
+    bounds = [lowest]
+    while bounds[-1] < highest:
+        bounds.append(bounds[-1] * growth)
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-layout log-bucket histogram of durations in seconds.
+
+    Examples
+    --------
+    >>> hist = LatencyHistogram()
+    >>> for ms in (1, 2, 3, 40):
+    ...     hist.observe(ms / 1000.0)
+    >>> hist.count
+    4
+    >>> 0.002 <= hist.quantile(0.5) <= 0.004
+    True
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        lowest: float = DEFAULT_LOWEST,
+        highest: float = DEFAULT_HIGHEST,
+        growth: float = DEFAULT_GROWTH,
+    ) -> None:
+        self._bounds = _bucket_bounds(lowest, highest, growth)
+        # one count per finite upper bound, plus the overflow bucket
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one duration (negative durations clamp to zero)."""
+        seconds = float(seconds)
+        if seconds < 0.0:
+            seconds = 0.0
+        index = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    # ------------------------------------------------------------------
+    # Merge algebra
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (elementwise count add).
+
+        Both histograms must share the bucket layout.  The operation is
+        associative and commutative, so per-worker histograms reduce in
+        any order to the same fleet-wide histogram.  Returns ``self``.
+        """
+        if not isinstance(other, LatencyHistogram):
+            raise InvalidParameterError(
+                f"can only merge LatencyHistogram, got {type(other).__name__}"
+            )
+        if other._bounds != self._bounds:
+            raise InvalidParameterError(
+                "cannot merge histograms with different bucket layouts"
+            )
+        counts, count, total, low, high = other._state()
+        with self._lock:
+            for index, value in enumerate(counts):
+                self._counts[index] += value
+            self._count += count
+            self._sum += total
+            if low < self._min:
+                self._min = low
+            if high > self._max:
+                self._max = high
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent histogram with the same layout and contents."""
+        clone = LatencyHistogram.__new__(LatencyHistogram)
+        clone._bounds = self._bounds
+        counts, count, total, low, high = self._state()
+        clone._counts = counts
+        clone._count = count
+        clone._sum = total
+        clone._min = low
+        clone._max = high
+        clone._lock = threading.Lock()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        """Layout and count equality.
+
+        The duration *sum* is deliberately excluded: float addition is
+        not associative at the last ulp, and equality is what the merge
+        algebra property tests assert (sums are compared with a
+        tolerance there).
+        """
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self._bounds == other._bounds
+            and self._state()[:2] == other._state()[:2]
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def _state(self) -> tuple[list[int], int, float, float, float]:
+        with self._lock:
+            return (
+                list(self._counts),
+                self._count,
+                self._sum,
+                self._min,
+                self._max,
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of recorded observations."""
+        return self._count
+
+    @property
+    def sum_seconds(self) -> float:
+        """Sum of all recorded durations."""
+        return self._sum
+
+    @property
+    def bucket_bounds(self) -> tuple[float, ...]:
+        """Finite bucket upper bounds (the overflow bucket is implicit)."""
+        return self._bounds
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts; the last entry is the overflow bucket."""
+        return self._state()[0]
+
+    def bucket_index(self, seconds: float) -> int:
+        """The bucket an observation of ``seconds`` would land in."""
+        return bisect_left(self._bounds, max(0.0, float(seconds)))
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The final pair carries ``math.inf`` as its bound and equals the
+        total observation count.
+        """
+        counts, count, _, _, _ = self._state()
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, value in zip(self._bounds, counts):
+            running += value
+            pairs.append((bound, running))
+        pairs.append((math.inf, count))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) of the observations.
+
+        Interpolates linearly inside the bucket holding rank
+        ``q * count`` and clamps to the observed min/max, so the result
+        is within one bucket of the exact percentile.  Returns ``nan``
+        for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"q must be in [0, 1], got {q}")
+        counts, count, _, low, high = self._state()
+        if count == 0:
+            return math.nan
+        target = q * count
+        running = 0.0
+        for index, value in enumerate(counts):
+            if value == 0:
+                continue
+            if running + value >= target:
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._bounds[index]
+                    if index < len(self._bounds)
+                    else max(high, self._bounds[-1])
+                )
+                fraction = (target - running) / value
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, low), high)
+            running += value
+        return high
+
+    def quantiles(self, qs=(0.5, 0.95, 0.99)) -> dict[str, float]:
+        """Named quantiles, e.g. ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: count, sum and the serving quantiles."""
+        counts, count, total, low, high = self._state()
+        summary = {
+            "count": count,
+            "sum_seconds": total,
+            "min_seconds": low if count else 0.0,
+            "max_seconds": high,
+        }
+        for name, value in self.quantiles().items():
+            summary[f"{name}_seconds"] = 0.0 if math.isnan(value) else value
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self._count}, "
+            f"sum_seconds={self._sum:.6f}, buckets={len(self._counts)})"
+        )

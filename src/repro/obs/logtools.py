@@ -1,0 +1,136 @@
+"""Structured JSON logging with trace correlation.
+
+:class:`JsonLogFormatter` renders every log record as one JSON object
+per line — machine-parseable, stable keys, and automatically stamped
+with the current request ID from :mod:`repro.obs.trace`, so log lines
+and trace spans of the same request correlate without any plumbing in
+the call sites.  Extra fields passed via ``logger.info(...,
+extra={...})`` land as top-level keys.
+
+:class:`SlowRequestLog` is the serving stack's tail-latency tattler: it
+watches observed request durations and emits one structured warning per
+request beyond a configurable threshold, carrying the route, duration,
+status and request ID.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+from repro.obs.trace import current_request_id
+
+__all__ = ["JsonLogFormatter", "SlowRequestLog", "configure_json_logging"]
+
+#: attributes every LogRecord carries; anything else came in via extra=
+_RESERVED_ATTRS = frozenset(
+    {
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    }
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line, request-ID correlated."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def configure_json_logging(
+    logger_name: str = "repro",
+    stream: IO[str] | None = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Route ``logger_name`` through a JSON line handler.
+
+    Idempotent: an existing JSON handler on the logger is replaced, not
+    stacked, so repeated server construction does not multiply log
+    lines.  Returns the configured logger.
+    """
+    logger = logging.getLogger(logger_name)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    for existing in list(logger.handlers):
+        if isinstance(existing.formatter, JsonLogFormatter):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class SlowRequestLog:
+    """Log one structured warning per request beyond a threshold.
+
+    ``threshold_ms <= 0`` disables the log entirely (observations are
+    still counted as seen, nothing is emitted).
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        self.threshold_ms = float(threshold_ms)
+        self.logger = logger if logger is not None else logging.getLogger("repro.obs")
+        self.n_seen = 0
+        self.n_slow = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms > 0.0
+
+    def observe(
+        self,
+        route: str,
+        seconds: float,
+        status: int | None = None,
+        request_id: str | None = None,
+    ) -> bool:
+        """Report one request; returns whether it was logged as slow."""
+        self.n_seen += 1
+        duration_ms = float(seconds) * 1000.0
+        if not self.enabled or duration_ms < self.threshold_ms:
+            return False
+        self.n_slow += 1
+        extra: dict[str, object] = {
+            "route": route,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.threshold_ms,
+        }
+        if status is not None:
+            extra["status"] = int(status)
+        if request_id is None:
+            request_id = current_request_id()
+        if request_id is not None:
+            extra["request_id"] = request_id
+        self.logger.warning(
+            "slow request: %s took %.1f ms (threshold %.0f ms)",
+            route,
+            duration_ms,
+            self.threshold_ms,
+            extra=extra,
+        )
+        return True

@@ -43,8 +43,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import csv
 import io
+import logging
 import signal
 import socket
 import sys
@@ -53,11 +55,21 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.exceptions import (
     InvalidParameterError,
     ReproError,
     UnknownStoreError,
+)
+from repro.obs import (
+    SlowRequestLog,
+    configure_json_logging,
+    default_recorder,
+    new_request_id,
+    prom,
+    request_context,
+    span,
 )
 from repro.server.config import ServerConfig
 from repro.server.metrics import ServerMetrics
@@ -66,12 +78,13 @@ from repro.server.protocol import (
     Request,
     json_response_bytes,
     read_request,
+    response_bytes,
 )
 from repro.server.routing import Router
 from repro.service.queries import Query, query_value_json
 from repro.service.store import SketchStore
 
-__all__ = ["SketchServer"]
+__all__ = ["RawResponse", "SketchServer"]
 
 #: query kinds reachable over HTTP — ``custom`` needs a Python callable
 #: and is therefore CLI/API-only
@@ -85,8 +98,42 @@ _TRUE_VALUES = ("1", "true", "yes")
 _PARSE_INLINE_BYTES = 64 * 1024
 
 
+#: incoming ``X-Request-Id`` values are adopted only when they look
+#: like header-safe tokens of sane length; anything else gets a fresh ID
+_MAX_REQUEST_ID_CHARS = 128
+
+
+class RawResponse(NamedTuple):
+    """A handler payload serialized verbatim instead of as JSON.
+
+    Carries the body bytes and their ``Content-Type`` — the Prometheus
+    exposition endpoint returns one of these.
+    """
+
+    body: bytes
+    content_type: str
+
+
 def _flag(params: dict[str, str], name: str) -> bool:
     return params.get(name, "").lower() in _TRUE_VALUES
+
+
+def _adopt_request_id(raw: str | None) -> str:
+    """The client's request ID when usable, else a fresh one.
+
+    Propagating the caller's ID keeps one logical request correlated
+    across hops (client -> server -> logs/traces); bounding and
+    vetting it keeps log/trace fields single-line and printable.
+    """
+    if raw:
+        candidate = raw.strip()
+        if (
+            candidate
+            and len(candidate) <= _MAX_REQUEST_ID_CHARS
+            and candidate.isprintable()
+        ):
+            return candidate
+    return new_request_id()
 
 
 def _set_nodelay(writer: asyncio.StreamWriter) -> None:
@@ -130,6 +177,19 @@ class SketchServer:
         self.planner = store.planner()
         self.planner.resize(self.config.max_cache_entries)
         self.metrics = ServerMetrics()
+        if self.config.log_json:
+            configure_json_logging()
+        self.slow_log = SlowRequestLog(
+            self.config.slow_request_ms,
+            logger=logging.getLogger("repro.server"),
+        )
+        # the process-wide recorder: the service layers underneath span
+        # into it too, so one ring holds a request's full story
+        self.trace = default_recorder()
+        self.trace.configure(
+            capacity=self.config.trace_capacity,
+            jsonl_path=self.config.trace_jsonl_path,
+        )
         self.port: int | None = None
         self.router = Router()
         self.router.add("GET", "/healthz", self._handle_healthz)
@@ -204,6 +264,10 @@ class SketchServer:
             _, marks = self.store.snapshot_marked(path)
             self._clean_marks = dict(marks)
             self.last_shutdown_snapshot = path
+        if self.config.trace_jsonl_path is not None:
+            # stop the live JSONL export this server attached to the
+            # process-wide recorder (and close its file handle)
+            self.trace.configure(jsonl_path="")
         self._shutdown_done = True
 
     async def serve_forever(self, on_ready=None) -> None:
@@ -274,7 +338,8 @@ class SketchServer:
                         error.status,
                         {"error": error.message},
                         keep_alive=False,
-                        extra_headers=error.extra_headers,
+                        extra_headers=error.extra_headers
+                        + (("X-Request-Id", new_request_id()),),
                     )
                 )
                 await writer.drain()
@@ -283,46 +348,78 @@ class SketchServer:
                 return
             status, payload, extra_headers = await self._dispatch(request)
             keep_alive = request.keep_alive and not self._closing
-            writer.write(
-                json_response_bytes(
+            if isinstance(payload, RawResponse):
+                response = response_bytes(
+                    status,
+                    payload.body,
+                    content_type=payload.content_type,
+                    keep_alive=keep_alive,
+                    extra_headers=extra_headers,
+                )
+            else:
+                response = json_response_bytes(
                     status,
                     payload,
                     keep_alive=keep_alive,
                     extra_headers=extra_headers,
                 )
-            )
+            writer.write(response)
             await writer.drain()
             if not keep_alive:
                 return
 
+    def _route_label(self, request: Request) -> str:
+        """Bounded-cardinality route label for latency metrics: known
+        paths keep their name, everything else collapses into one."""
+        if self.router.known_path(request.path):
+            return f"{request.method} {request.path}"
+        return f"{request.method} (unmatched)"
+
     async def _dispatch(self, request: Request) -> tuple[int, object, tuple]:
+        request_id = _adopt_request_id(request.headers.get("x-request-id"))
+        route = self._route_label(request)
         self.metrics.record_request(request.method, request.path)
         self._active_requests += 1
         extra_headers: tuple = ()
-        try:
-            handler = self.router.resolve(request.method, request.path)
-            status, payload = await handler(request)
-        except HttpError as error:
-            status, payload = error.status, {"error": error.message}
-            extra_headers = error.extra_headers
-        except UnknownStoreError as error:
-            # KeyError subclass: str() would repr-quote the message
-            status, payload = 404, {"error": error.args[0]}
-        except FileNotFoundError as error:
-            status, payload = 404, {"error": str(error)}
-        except (ReproError, ValueError, TypeError, KeyError) as error:
-            status, payload = 400, {"error": f"{error}"}
-        except Exception as error:  # noqa: BLE001 - last-resort 500
-            traceback.print_exc(file=sys.stderr)
-            status, payload = 500, {"error": f"internal error: {error!r}"}
-        finally:
-            self._active_requests -= 1
+        started = time.perf_counter()
+        with request_context(request_id), span(
+            "http.request", route=route
+        ) as span_attrs:
+            try:
+                handler = self.router.resolve(request.method, request.path)
+                status, payload = await handler(request)
+            except HttpError as error:
+                status, payload = error.status, {"error": error.message}
+                extra_headers = error.extra_headers
+            except UnknownStoreError as error:
+                # KeyError subclass: str() would repr-quote the message
+                status, payload = 404, {"error": error.args[0]}
+            except FileNotFoundError as error:
+                status, payload = 404, {"error": str(error)}
+            except (ReproError, ValueError, TypeError, KeyError) as error:
+                status, payload = 400, {"error": f"{error}"}
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                traceback.print_exc(file=sys.stderr)
+                status, payload = 500, {"error": f"internal error: {error!r}"}
+            finally:
+                self._active_requests -= 1
+            span_attrs["status"] = status
+        elapsed = time.perf_counter() - started
+        self.metrics.record_duration(route, elapsed)
+        if self.slow_log.observe(route, elapsed, status=status, request_id=request_id):
+            self.metrics.record_slow_request()
         self.metrics.record_response(status)
-        return status, payload, extra_headers
+        return status, payload, extra_headers + (("X-Request-Id", request_id),)
 
     async def _in_executor(self, fn, *args, **kwargs):
+        # copy_context() carries the request ID and open-span contextvars
+        # onto the executor thread, so spans recorded there still
+        # correlate with the request that caused them
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, partial(fn, *args, **kwargs))
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._executor, partial(context.run, partial(fn, *args, **kwargs))
+        )
 
     # ------------------------------------------------------------------
     # Handlers
@@ -334,7 +431,21 @@ class SketchServer:
             "engines": len(self.store.names()),
         }
 
-    async def _handle_metrics(self, request: Request) -> tuple[int, dict]:
+    async def _handle_metrics(self, request: Request) -> tuple[int, object]:
+        fmt = request.params.get("format", "json")
+        if fmt == "prometheus":
+            text = await self._in_executor(
+                self.metrics.prometheus,
+                self.store,
+                self.planner,
+                dict(self._pending),
+            )
+            return 200, RawResponse(text.encode("utf-8"), prom.CONTENT_TYPE)
+        if fmt != "json":
+            raise HttpError(
+                400,
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'",
+            )
         payload = await self._in_executor(
             self.metrics.snapshot,
             self.store,
@@ -449,9 +560,14 @@ class SketchServer:
             "format", "csv" if content_type == "text/csv" else "json"
         )
         if fmt == "csv":
-            return self._parse_ingest_csv(request)
+            with span("ingest.decode", fmt="csv", bytes=len(request.body)):
+                return self._parse_ingest_csv(request)
         if fmt != "json":
             raise HttpError(400, f"unknown ingest format {fmt!r}; use 'json' or 'csv'")
+        with span("ingest.decode", fmt="json", bytes=len(request.body)):
+            return self._parse_ingest_json(request)
+
+    def _parse_ingest_json(self, request: Request) -> tuple[str, tuple, int, int]:
         payload = request.json()
         if not isinstance(payload, dict):
             raise HttpError(400, "ingest body must be a JSON object")

@@ -17,6 +17,8 @@ import json
 import socket
 from urllib.parse import quote, urlencode
 
+from repro.obs import current_request_id, new_request_id
+
 __all__ = ["AsyncSketchClient", "ClientResponseError"]
 
 
@@ -49,6 +51,9 @@ class AsyncSketchClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+        #: the ``X-Request-Id`` the server attached to the most recent
+        #: response — correlate client-side failures with server traces
+        self.last_request_id: str | None = None
 
     async def connect(self) -> "AsyncSketchClient":
         if self._writer is None:
@@ -90,8 +95,15 @@ class AsyncSketchClient:
         json_body: object = None,
         body: bytes | None = None,
         content_type: str = "application/json",
+        request_id: str | None = None,
     ) -> tuple[int, object]:
         """One round-trip; returns ``(status, decoded JSON payload)``.
+
+        Every request carries an ``X-Request-Id`` header — ``request_id``
+        when given, else the ambient :func:`repro.obs.current_request_id`
+        (so a client used inside a traced context propagates its trace
+        id), else a fresh id.  The id the server echoed back is kept in
+        :attr:`last_request_id`.
 
         Idempotent requests (GET/HEAD) reconnect and retry once when the
         server closed the idle keep-alive connection between requests;
@@ -102,6 +114,8 @@ class AsyncSketchClient:
             raise ValueError("pass either json_body or body, not both")
         if json_body is not None:
             body = json.dumps(json_body, separators=(",", ":")).encode()
+        if request_id is None:
+            request_id = current_request_id() or new_request_id()
         target = quote(path)
         if params:
             target += "?" + urlencode(params)
@@ -109,6 +123,7 @@ class AsyncSketchClient:
             f"{method} {target} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Connection: keep-alive\r\n"
+            f"X-Request-Id: {request_id}\r\n"
         )
         if body is not None:
             head += (
@@ -154,6 +169,7 @@ class AsyncSketchClient:
             name, _, value = text.partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
+        self.last_request_id = headers.get("x-request-id")
         raw = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.close()

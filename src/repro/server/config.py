@@ -54,6 +54,20 @@ class ServerConfig:
     snapshot_on_shutdown:
         Snapshot engines that changed since the last snapshot when the
         server shuts down gracefully (requires ``snapshot_path``).
+    slow_request_ms:
+        Requests slower than this are logged through the structured
+        slow-request log (and counted in ``/metrics``).  ``0`` disables
+        the log.
+    log_json:
+        Route the ``repro`` loggers through one-JSON-object-per-line
+        formatting with request-ID correlation
+        (:func:`repro.obs.configure_json_logging`).
+    trace_capacity:
+        Size of the in-memory span ring buffer the serving layers
+        record into.
+    trace_jsonl_path:
+        When set, every finished span is additionally appended to this
+        JSONL file (offline trace analysis).
     """
 
     host: str = "127.0.0.1"
@@ -65,6 +79,10 @@ class ServerConfig:
     max_cache_entries: int = 1024
     snapshot_path: str | Path | None = None
     snapshot_on_shutdown: bool = True
+    slow_request_ms: float = 500.0
+    log_json: bool = False
+    trace_capacity: int = 2048
+    trace_jsonl_path: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -75,9 +93,15 @@ class ServerConfig:
             "max_body_bytes",
             "max_batch_rows",
             "max_cache_entries",
+            "trace_capacity",
         ):
             value = getattr(self, attribute)
             if int(value) <= 0:
                 raise InvalidParameterError(
                     f"{attribute} must be positive, got {value}"
                 )
+        if self.slow_request_ms < 0:
+            raise InvalidParameterError(
+                "slow_request_ms must be >= 0 (0 disables the slow log), "
+                f"got {self.slow_request_ms}"
+            )

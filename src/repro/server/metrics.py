@@ -1,12 +1,21 @@
 """Serving metrics of the HTTP sketch server.
 
-:class:`ServerMetrics` is a small thread-safe counter bag — the HTTP
-handlers run on the event loop but ingest work lands on executor
-threads, so every mutation takes the lock.  :meth:`snapshot` assembles
-the full ``GET /metrics`` payload: request/response counters, ingest
-throughput, the query planner's cache hit rate, and a per-engine block
-built from the store's version counters and the engines' cheap
-:meth:`~repro.streaming.StreamEngine.probe`.
+:class:`ServerMetrics` is a thread-safe metric bag — the HTTP handlers
+run on the event loop but ingest work lands on executor threads, so
+every mutation takes the lock.  Alongside the request/response/ingest
+counters it owns one :class:`~repro.obs.LatencyHistogram` per route
+(mergeable, quantile-queryable), so ``/metrics`` reports where time
+goes, not just how often.
+
+Two reporting surfaces share the same state:
+
+* :meth:`snapshot` — the JSON ``GET /metrics`` payload: counters,
+  ingest throughput, per-route latency quantiles, the query planner's
+  cache hit rate, and a per-engine block built from the engines' cheap
+  :meth:`~repro.streaming.StreamEngine.probe`;
+* :meth:`prometheus` — the same state in Prometheus text exposition
+  (``GET /metrics?format=prometheus``), with the route histograms
+  rendered as cumulative ``_bucket`` series.
 """
 
 from __future__ import annotations
@@ -15,11 +24,28 @@ import threading
 import time
 from collections import Counter
 
+from repro.exceptions import UnknownStoreError
+from repro.obs import LatencyHistogram, prom
+
 __all__ = ["ServerMetrics"]
+
+#: rate denominators are floored here: a server a few hundred
+#: microseconds old reporting a handful of rows must not extrapolate
+#: them into a six-figure rows/s claim
+_MIN_RATE_SECONDS = 1e-3
+
+
+def _rate(n: int, seconds: float) -> float:
+    """A robust ``n / seconds`` throughput: 0 for nothing observed, and
+    never divided by a sub-millisecond denominator."""
+    if n <= 0:
+        return 0.0
+    return n / max(float(seconds), _MIN_RATE_SECONDS)
 
 
 class ServerMetrics:
-    """Thread-safe counters plus the ``/metrics`` payload builder."""
+    """Thread-safe counters and latency histograms plus the
+    ``/metrics`` payload builders."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -27,11 +53,13 @@ class ServerMetrics:
         self._started_wall = time.time()
         self._requests_by_route: Counter[str] = Counter()
         self._responses_by_status: Counter[int] = Counter()
+        self._route_histograms: dict[str, LatencyHistogram] = {}
         self._ingested_rows = 0
         self._ingest_batches = 0
         self._ingest_seconds = 0.0
         self._rejected_oversized = 0
         self._rejected_backpressure = 0
+        self._slow_requests = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -54,14 +82,69 @@ class ServerMetrics:
             self._ingest_batches += 1
             self._ingest_seconds += float(seconds)
 
+    def record_duration(self, route: str, seconds: float) -> None:
+        """Time one request into the route's latency histogram.
+
+        ``route`` must be bounded-cardinality (a registered route label,
+        not a raw request path) — each distinct value owns a histogram.
+        """
+        histogram = self._route_histograms.get(route)
+        if histogram is None:
+            with self._lock:
+                histogram = self._route_histograms.setdefault(route, LatencyHistogram())
+        histogram.observe(seconds)
+
+    def record_slow_request(self) -> None:
+        with self._lock:
+            self._slow_requests += 1
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
 
+    def route_histogram(self, route: str) -> LatencyHistogram | None:
+        """The live latency histogram of one route label, if any."""
+        with self._lock:
+            return self._route_histograms.get(route)
+
+    def merged_histogram(self) -> LatencyHistogram:
+        """All route histograms folded into one (merge is associative
+        and commutative, so the fold order is irrelevant)."""
+        merged = LatencyHistogram()
+        with self._lock:
+            histograms = list(self._route_histograms.values())
+        for histogram in histograms:
+            merged.merge_from(histogram)
+        return merged
+
+    def _engine_block(self, store, pending: dict) -> dict[str, dict]:
+        """Per-engine probes, defensively iterated.
+
+        ``store.names()`` is a point-in-time snapshot; engines can be
+        created or removed (e.g. by a concurrent merge/restore swap)
+        while this loop runs, so a vanished name is skipped rather than
+        failing the whole scrape.  ``version_hint`` is deliberately the
+        lock-free read: a metrics scrape must not queue behind in-flight
+        ingest batches for a number that is stale a moment later anyway.
+        """
+        engines: dict[str, dict] = {}
+        for name in store.names():
+            try:
+                probe = store.engine(name).probe()
+                version = store.version_hint(name)
+            except UnknownStoreError:
+                continue
+            engines[name] = {
+                "version": version,
+                "pending_batches": int(pending.get(name, 0)),
+                **probe,
+            }
+        return engines
+
     def snapshot(self, store, planner, pending: dict) -> dict:
-        """The full ``/metrics`` payload.
+        """The full JSON ``/metrics`` payload.
 
         ``pending`` maps engine names to their in-flight ingest batch
         counts (the server's backpressure state).
@@ -73,20 +156,13 @@ class ServerMetrics:
                 str(status): count
                 for status, count in self._responses_by_status.items()
             }
+            histograms = dict(self._route_histograms)
             ingested_rows = self._ingested_rows
             ingest_batches = self._ingest_batches
             ingest_seconds = self._ingest_seconds
             rejected_oversized = self._rejected_oversized
             rejected_backpressure = self._rejected_backpressure
-
-        engines: dict[str, dict] = {}
-        for name in store.names():
-            probe = store.engine(name).probe()
-            engines[name] = {
-                "version": store.version(name),
-                "pending_batches": int(pending.get(name, 0)),
-                **probe,
-            }
+            slow_requests = self._slow_requests
 
         return {
             "started_at": time.strftime(
@@ -95,19 +171,147 @@ class ServerMetrics:
             "uptime_seconds": uptime,
             "requests": requests,
             "responses": responses,
+            "latency": {
+                route: histograms[route].to_dict() for route in histograms
+            },
+            "slow_requests": slow_requests,
             "ingest": {
                 "rows": ingested_rows,
                 "batches": ingest_batches,
                 "busy_seconds": ingest_seconds,
                 # sustained throughput over the server lifetime ...
-                "rows_per_second": ingested_rows / uptime if uptime else 0.0,
+                "rows_per_second": _rate(ingested_rows, uptime),
                 # ... and while actually ingesting
-                "rows_per_busy_second": (
-                    ingested_rows / ingest_seconds if ingest_seconds else 0.0
-                ),
+                "rows_per_busy_second": _rate(ingested_rows, ingest_seconds),
                 "rejected_oversized": rejected_oversized,
                 "rejected_backpressure": rejected_backpressure,
             },
             "query_cache": planner.cache_stats(),
-            "engines": engines,
+            "engines": self._engine_block(store, pending),
         }
+
+    def prometheus(self, store, planner, pending: dict) -> str:
+        """The same state as :meth:`snapshot`, in Prometheus text
+        exposition format (0.0.4)."""
+        payload = self.snapshot(store, planner, pending)
+        with self._lock:
+            histograms = dict(self._route_histograms)
+        cache = payload["query_cache"]
+        ingest = payload["ingest"]
+        engines = payload["engines"]
+        families = [
+            prom.gauge(
+                "repro_uptime_seconds",
+                "Seconds since the server started.",
+                [({}, payload["uptime_seconds"])],
+            ),
+            prom.counter(
+                "repro_requests_total",
+                "Requests received, by method and path.",
+                [
+                    ({"route": route}, count)
+                    for route, count in sorted(payload["requests"].items())
+                ],
+            ),
+            prom.counter(
+                "repro_responses_total",
+                "Responses sent, by status code.",
+                [
+                    ({"status": status}, count)
+                    for status, count in sorted(payload["responses"].items())
+                ],
+            ),
+            prom.histogram(
+                "repro_request_duration_seconds",
+                "Request wall time by route.",
+                {route: histograms[route] for route in sorted(histograms)},
+            ),
+            prom.counter(
+                "repro_slow_requests_total",
+                "Requests logged beyond the slow-request threshold.",
+                [({}, payload["slow_requests"])],
+            ),
+            prom.counter(
+                "repro_ingest_rows_total",
+                "Update rows ingested over HTTP.",
+                [({}, ingest["rows"])],
+            ),
+            prom.counter(
+                "repro_ingest_batches_total",
+                "Ingest batches applied.",
+                [({}, ingest["batches"])],
+            ),
+            prom.counter(
+                "repro_ingest_busy_seconds_total",
+                "Executor seconds spent applying ingest batches.",
+                [({}, ingest["busy_seconds"])],
+            ),
+            prom.counter(
+                "repro_ingest_rejected_total",
+                "Ingest requests rejected, by reason.",
+                [
+                    ({"reason": "oversized"}, ingest["rejected_oversized"]),
+                    (
+                        {"reason": "backpressure"},
+                        ingest["rejected_backpressure"],
+                    ),
+                ],
+            ),
+            prom.counter(
+                "repro_query_cache_requests_total",
+                "Query-planner cache lookups, by outcome.",
+                [
+                    ({"outcome": "hit"}, cache["hits"]),
+                    ({"outcome": "miss"}, cache["misses"]),
+                ],
+            ),
+            prom.gauge(
+                "repro_query_cache_entries",
+                "Entries currently held by the query-result cache.",
+                [({}, cache["entries"])],
+            ),
+            prom.gauge(
+                "repro_engine_version",
+                "Monotone ingest version, by engine.",
+                [
+                    ({"engine": name}, engines[name]["version"])
+                    for name in sorted(engines)
+                ],
+            ),
+            prom.counter(
+                "repro_engine_updates_total",
+                "Updates applied, by engine.",
+                [
+                    ({"engine": name}, engines[name]["n_updates"])
+                    for name in sorted(engines)
+                ],
+            ),
+            prom.gauge(
+                "repro_engine_retained_keys",
+                "Keys currently retained across shards, by engine.",
+                [
+                    ({"engine": name}, engines[name]["retained_keys"])
+                    for name in sorted(engines)
+                ],
+            ),
+            prom.gauge(
+                "repro_engine_pending_batches",
+                "In-flight ingest batches, by engine.",
+                [
+                    ({"engine": name}, engines[name]["pending_batches"])
+                    for name in sorted(engines)
+                ],
+            ),
+            prom.counter(
+                "repro_engine_shard_updates_total",
+                "Updates routed to each shard, by engine.",
+                [
+                    ({"engine": name, "shard": shard}, count)
+                    for name in sorted(engines)
+                    for shard, count in enumerate(
+                        engines[name].get("shard_updates", ())
+                    )
+                ],
+            ),
+        ]
+        return prom.render(families)

@@ -36,6 +36,15 @@ class Router:
         """Registered ``(method, path)`` pairs, sorted by path."""
         return sorted(self._handlers, key=lambda key: (key[1], key[0]))
 
+    def known_path(self, path: str) -> bool:
+        """Whether any method is registered on ``path``.
+
+        Metric labels are derived from this: unknown paths collapse to
+        one ``(unmatched)`` label so arbitrary client-supplied paths
+        cannot explode the per-route label cardinality.
+        """
+        return path in self._methods_by_path
+
     def resolve(self, method: str, path: str) -> Callable:
         """The handler for ``method path``.
 

@@ -294,6 +294,8 @@ def _cmd_serve(args) -> dict:
         max_batch_rows=args.max_batch_rows,
         snapshot_path=store_path,
         snapshot_on_shutdown=not args.no_snapshot_on_shutdown,
+        slow_request_ms=args.slow_ms,
+        log_json=args.log_json,
     )
     server = SketchServer(store, config)
     if restored and not created_engines:
@@ -429,6 +431,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-body-bytes", type=int,
                        default=8 * 1024 * 1024)
     serve.add_argument("--max-batch-rows", type=int, default=100_000)
+    serve.add_argument("--log-json", action="store_true",
+                       help="structured one-JSON-object-per-line logs "
+                            "with request-id correlation")
+    serve.add_argument("--slow-ms", type=float, default=500.0,
+                       help="log requests slower than this many "
+                            "milliseconds (0 disables)")
     serve.add_argument("--no-snapshot-on-shutdown", action="store_true",
                        help="do not snapshot dirty engines on shutdown")
     serve.set_defaults(run=_cmd_serve)

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.exceptions import InvalidParameterError
+from repro.obs import span
 from repro.streaming.query import (
     distinct_count,
     l1_distance,
@@ -237,22 +238,30 @@ class QueryPlanner:
     def run(self, name: str, query: Query) -> QueryResult:
         """Execute ``query`` against store ``name``, serving from the
         cache when the engine version has not moved."""
-        cached = self.peek(name, query)
-        if cached is not None:
-            return cached
-        # A consistent view: the version the sketches are merged at is the
-        # version the result is cached under (ingests between the check
-        # above and here just cause a recompute at the newer version).
-        version, sketches = self._store.snapshot_view(name, query.instances)
-        value = self._dispatch(sketches, query)
-        key = self._cache_key(name, version, query)
-        if key is not None:
-            with self._lock:
-                self.misses += 1
-                self._cache[key] = value
-                while len(self._cache) > self.max_cache_entries:
-                    self._cache.popitem(last=False)
-        return QueryResult(value, version, False)
+        with span(
+            "planner.query", engine=name, kind=query.kind
+        ) as span_attrs:
+            cached = self.peek(name, query)
+            if cached is not None:
+                span_attrs["cache"] = "hit"
+                return cached
+            span_attrs["cache"] = "miss"
+            # A consistent view: the version the sketches are merged at is
+            # the version the result is cached under (ingests between the
+            # check above and here just cause a recompute at the newer
+            # version).
+            version, sketches = self._store.snapshot_view(
+                name, query.instances
+            )
+            value = self._dispatch(sketches, query)
+            key = self._cache_key(name, version, query)
+            if key is not None:
+                with self._lock:
+                    self.misses += 1
+                    self._cache[key] = value
+                    while len(self._cache) > self.max_cache_entries:
+                        self._cache.popitem(last=False)
+            return QueryResult(value, version, False)
 
     def execute(self, name: str, query: Query):
         """Uncached execution (always recomputes, never stores)."""

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.exceptions import InvalidParameterError, UnknownStoreError
+from repro.obs import span
 from repro.sampling.ranks import RankFamily, rank_family_from_name
 from repro.sampling.seeds import SeedAssigner
 from repro.service import codec
@@ -275,9 +276,10 @@ class SketchStore:
                 )
             entry.in_flight += 1
         try:
-            for job in jobs:
-                with entry.shard_locks[(instance, job.shard)]:
-                    StreamEngine.run_job(job)
+            with span("store.ingest", engine=name, shards=len(jobs)):
+                for job in jobs:
+                    with entry.shard_locks[(instance, job.shard)]:
+                        StreamEngine.run_job(job)
         finally:
             with entry.cond:
                 entry.in_flight -= 1
@@ -376,18 +378,23 @@ class SketchStore:
         """
         items = []
         marks: dict[str, tuple[int, int]] = {}
-        for name in self.names():
-            with self._read(name) as entry:
-                items.append(
-                    (name, entry.version, codec.to_bytes(entry.engine))
-                )
-                marks[name] = (entry.version, entry.engine.change_tick)
-        path = Path(path)
-        # atomic replace: a crash mid-write must never truncate the only
-        # copy of the store (the serve CLI snapshots onto --store itself)
-        scratch = path.with_name(path.name + ".tmp")
-        scratch.write_bytes(codec.store_to_bytes(items))
-        os.replace(scratch, path)
+        with span("store.snapshot") as attrs:
+            for name in self.names():
+                with self._read(name) as entry:
+                    items.append(
+                        (name, entry.version, codec.to_bytes(entry.engine))
+                    )
+                    marks[name] = (entry.version, entry.engine.change_tick)
+            path = Path(path)
+            # atomic replace: a crash mid-write must never truncate the
+            # only copy of the store (the serve CLI snapshots onto
+            # --store itself)
+            scratch = path.with_name(path.name + ".tmp")
+            blob = codec.store_to_bytes(items)
+            scratch.write_bytes(blob)
+            os.replace(scratch, path)
+            attrs["engines"] = len(items)
+            attrs["bytes"] = len(blob)
         return path, marks
 
     @classmethod
@@ -398,10 +405,12 @@ class SketchStore:
         versions, same query results.
         """
         store = cls()
-        for name, version, engine in codec.store_from_bytes(
-            Path(path).read_bytes()
-        ):
-            store.register(name, engine, version=version)
+        with span("store.restore") as attrs:
+            for name, version, engine in codec.store_from_bytes(
+                Path(path).read_bytes()
+            ):
+                store.register(name, engine, version=version)
+            attrs["engines"] = len(store.names())
         return store
 
     # ------------------------------------------------------------------

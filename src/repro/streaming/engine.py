@@ -92,6 +92,11 @@ class StreamEngine:
         self.executor = executor
         self._shards: dict[object, list] = {}
         self.n_updates = 0
+        #: per-shard update counters (summed over instances) — the
+        #: load-balance signal behind the per-engine metrics block.
+        #: Session-local like :attr:`change_tick`: never serialized, a
+        #: restored engine starts at zero.
+        self.shard_updates: list[int] = [0] * self.n_shards
         #: session-local monotone mutation counter — bumped by every
         #: :meth:`ingest_jobs` plan and every :meth:`merge_from`, never
         #: serialized, so a freshly restored engine always reads 0
@@ -208,6 +213,7 @@ class StreamEngine:
         self.n_updates += len(keys)
         self.change_tick += 1
         if self.n_shards == 1:
+            self.shard_updates[0] += len(keys)
             return [IngestJob(0, shards[0], keys, values, hashes)]
         shard_ids = (hashes % np.uint64(self.n_shards)).astype(np.intp)
         jobs = []
@@ -215,6 +221,7 @@ class StreamEngine:
             index = np.nonzero(shard_ids == shard)[0]
             if index.size == 0:
                 continue
+            self.shard_updates[shard] += int(index.size)
             jobs.append(
                 IngestJob(
                     shard,
@@ -329,6 +336,7 @@ class StreamEngine:
             "n_updates": self.n_updates,
             "n_instances": len(self._shards),
             "n_shards": self.n_shards,
+            "shard_updates": list(self.shard_updates),
             "retained_keys": sum(
                 len(sketch)
                 for shards in self._shards.values()
@@ -491,6 +499,10 @@ class StreamEngine:
             )
         self.n_updates += other.n_updates
         self.change_tick += 1
+        self.shard_updates = [
+            mine + theirs
+            for mine, theirs in zip(self.shard_updates, other.shard_updates)
+        ]
         for label in other.instance_labels:
             other_shards = other.shard_sketches(label)
             mine = self._shards.get(label)

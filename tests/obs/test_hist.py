@@ -1,0 +1,202 @@
+"""Tests of the mergeable log-bucket latency histogram.
+
+The merge algebra (associativity, commutativity, identity) is
+property-tested with hypothesis — mirroring how the repository
+property-tests the coordinated-sketch merge — and the quantile
+estimates are checked to land within one bucket of numpy's exact
+percentiles.  A thread-pool hammer asserts observation conservation
+under concurrent recording.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import LatencyHistogram
+
+durations = st.floats(
+    min_value=0.0, max_value=120.0, allow_nan=False, allow_infinity=False
+)
+duration_lists = st.lists(durations, max_size=60)
+
+
+def make_hist(values) -> LatencyHistogram:
+    hist = LatencyHistogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestLayout:
+    def test_bounds_are_geometric_and_cover_range(self):
+        hist = LatencyHistogram()
+        bounds = hist.bucket_bounds
+        assert bounds[0] == pytest.approx(1e-4)
+        assert bounds[-1] >= 60.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(math.sqrt(2.0)) for r in ratios)
+        # one count slot per finite bound plus the overflow bucket
+        assert len(hist.bucket_counts()) == len(bounds) + 1
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram(lowest=0.0)
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram(lowest=2.0, highest=1.0)
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram(growth=1.0)
+
+
+class TestObserve:
+    def test_counts_and_sum(self):
+        hist = make_hist([0.001, 0.002, 0.004])
+        assert hist.count == 3
+        assert hist.sum_seconds == pytest.approx(0.007)
+        assert sum(hist.bucket_counts()) == 3
+
+    def test_negative_clamps_to_zero(self):
+        hist = make_hist([-1.0])
+        assert hist.count == 1
+        assert hist.sum_seconds == 0.0
+        assert hist.bucket_counts()[0] == 1
+
+    def test_overflow_bucket(self):
+        hist = make_hist([1e6])
+        assert hist.bucket_counts()[-1] == 1
+        assert hist.bucket_index(1e6) == len(hist.bucket_bounds)
+
+    def test_cumulative_ends_at_total(self):
+        hist = make_hist([0.001, 0.01, 99.0])
+        pairs = hist.cumulative()
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == hist.count == 3
+        cums = [c for _, c in pairs]
+        assert cums == sorted(cums)
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_nan(self):
+        hist = LatencyHistogram()
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.to_dict()["p99_seconds"] == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_single_observation(self):
+        hist = make_hist([0.25])
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.25)
+
+    @settings(max_examples=80, deadline=None)
+    @given(values=st.lists(durations, min_size=1, max_size=80))
+    def test_within_one_bucket_of_exact_percentile(self, values):
+        hist = make_hist(values)
+        for q in (0.5, 0.95, 0.99):
+            # the histogram is rank-based — it answers with the bucket
+            # of the smallest observation whose CDF reaches q — which is
+            # numpy's inverted_cdf order statistic, not linear
+            # interpolation between observations
+            exact = float(
+                np.percentile(
+                    np.asarray(values), q * 100, method="inverted_cdf"
+                )
+            )
+            estimate = hist.quantile(q)
+            assert abs(hist.bucket_index(estimate) - hist.bucket_index(exact)) <= 1
+
+    def test_quantiles_named_and_monotone(self):
+        hist = make_hist([i / 1000.0 for i in range(1, 200)])
+        named = hist.quantiles()
+        assert set(named) == {"p50", "p95", "p99"}
+        assert named["p50"] <= named["p95"] <= named["p99"]
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(a=duration_lists, b=duration_lists)
+    def test_commutative(self, a, b):
+        left = make_hist(a).merge_from(make_hist(b))
+        right = make_hist(b).merge_from(make_hist(a))
+        assert left == right
+        assert left.sum_seconds == pytest.approx(right.sum_seconds, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=duration_lists, b=duration_lists, c=duration_lists)
+    def test_associative(self, a, b, c):
+        ha, hb, hc = make_hist(a), make_hist(b), make_hist(c)
+        left = ha.copy().merge_from(hb.copy().merge_from(hc.copy()))
+        right = ha.copy().merge_from(hb.copy()).merge_from(hc.copy())
+        assert left == right
+        assert left.sum_seconds == pytest.approx(right.sum_seconds, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=duration_lists)
+    def test_empty_is_identity(self, a):
+        hist = make_hist(a)
+        merged = hist.copy().merge_from(LatencyHistogram())
+        assert merged == hist
+        assert merged.sum_seconds == pytest.approx(hist.sum_seconds, abs=1e-9)
+
+    def test_merge_matches_pooled_observations(self):
+        a = [0.001, 0.5, 3.0]
+        b = [0.0002, 0.02, 70.0]
+        merged = make_hist(a).merge_from(make_hist(b))
+        pooled = make_hist(a + b)
+        assert merged == pooled
+        assert merged.quantile(0.5) == pytest.approx(pooled.quantile(0.5))
+
+    def test_layout_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram().merge_from(LatencyHistogram(lowest=1e-3))
+        with pytest.raises(InvalidParameterError):
+            LatencyHistogram().merge_from("not a histogram")
+
+    def test_copy_is_independent(self):
+        hist = make_hist([0.01])
+        clone = hist.copy()
+        clone.observe(0.02)
+        assert hist.count == 1
+        assert clone.count == 2
+
+
+class TestConcurrency:
+    def test_concurrent_observe_conserves_counts(self):
+        hist = LatencyHistogram()
+        per_thread, n_threads = 500, 8
+        values = [((i % 50) + 1) / 1000.0 for i in range(per_thread)]
+
+        def hammer():
+            for value in values:
+                hist.observe(value)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [pool.submit(hammer) for _ in range(n_threads)]:
+                future.result()
+
+        total = per_thread * n_threads
+        assert hist.count == total
+        assert sum(hist.bucket_counts()) == total
+        assert hist.sum_seconds == pytest.approx(sum(values) * n_threads, rel=1e-9)
+
+    def test_concurrent_merge_conserves_counts(self):
+        target = LatencyHistogram()
+        source = make_hist([0.001] * 100)
+
+        def merge():
+            target.merge_from(source)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for future in [pool.submit(merge) for _ in range(4)]:
+                future.result()
+
+        assert target.count == 400
+        assert sum(target.bucket_counts()) == 400

@@ -1,0 +1,124 @@
+"""Tests of the JSON log formatter and the slow-request log."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import (
+    JsonLogFormatter,
+    SlowRequestLog,
+    configure_json_logging,
+    request_context,
+)
+
+
+def make_json_logger(name: str):
+    stream = io.StringIO()
+    logger = configure_json_logging(logger_name=name, stream=stream)
+    return logger, stream
+
+
+def parse_lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogFormatter:
+    def test_lines_parse_with_stable_keys(self):
+        logger, stream = make_json_logger("repro.test.fmt")
+        logger.info("hello %s", "world")
+        (payload,) = parse_lines(stream)
+        assert payload["message"] == "hello world"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test.fmt"
+        assert payload["ts"].endswith("Z")
+
+    def test_request_id_correlation(self):
+        logger, stream = make_json_logger("repro.test.rid")
+        with request_context("rid-42"):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = parse_lines(stream)
+        assert inside["request_id"] == "rid-42"
+        assert "request_id" not in outside
+
+    def test_extra_fields_become_top_level_keys(self):
+        logger, stream = make_json_logger("repro.test.extra")
+        logger.info("x", extra={"route": "GET /query", "rows": 5})
+        (payload,) = parse_lines(stream)
+        assert payload["route"] == "GET /query"
+        assert payload["rows"] == 5
+
+    def test_extra_request_id_overrides_context(self):
+        logger, stream = make_json_logger("repro.test.override")
+        with request_context("ambient"):
+            logger.info("x", extra={"request_id": "explicit"})
+        (payload,) = parse_lines(stream)
+        assert payload["request_id"] == "explicit"
+
+    def test_exception_rendered(self):
+        logger, stream = make_json_logger("repro.test.exc")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed")
+        (payload,) = parse_lines(stream)
+        assert "RuntimeError: boom" in payload["exception"]
+
+    def test_unjsonable_extra_falls_back_to_repr(self):
+        logger, stream = make_json_logger("repro.test.repr")
+        logger.info("x", extra={"obj": object()})
+        (payload,) = parse_lines(stream)
+        assert payload["obj"].startswith("<object object")
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        logger = configure_json_logging(logger_name="repro.test.idem", stream=stream)
+        configure_json_logging(logger_name="repro.test.idem", stream=stream)
+        json_handlers = [
+            h
+            for h in logger.handlers
+            if isinstance(h.formatter, JsonLogFormatter)
+        ]
+        assert len(json_handlers) == 1
+        logger.info("once")
+        assert len(parse_lines(stream)) == 1
+
+
+class TestSlowRequestLog:
+    def make(self, threshold_ms: float):
+        logger, stream = make_json_logger("repro.test.slow")
+        logger.setLevel(logging.WARNING)
+        return SlowRequestLog(threshold_ms, logger=logger), stream
+
+    def test_logs_beyond_threshold(self):
+        slow, stream = self.make(100.0)
+        assert slow.observe("GET /query", 0.250, status=200) is True
+        (payload,) = parse_lines(stream)
+        assert payload["route"] == "GET /query"
+        assert payload["duration_ms"] == 250.0
+        assert payload["status"] == 200
+        assert slow.n_slow == 1
+
+    def test_fast_requests_not_logged(self):
+        slow, stream = self.make(100.0)
+        assert slow.observe("GET /query", 0.010) is False
+        assert stream.getvalue() == ""
+        assert slow.n_seen == 1
+        assert slow.n_slow == 0
+
+    def test_zero_threshold_disables(self):
+        slow, stream = self.make(0.0)
+        assert not slow.enabled
+        assert slow.observe("GET /query", 10.0) is False
+        assert stream.getvalue() == ""
+
+    def test_request_id_from_argument_and_context(self):
+        slow, stream = self.make(1.0)
+        slow.observe("a", 1.0, request_id="explicit")
+        with request_context("ambient"):
+            slow.observe("b", 1.0)
+        first, second = parse_lines(stream)
+        assert first["request_id"] == "explicit"
+        assert second["request_id"] == "ambient"

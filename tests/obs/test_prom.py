@@ -1,0 +1,95 @@
+"""Tests of the Prometheus text exposition renderers."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import LatencyHistogram, prom
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """``{sample-with-labels: value}`` for every non-comment line."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value.replace("+Inf", "inf"))
+    return samples
+
+
+class TestSampleLine:
+    def test_no_labels(self):
+        assert prom.sample_line("up", None, 1) == "up 1"
+
+    def test_labels_sorted(self):
+        line = prom.sample_line("m", {"b": "2", "a": "1"}, 3)
+        assert line == 'm{a="1",b="2"} 3'
+
+    def test_label_escaping(self):
+        line = prom.sample_line("m", {"route": 'a"b\\c\nd'}, 1)
+        assert line == 'm{route="a\\"b\\\\c\\nd"} 1'
+
+    def test_value_formats(self):
+        assert prom.sample_line("m", None, 2.0) == "m 2"
+        assert prom.sample_line("m", None, 2.5) == "m 2.5"
+        assert prom.sample_line("m", None, float("inf")) == "m +Inf"
+
+
+class TestFamilies:
+    def test_counter_has_help_and_type(self):
+        block = prom.counter(
+            "repro_requests_total",
+            "Requests by route.",
+            [({"route": "GET /query"}, 3)],
+        )
+        lines = block.splitlines()
+        assert lines[0] == "# HELP repro_requests_total Requests by route."
+        assert lines[1] == "# TYPE repro_requests_total counter"
+        assert lines[2] == 'repro_requests_total{route="GET /query"} 3'
+
+    def test_gauge(self):
+        block = prom.gauge("repro_up", "Up.", [(None, 1)])
+        assert "# TYPE repro_up gauge" in block
+        assert block.endswith("repro_up 1")
+
+    def test_histogram_buckets_cumulative_and_complete(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 50.0, 1e5):
+            hist.observe(value)
+        block = prom.histogram(
+            "repro_request_duration_seconds",
+            "Request latency.",
+            {"GET /query": hist},
+        )
+        samples = parse_samples(block)
+        buckets = [
+            (key, value)
+            for key, value in samples.items()
+            if key.startswith("repro_request_duration_seconds_bucket")
+        ]
+        # cumulative and monotone, ending at +Inf == count
+        values = [value for _, value in buckets]
+        assert values == sorted(values)
+        assert 'le="+Inf"' in buckets[-1][0]
+        assert values[-1] == 5
+        count_key = 'repro_request_duration_seconds_count{route="GET /query"}'
+        sum_key = 'repro_request_duration_seconds_sum{route="GET /query"}'
+        assert samples[count_key] == 5
+        assert samples[sum_key] > 50.0
+        # every bucket carries both the series label and le
+        for key, _ in buckets:
+            assert 'route="GET /query"' in key
+            assert re.search(r'le="[^"]+"', key)
+
+    def test_render_joins_with_trailing_newline(self):
+        body = prom.render(
+            [prom.gauge("a", "x", [(None, 1)]), "", prom.gauge("b", "y", [(None, 2)])]
+        )
+        assert body.endswith("\n")
+        assert "# TYPE a gauge" in body
+        assert "# TYPE b gauge" in body
+        assert "\n\n\n" not in body
+
+    def test_render_empty(self):
+        assert prom.render([]) == ""

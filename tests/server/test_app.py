@@ -513,3 +513,159 @@ class TestShutdown:
         reference = make_store()
         reference.ingest("traffic", "monday", keys, values)
         assert merged.engine("traffic") == reference.engine("traffic")
+
+
+async def raw_request(
+    port: int, method: str, target: str, headers: tuple = ()
+) -> tuple[int, dict, bytes]:
+    """One raw HTTP round-trip exposing the response headers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1:{port}\r\n"
+            "Connection: close\r\n"
+        )
+        for name, value in headers:
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n")
+        await writer.drain()
+        raw_head = await reader.readuntil(b"\r\n\r\n")
+        lines = raw_head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        response_headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        body = await reader.readexactly(length) if length else b""
+        return status, response_headers, body
+    finally:
+        writer.close()
+
+
+class TestObservability:
+    def test_request_id_echoed_when_supplied(self, run_scenario):
+        async def scenario(server, client):
+            status, headers, _ = await raw_request(
+                server.port,
+                "GET",
+                "/healthz",
+                headers=(("X-Request-Id", "trace-me-42"),),
+            )
+            assert status == 200
+            assert headers["x-request-id"] == "trace-me-42"
+
+        run_scenario(scenario)
+
+    def test_request_id_generated_when_missing_or_bogus(self, run_scenario):
+        async def scenario(server, client):
+            _, headers, _ = await raw_request(server.port, "GET", "/healthz")
+            generated = headers["x-request-id"]
+            assert len(generated) == 16
+            int(generated, 16)
+            # an unreasonable id (too long) is replaced, not echoed
+            _, headers, _ = await raw_request(
+                server.port,
+                "GET",
+                "/healthz",
+                headers=(("X-Request-Id", "x" * 300),),
+            )
+            assert headers["x-request-id"] != "x" * 300
+
+        run_scenario(scenario)
+
+    def test_request_id_present_on_error_responses(self, run_scenario):
+        async def scenario(server, client):
+            status, headers, _ = await raw_request(server.port, "GET", "/nope")
+            assert status == 404
+            assert "x-request-id" in headers
+
+        run_scenario(scenario)
+
+    def test_client_propagates_and_records_request_id(self, run_scenario):
+        async def scenario(server, client):
+            await client.healthz()
+            first = client.last_request_id
+            assert first is not None
+            status, _ = await client.request("GET", "/healthz", request_id="pinned-id")
+            assert status == 200
+            assert client.last_request_id == "pinned-id"
+
+        run_scenario(scenario)
+
+    def test_prometheus_exposition(self, run_scenario):
+        async def scenario(server, client):
+            keys, values = make_columns(100)
+            await client.ingest("traffic", "monday", keys, values)
+            await client.query("traffic", "sum", ["monday"])
+            status, headers, body = await raw_request(
+                server.port, "GET", "/metrics?format=prometheus"
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            text = body.decode()
+            assert text.endswith("\n")
+            assert "repro_request_duration_seconds_bucket" in text
+            assert 'repro_requests_total{route="POST /ingest"} 1' in text
+            assert 'repro_engine_version{engine="traffic"} 1' in text
+            assert "repro_ingest_rows_total 100" in text
+
+        run_scenario(scenario, store=make_store())
+
+    def test_metrics_unknown_format_rejected(self, run_scenario):
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "GET", "/metrics", params={"format": "xml"}
+            )
+            assert status == 400
+            assert "format" in payload["error"]
+
+        run_scenario(scenario)
+
+    def test_unmatched_routes_collapse_in_latency_labels(self, run_scenario):
+        async def scenario(server, client):
+            for path in ("/a", "/b", "/c"):
+                status, _ = await client.request("GET", path)
+                assert status == 404
+            metrics = await client.metrics()
+            unmatched = [
+                route
+                for route in metrics["latency"]
+                if "(unmatched)" in route
+            ]
+            assert unmatched == ["GET (unmatched)"]
+            assert metrics["latency"]["GET (unmatched)"]["count"] == 3
+
+        run_scenario(scenario)
+
+    def test_spans_recorded_through_the_stack(self, run_scenario):
+        async def scenario(server, client):
+            server.trace.clear()
+            keys, values = make_columns(50)
+            await client.ingest("traffic", "monday", keys, values)
+            await client.query("traffic", "sum", ["monday"])
+            http_spans = server.trace.recent(name="http.request")
+            assert len(http_spans) >= 2
+            (ingest_span,) = server.trace.recent(name="store.ingest")
+            (query_span,) = server.trace.recent(name="planner.query")
+            assert query_span.attrs["cache"] == "miss"
+            # spans executed on worker threads still carry the request
+            # id of the HTTP request that triggered them
+            assert ingest_span.trace_id is not None
+            routes = {span.attrs.get("route") for span in http_spans}
+            assert "POST /ingest" in routes
+
+        run_scenario(scenario, store=make_store())
+
+    def test_slow_request_log_counts(self, run_scenario):
+        async def scenario(server, client):
+            keys, values = make_columns(50)
+            await client.ingest("traffic", "monday", keys, values)
+            metrics = await client.metrics()
+            # every request is beyond a 1e-9 ms threshold
+            assert metrics["slow_requests"] >= 1
+            assert server.slow_log.n_slow >= 1
+
+        run_scenario(scenario, store=make_store(), slow_request_ms=1e-9)

@@ -10,7 +10,7 @@ from repro import exceptions
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_exports_resolvable(self):
         for name in repro.__all__:

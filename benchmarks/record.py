@@ -3,12 +3,13 @@
 Runs the headline benchmarks (exact-enumeration grid, streaming
 ``update_many``, full fast-mode experiment suite, the service layer —
 concurrent store ingest, snapshot/restore codec latency, query-cache
-speedup — and the HTTP server's mixed ingest/query load) and writes
+speedup — the HTTP server's mixed ingest/query load, and the binary
+columnar ingest path raced against JSON) and writes
 their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
 repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR6.json
-    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR7.json
 
 After writing (or with ``--compare-only``, instead of benching at all)
 the record is diffed against every earlier ``BENCH_PR*.json``:
@@ -237,6 +238,9 @@ def record_benchmarks(smoke: bool) -> dict:
                 query_keys, min_speedup=5.0
             ),
             "server_mixed_load": bench_server.bench_load(server_updates),
+            "server_binary_ingest": bench_server.bench_binary_ingest(
+                server_updates
+            ),
         },
     }
     record["total_bench_seconds"] = time.time() - started
@@ -245,7 +249,7 @@ def record_benchmarks(smoke: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR6.json",
+    parser.add_argument("--out", default="BENCH_PR7.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")

@@ -20,6 +20,7 @@ with :meth:`TraceRecorder.export_jsonl`.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import uuid
@@ -48,9 +49,17 @@ _REQUEST_ID: ContextVar[str | None] = ContextVar("repro_request_id", default=Non
 _SPAN_NAME: ContextVar[str | None] = ContextVar("repro_span_name", default=None)
 
 
+# seeded once from the OS entropy pool; correlation IDs need collision
+# resistance, not unpredictability, and ``uuid.uuid4`` costs a urandom
+# syscall per call — measurable on the serving hot path
+_ID_RNG = random.Random(uuid.uuid4().int)
+_ID_LOCK = threading.Lock()
+
+
 def new_request_id() -> str:
     """A fresh 16-hex-char request ID."""
-    return uuid.uuid4().hex[:16]
+    with _ID_LOCK:
+        return f"{_ID_RNG.getrandbits(64):016x}"
 
 
 def current_request_id() -> str | None:

@@ -79,6 +79,13 @@ def key_hashes(keys: Sequence[object]) -> np.ndarray:
     in the streaming engine, so a key's shard and its seeds derive from one
     hash pass.
     """
+    if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+        # A NumPy integer column hashes without building per-key Python
+        # objects.  Casting to uint64 wraps negatives modulo 2**64 —
+        # exactly what ``_hash_label``'s ``int(label) & MASK`` computes —
+        # so the vectorized path is bit-identical to the fallback.
+        with np.errstate(over="ignore"):
+            return splitmix64(keys.astype(np.uint64))
     keys = list(keys)
     if keys and all(
         isinstance(k, (int, np.integer))

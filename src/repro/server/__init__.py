@@ -9,11 +9,15 @@ network, standard-library only:
 * :mod:`repro.server.routing` — the exact-path method router (404/405
   with ``Allow``);
 * :mod:`repro.server.app` — :class:`SketchServer`: ``POST /ingest``
-  (JSON/CSV batches, per-engine backpressure), ``GET /query`` through
-  the version-cached planner, ``POST /snapshot`` / ``POST /merge``
-  codec-backed persistence, ``GET /healthz`` / ``GET /metrics``.
-  Store work runs on a thread-pool executor; graceful shutdown drains
-  requests and snapshots engines that changed since the last snapshot;
+  (JSON/CSV/binary batches, per-engine backpressure), ``GET /query``
+  through the version-cached planner, ``POST /snapshot`` / ``POST
+  /merge`` codec-backed persistence, ``GET /healthz`` / ``GET
+  /metrics``.  Store work runs on a thread-pool executor; graceful
+  shutdown drains requests and snapshots engines that changed since the
+  last snapshot;
+* :mod:`repro.server.wire` — the columnar binary batch format behind
+  ``Content-Type: application/x-repro-batch``, the ingest fast path
+  that decodes straight into NumPy columns;
 * :mod:`repro.server.metrics` — the serving counters behind
   ``/metrics``;
 * :mod:`repro.server.client` — :class:`AsyncSketchClient`, the
@@ -30,13 +34,23 @@ from repro.server.config import ServerConfig
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import HttpError
 from repro.server.routing import Router
+from repro.server.wire import (
+    BATCH_CONTENT_TYPE,
+    WireBatch,
+    decode_batches,
+    encode_batches,
+)
 
 __all__ = [
     "AsyncSketchClient",
+    "BATCH_CONTENT_TYPE",
     "ClientResponseError",
     "HttpError",
     "Router",
     "ServerConfig",
     "ServerMetrics",
     "SketchServer",
+    "WireBatch",
+    "decode_batches",
+    "encode_batches",
 ]

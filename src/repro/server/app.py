@@ -47,6 +47,7 @@ import contextvars
 import csv
 import io
 import logging
+import math
 import signal
 import socket
 import sys
@@ -60,6 +61,7 @@ from typing import NamedTuple
 from repro.exceptions import (
     InvalidParameterError,
     ReproError,
+    SketchCodecError,
     UnknownStoreError,
 )
 from repro.obs import (
@@ -81,6 +83,7 @@ from repro.server.protocol import (
     response_bytes,
 )
 from repro.server.routing import Router
+from repro.server.wire import BATCH_CONTENT_TYPE, decode_batches
 from repro.service.queries import Query, query_value_json
 from repro.service.store import SketchStore
 
@@ -91,11 +94,6 @@ __all__ = ["RawResponse", "SketchServer"]
 _HTTP_QUERY_KINDS = ("distinct", "sum", "dominance", "l1")
 
 _TRUE_VALUES = ("1", "true", "yes")
-
-#: ingest bodies larger than this are parsed on the executor instead of
-#: the event loop (JSON/CSV decoding of a 100k-row batch takes tens of
-#: milliseconds — long enough to stall every other connection)
-_PARSE_INLINE_BYTES = 64 * 1024
 
 
 #: incoming ``X-Request-Id`` values are adopted only when they look
@@ -488,7 +486,7 @@ class SketchServer:
     async def _ingest_bounded(self, request: Request) -> tuple[int, dict]:
         # small payloads parse faster than an executor hop costs; large
         # ones would stall every other connection, so they hop
-        if len(request.body) > _PARSE_INLINE_BYTES:
+        if len(request.body) > self.config.parse_inline_bytes:
             name, plan, n_rows, n_batches = await self._in_executor(
                 self._parse_ingest, request
             )
@@ -533,39 +531,71 @@ class SketchServer:
     def _apply_ingest(self, name: str, plan: tuple) -> int:
         """Run a parsed ingest plan through the store; returns the new
         version.  Row-shaped plans reuse the store's own instance
-        grouping (:meth:`SketchStore.ingest_rows`)."""
+        grouping (:meth:`SketchStore.ingest_rows`); binary plans go
+        through the coalescing :meth:`SketchStore.ingest_batches`."""
         if plan[0] == "columns":
             _, instance, keys, values = plan
             return self.store.ingest(name, instance, keys, values)
+        if plan[0] == "batches":
+            return self.store.ingest_batches(name, plan[1])
         return self.store.ingest_rows(name, plan[1])
 
     def _parse_ingest(self, request: Request) -> tuple[str, tuple, int, int]:
         """Normalise an ingest request to a store-ready plan.
 
         Returns ``(name, plan, n_rows, n_batches)`` where ``plan`` is
-        either ``("columns", instance, keys, values)`` (one per-instance
-        batch) or ``("rows", triples)`` (mixed instances, grouped by
-        :meth:`SketchStore.ingest_rows`).  Accepted shapes:
+        ``("columns", instance, keys, values)`` (one per-instance batch),
+        ``("rows", triples)`` (mixed instances, grouped by
+        :meth:`SketchStore.ingest_rows`), or ``("batches", wire_batches)``
+        (decoded binary columns for
+        :meth:`SketchStore.ingest_batches`).  Accepted shapes:
 
         * JSON ``{"name", "instance", "keys": [...], "values": [...]}``;
         * JSON ``{"name", "rows": [[instance, key, value], ...]}``;
         * CSV body (``?format=csv`` or ``Content-Type: text/csv``) of
           ``instance,key,value`` lines with ``?name=`` in the query
-          string (``?int_keys=1`` parses keys as integers).
+          string (``?int_keys=1`` parses keys as integers);
+        * binary columnar batches (``?format=binary`` or ``Content-Type:
+          application/x-repro-batch``, see :mod:`repro.server.wire`)
+          with ``?name=`` in the query string.
         """
         content_type = (
             request.headers.get("content-type", "").split(";")[0].strip().lower()
         )
-        fmt = request.params.get(
-            "format", "csv" if content_type == "text/csv" else "json"
-        )
+        if content_type == "text/csv":
+            default_fmt = "csv"
+        elif content_type == BATCH_CONTENT_TYPE:
+            default_fmt = "binary"
+        else:
+            default_fmt = "json"
+        fmt = request.params.get("format", default_fmt)
+        if fmt == "binary":
+            with span("ingest.decode", fmt="binary", bytes=len(request.body)):
+                return self._parse_ingest_binary(request)
         if fmt == "csv":
             with span("ingest.decode", fmt="csv", bytes=len(request.body)):
                 return self._parse_ingest_csv(request)
         if fmt != "json":
-            raise HttpError(400, f"unknown ingest format {fmt!r}; use 'json' or 'csv'")
+            raise HttpError(
+                400,
+                f"unknown ingest format {fmt!r}; use 'json', 'csv' "
+                "or 'binary'",
+            )
         with span("ingest.decode", fmt="json", bytes=len(request.body)):
             return self._parse_ingest_json(request)
+
+    def _parse_ingest_binary(
+        self, request: Request
+    ) -> tuple[str, tuple, int, int]:
+        name = request.params.get("name")
+        if not name:
+            raise HttpError(400, "binary ingest requires ?name=<engine>")
+        try:
+            batches = decode_batches(request.body)
+        except SketchCodecError as exc:
+            raise HttpError(400, f"malformed batch payload: {exc}") from exc
+        n_rows = sum(len(batch.values) for batch in batches)
+        return name, ("batches", batches), n_rows, len(batches)
 
     def _parse_ingest_json(self, request: Request) -> tuple[str, tuple, int, int]:
         payload = request.json()
@@ -615,24 +645,37 @@ class SketchServer:
         int_keys = _flag(request.params, "int_keys")
         parsed = []
         reader = csv.reader(io.StringIO(request.text()))
-        for line_number, row in enumerate(reader, start=1):
+        # line_number counts non-empty rows, so error positions stay
+        # meaningful in bodies with blank lines; the optional header is
+        # skipped wherever the first non-empty row lands (a leading
+        # blank line must not demote the header to data)
+        line_number = 0
+        for row in reader:
             if not row:
                 continue
+            line_number += 1
+            if line_number == 1 and row == ["instance", "key", "value"]:
+                continue  # optional header
             if len(row) != 3:
                 raise HttpError(
                     400,
                     f"CSV line {line_number}: expected instance,key,value;"
                     f" got {len(row)} columns",
                 )
-            if line_number == 1 and row == ["instance", "key", "value"]:
-                continue  # optional header
             try:
                 key: object = int(row[1]) if int_keys else row[1]
-                parsed.append((row[0], key, float(row[2])))
+                value = float(row[2])
             except ValueError as exc:
                 raise HttpError(
                     400, f"CSV line {line_number}: bad update row: {exc}"
                 ) from exc
+            if not math.isfinite(value):
+                raise HttpError(
+                    400,
+                    f"CSV line {line_number}: update values must be "
+                    f"finite, got {row[2]!r}",
+                )
+            parsed.append((row[0], key, value))
         n_batches = len({instance for instance, _, _ in parsed})
         return name, ("rows", parsed), len(parsed), n_batches
 
@@ -640,6 +683,12 @@ class SketchServer:
     def _number(value: object) -> float:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise HttpError(400, f"update values must be numbers, got {value!r}")
+        # the protocol layer already rejects NaN/Infinity *literals*, but
+        # JSON numbers like 1e999 overflow float parsing to inf
+        if not math.isfinite(value):
+            raise HttpError(
+                400, f"update values must be finite, got {value!r}"
+            )
         return float(value)
 
     async def _handle_query(self, request: Request) -> tuple[int, dict]:

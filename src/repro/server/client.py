@@ -18,6 +18,7 @@ import socket
 from urllib.parse import quote, urlencode
 
 from repro.obs import current_request_id, new_request_id
+from repro.server.wire import BATCH_CONTENT_TYPE, encode_batches
 
 __all__ = ["AsyncSketchClient", "ClientResponseError"]
 
@@ -51,6 +52,7 @@ class AsyncSketchClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+        self._target_cache: dict[tuple, str] = {}
         #: the ``X-Request-Id`` the server attached to the most recent
         #: response — correlate client-side failures with server traces
         self.last_request_id: str | None = None
@@ -116,9 +118,16 @@ class AsyncSketchClient:
             body = json.dumps(json_body, separators=(",", ":")).encode()
         if request_id is None:
             request_id = current_request_id() or new_request_id()
-        target = quote(path)
-        if params:
-            target += "?" + urlencode(params)
+        # clients hammer a handful of (path, params) shapes; memoising
+        # the quoted target skips percent-encoding on the hot path
+        cache_key = (path, tuple(params.items()) if params else None)
+        target = self._target_cache.get(cache_key)
+        if target is None:
+            target = quote(path)
+            if params:
+                target += "?" + urlencode(params)
+            if len(self._target_cache) < 1024:
+                self._target_cache[cache_key] = target
         head = (
             f"{method} {target} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
@@ -155,20 +164,43 @@ class AsyncSketchClient:
         raise RuntimeError("unreachable")  # pragma: no cover
 
     async def _read_response(self, reader: asyncio.StreamReader) -> tuple[int, object]:
-        status_line = await reader.readuntil(b"\n")
-        parts = status_line.decode("latin-1").split(None, 2)
+        # one readuntil for the whole response head (status line +
+        # headers): the per-line variant dominates client-side CPU under
+        # pipelined load
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line, _, header_block = head.decode("latin-1").partition("\r\n")
+        parts = status_line.split(None, 2)
         if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
             raise ConnectionResetError(f"malformed status line {status_line!r}")
         status = int(parts[1])
         headers: dict[str, str] = {}
-        while True:
-            line = await reader.readuntil(b"\n")
-            text = line.decode("latin-1").strip()
+        for text in header_block.splitlines():
+            text = text.strip()
             if not text:
                 break
             name, _, value = text.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0"))
+            key = name.strip().lower()
+            value = value.strip()
+            if key == "content-length" and headers.get(key, value) != value:
+                # conflicting duplicates would silently frame the body by
+                # whichever arrived last; treat the response as garbage
+                raise ConnectionResetError(
+                    "conflicting duplicate Content-Length headers "
+                    f"({headers[key]!r} and {value!r})"
+                )
+            headers[key] = value
+        try:
+            length = int(headers.get("content-length", "0"))
+            if length < 0:
+                raise ValueError(f"negative Content-Length {length}")
+        except ValueError as exc:
+            # a malformed length means the framing of this (and every
+            # following) response is unknowable — surface it as a
+            # connection error so the idempotent-retry logic in
+            # :meth:`request` applies
+            raise ConnectionResetError(
+                f"malformed Content-Length {headers.get('content-length')!r}"
+            ) from exc
         self.last_request_id = headers.get("x-request-id")
         raw = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
@@ -227,6 +259,28 @@ class AsyncSketchClient:
                     for instance, key, value in rows
                 ],
             },
+        )
+
+    async def ingest_binary(
+        self,
+        name: str,
+        batches: list,
+    ) -> dict:
+        """Ingest ``(instance, keys, values)`` batches as one binary body.
+
+        ``batches`` is encoded with
+        :func:`repro.server.wire.encode_batches` — key columns may be
+        NumPy integer arrays, lists of ints/strings, or mixed labels;
+        value columns anything array-like — and POSTed as a single
+        pipelined ``application/x-repro-batch`` request, the fast path
+        that skips JSON entirely on both sides.
+        """
+        return await self._checked(
+            "POST",
+            "/ingest",
+            params={"name": name},
+            body=encode_batches(batches),
+            content_type=BATCH_CONTENT_TYPE,
         )
 
     async def query(

@@ -42,6 +42,10 @@ class ServerConfig:
     max_batch_rows:
         Largest accepted number of update rows in one ingest request;
         larger batches get ``413`` (split the batch instead).
+    parse_inline_bytes:
+        Ingest bodies up to this size are parsed on the event loop;
+        larger bodies are parsed on the executor so a big JSON/CSV/binary
+        payload cannot stall concurrent requests.
     max_cache_entries:
         LRU bound of the shared query-result cache.
     snapshot_path:
@@ -76,6 +80,7 @@ class ServerConfig:
     max_pending_batches: int = 32
     max_body_bytes: int = 8 * 1024 * 1024
     max_batch_rows: int = 100_000
+    parse_inline_bytes: int = 64 * 1024
     max_cache_entries: int = 1024
     snapshot_path: str | Path | None = None
     snapshot_on_shutdown: bool = True
@@ -92,6 +97,7 @@ class ServerConfig:
             "max_pending_batches",
             "max_body_bytes",
             "max_batch_rows",
+            "parse_inline_bytes",
             "max_cache_entries",
             "trace_capacity",
         ):

@@ -17,11 +17,16 @@ JSON "listening" line to stdout, and on SIGINT/SIGTERM shuts down
 gracefully — draining in-flight requests and snapshotting back to the
 store file if any engine changed.
 
-Update streams are CSV (``instance,key,value`` columns, optional header)
-or JSON lines (objects with ``instance`` / ``key`` / ``value`` fields;
-selected with ``--format jsonl`` or a ``.jsonl`` suffix).  Every command
-prints a JSON summary to stdout, so the CLI composes with shell
-pipelines.
+Update streams are CSV (``instance,key,value`` columns, optional header),
+JSON lines (objects with ``instance`` / ``key`` / ``value`` fields;
+selected with ``--format jsonl`` or a ``.jsonl`` suffix), or binary
+columnar batch files (:mod:`repro.server.wire`; ``--format binary`` or a
+``.rbat`` suffix).  ``convert`` re-encodes a CSV/JSONL stream into the
+binary format — the same bytes ``POST /ingest`` accepts as
+``application/x-repro-batch`` — and ``ingest`` replays such a file
+through the coalescing fast path.  Non-finite update values are rejected
+on every path.  Every command prints a JSON summary to stdout, so the
+CLI composes with shell pipelines.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import math
 import sys
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from pathlib import Path
@@ -50,11 +56,23 @@ _DEFAULT_FAMILIES = {"bottom_k": "exp", "poisson": "uniform"}
 def _detect_format(path: Path, explicit: str) -> str:
     if explicit != "auto":
         return explicit
-    return "jsonl" if path.suffix in (".jsonl", ".ndjson") else "csv"
+    if path.suffix in (".jsonl", ".ndjson"):
+        return "jsonl"
+    if path.suffix in (".rbat", ".bin"):
+        return "binary"
+    return "csv"
 
 
 def _parse_key(key: str, int_keys: bool) -> object:
     return int(key) if int_keys else key
+
+
+def _finite(value: float, where: str) -> float:
+    # float('nan')/'inf' parse fine and NaN defeats every downstream
+    # ordering check, so the readers reject non-finite values up front
+    if not math.isfinite(value):
+        raise SystemExit(f"{where}: update values must be finite, got {value!r}")
+    return value
 
 
 def _read_updates(path: Path, fmt: str, int_keys: bool):
@@ -67,7 +85,7 @@ def _read_updates(path: Path, fmt: str, int_keys: bool):
                     continue
                 try:
                     row = json.loads(line)
-                    yield (
+                    triple = (
                         row["instance"],
                         int(row["key"]) if int_keys else row["key"],
                         float(row["value"]),
@@ -76,24 +94,33 @@ def _read_updates(path: Path, fmt: str, int_keys: bool):
                     raise SystemExit(
                         f"{path}:{line_number}: bad JSONL update: {exc}"
                     ) from exc
+                _finite(triple[2], f"{path}:{line_number}")
+                yield triple
         return
     with path.open(newline="") as handle:
-        for line_number, row in enumerate(csv.reader(handle), start=1):
+        # line_number counts non-empty rows so the optional header is
+        # recognised even after leading blank lines, and error messages
+        # stay meaningful in files with blank separators
+        line_number = 0
+        for row in csv.reader(handle):
             if not row:
                 continue
+            line_number += 1
+            if line_number == 1 and row == ["instance", "key", "value"]:
+                continue  # optional header
             if len(row) != 3:
                 raise SystemExit(
                     f"{path}:{line_number}: expected instance,key,value; "
                     f"got {len(row)} columns"
                 )
-            if line_number == 1 and row == ["instance", "key", "value"]:
-                continue  # optional header
             try:
-                yield row[0], _parse_key(row[1], int_keys), float(row[2])
+                triple = row[0], _parse_key(row[1], int_keys), float(row[2])
             except ValueError as exc:
                 raise SystemExit(
                     f"{path}:{line_number}: bad update row: {exc}"
                 ) from exc
+            _finite(triple[2], f"{path}:{line_number}")
+            yield triple
 
 
 def _batched(iterable, batch_size: int):
@@ -143,11 +170,11 @@ def _cmd_ingest(args) -> dict:
     store_path = Path(args.store)
     store = _load_store(store_path)
     _ensure_engine(store, args)
-    updates = _read_updates(
-        Path(args.input),
-        _detect_format(Path(args.input), args.format),
-        args.int_keys,
-    )
+    input_path = Path(args.input)
+    fmt = _detect_format(input_path, args.format)
+    if fmt == "binary":
+        return _ingest_binary(args, store, store_path, input_path)
+    updates = _read_updates(input_path, fmt, args.int_keys)
     batches = _batched(updates, args.batch_size)
     n_rows = 0
 
@@ -182,6 +209,73 @@ def _cmd_ingest(args) -> dict:
             str(label)
             for label in store.engine(args.name).instance_labels
         ),
+    }
+
+
+def _ingest_binary(args, store, store_path: Path, input_path: Path) -> dict:
+    """Replay a :mod:`repro.server.wire` batch file into the store.
+
+    The decoded columns go through the coalescing
+    :meth:`SketchStore.ingest_batches` fast path — the CLI twin of the
+    server's ``application/x-repro-batch`` ingest.
+    """
+    from repro.server.wire import decode_batches
+
+    batches = decode_batches(input_path.read_bytes())
+    n_rows = sum(len(batch.values) for batch in batches)
+    store.ingest_batches(args.name, batches)
+    store.snapshot(store_path)
+    return {
+        "command": "ingest",
+        "store": str(store_path),
+        "name": args.name,
+        "format": "binary",
+        "batches": len(batches),
+        "rows_ingested": n_rows,
+        "version": store.version(args.name),
+        "instances": sorted(
+            str(label)
+            for label in store.engine(args.name).instance_labels
+        ),
+    }
+
+
+def _cmd_convert(args) -> dict:
+    """Re-encode a CSV/JSONL update stream as a binary batch file."""
+    from repro.server.wire import encode_batches
+
+    input_path = Path(args.input)
+    fmt = _detect_format(input_path, args.format)
+    if fmt == "binary":
+        raise SystemExit(
+            "convert reads CSV/JSONL update streams; "
+            f"{input_path} already looks binary"
+        )
+    updates = _read_updates(input_path, fmt, args.int_keys)
+    batches = []
+    n_rows = 0
+    for rows in _batched(updates, args.batch_size):
+        # one wire batch per instance within each window, preserving the
+        # stream's batching envelope (the permutation guarantee makes
+        # the exact grouping irrelevant to the final sketch state)
+        groups: dict[object, tuple[list, list]] = {}
+        for instance, key, value in rows:
+            columns = groups.setdefault(instance, ([], []))
+            columns[0].append(key)
+            columns[1].append(value)
+        for instance, (keys, values) in groups.items():
+            batches.append((instance, keys, values))
+            n_rows += len(keys)
+    blob = encode_batches(batches)
+    out_path = Path(args.out)
+    out_path.write_bytes(blob)
+    return {
+        "command": "convert",
+        "input": str(input_path),
+        "out": str(out_path),
+        "batches": len(batches),
+        "rows": n_rows,
+        "bytes": len(blob),
     }
 
 
@@ -343,14 +437,19 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     ingest = commands.add_parser(
-        "ingest", help="ingest a CSV/JSONL update stream into a store file"
+        "ingest",
+        help="ingest a CSV/JSONL/binary update stream into a store file",
     )
     ingest.add_argument("--store", required=True,
                         help="store file (created when missing)")
     ingest.add_argument("--name", required=True, help="engine name")
     ingest.add_argument("--input", required=True, help="update file")
-    ingest.add_argument("--format", choices=("auto", "csv", "jsonl"),
-                        default="auto")
+    ingest.add_argument("--format",
+                        choices=("auto", "csv", "jsonl", "binary"),
+                        default="auto",
+                        help="input format (auto: by suffix — .jsonl/"
+                             ".ndjson JSONL, .rbat/.bin binary batch "
+                             "files, else CSV)")
     ingest.add_argument("--kind", choices=("bottom_k", "poisson"),
                         default="bottom_k",
                         help="sketch kind when creating the engine")
@@ -373,6 +472,23 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--int-keys", action="store_true",
                         help="parse keys as integers")
     ingest.set_defaults(run=_cmd_ingest)
+
+    convert = commands.add_parser(
+        "convert",
+        help="re-encode a CSV/JSONL update stream as a binary batch "
+             "file (the POST /ingest application/x-repro-batch body)",
+    )
+    convert.add_argument("--input", required=True, help="update file")
+    convert.add_argument("--out", required=True,
+                         help="binary batch file to write (.rbat)")
+    convert.add_argument("--format", choices=("auto", "csv", "jsonl"),
+                         default="auto")
+    convert.add_argument("--batch-size", type=int, default=8192,
+                         help="rows per pipelined wire batch")
+    convert.add_argument("--int-keys", action="store_true",
+                         help="parse keys as integers (enables the "
+                              "flat i64 key column encoding)")
+    convert.set_defaults(run=_cmd_convert)
 
     snapshot = commands.add_parser(
         "snapshot",

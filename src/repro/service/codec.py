@@ -54,10 +54,14 @@ from repro.streaming.sketch import StreamingBottomK, StreamingPoisson
 __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
+    "Reader",
+    "Writer",
     "from_bytes",
+    "read_label",
     "store_from_bytes",
     "store_to_bytes",
     "to_bytes",
+    "write_label",
 ]
 
 MAGIC = b"RSVC"
@@ -535,6 +539,16 @@ def store_to_bytes(items) -> bytes:
         writer.u64(version)
         writer.blob(blob)
     return writer.getvalue()
+
+
+# Shared little-endian primitives.  The columnar ingest batch format of
+# :mod:`repro.server.wire` is built on the same bounds-checked
+# reader/writer and the same tagged label union, so keys and instance
+# labels encode identically in snapshots and in ingest batches.
+Reader = _Reader
+Writer = _Writer
+read_label = _read_label
+write_label = _write_label
 
 
 def store_from_bytes(data: bytes) -> list[tuple[str, int, StreamEngine]]:

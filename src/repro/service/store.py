@@ -29,6 +29,8 @@ from __future__ import annotations
 import os
 import threading
 from collections.abc import Iterable, Sequence
+
+import numpy as np
 from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -305,6 +307,50 @@ class SketchStore:
             columns[1].append(float(value))
         version = None
         for instance, (keys, values) in groups.items():
+            version = self.ingest(name, instance, keys, values)
+        return self.version(name) if version is None else version
+
+    def ingest_batches(
+        self,
+        name: str,
+        batches: Iterable[tuple[object, Sequence[object], Sequence[float]]],
+    ) -> int:
+        """Ingest ``(instance, keys, values)`` column batches, coalescing
+        batches of the same instance into one large column first.
+
+        This is the server half of the binary ingest fast path: a
+        pipelined :mod:`repro.server.wire` body decodes into many small
+        batches, and per-batch ingest cost (engine planning, lock
+        round-trips, chunk startup) would dominate.  The streaming
+        permutation guarantee makes coalescing safe — sketch state does
+        not depend on how a stream is batched — so the coalesced ingest
+        is state-identical to ingesting every batch separately.  Returns
+        the version after the last instance (the current version if
+        ``batches`` is empty).
+        """
+        groups: dict[object, tuple[list, list]] = {}
+        for instance, keys, values in batches:
+            columns = groups.get(instance)
+            if columns is None:
+                columns = groups[instance] = ([], [])
+            columns[0].append(keys)
+            columns[1].append(values)
+        version = None
+        for instance, (key_columns, value_columns) in groups.items():
+            if len(key_columns) == 1:
+                keys, values = key_columns[0], value_columns[0]
+            elif all(
+                isinstance(column, np.ndarray) for column in key_columns
+            ):
+                keys = np.concatenate(key_columns)
+                values = np.concatenate(
+                    [np.asarray(col, dtype=float) for col in value_columns]
+                )
+            else:
+                keys = [key for column in key_columns for key in column]
+                values = np.concatenate(
+                    [np.asarray(col, dtype=float) for col in value_columns]
+                )
             version = self.ingest(name, instance, keys, values)
         return self.version(name) if version is None else version
 

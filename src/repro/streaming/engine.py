@@ -44,7 +44,7 @@ class IngestJob(NamedTuple):
 
     shard: int
     sketch: object
-    keys: list
+    keys: Sequence[object]
     values: np.ndarray
     hashes: np.ndarray
 
@@ -197,7 +197,16 @@ class StreamEngine:
         :class:`repro.service.SketchStore`) run the returned jobs through
         :meth:`run_job` themselves.
         """
-        keys = list(keys)
+        # NumPy key columns stay columnar end to end: they hash without
+        # per-key Python objects and shard-split by fancy indexing.
+        columnar = isinstance(keys, np.ndarray)
+        if columnar:
+            if keys.ndim != 1:
+                raise InvalidParameterError(
+                    f"a key column must be 1-D, got shape {keys.shape}"
+                )
+        else:
+            keys = list(keys)
         values = np.asarray(values, dtype=float)
         if values.shape != (len(keys),):
             raise InvalidParameterError(
@@ -205,9 +214,20 @@ class StreamEngine:
             )
         # Validate the whole batch before any state (sketch creation,
         # counters, shard contents) changes: a bad value must not leave
-        # some shards updated and others not.
-        if values.size and float(values.min()) < 0.0:
-            raise InvalidParameterError("values must be nonnegative")
+        # some shards updated and others not.  NaN fails every ordering
+        # comparison, so ``values.min() < 0`` alone would wave NaN
+        # through and poison the sketch heap invariants — check
+        # finiteness explicitly first.
+        if values.size:
+            finite = np.isfinite(values)
+            if not finite.all():
+                bad = int(np.flatnonzero(~finite)[0])
+                raise InvalidParameterError(
+                    f"update values must be finite, got {float(values[bad])!r} "
+                    f"at row {bad}"
+                )
+            if float(values.min()) < 0.0:
+                raise InvalidParameterError("values must be nonnegative")
         shards = self._instance_shards(instance)
         hashes = key_hashes(keys)
         self.n_updates += len(keys)
@@ -226,7 +246,7 @@ class StreamEngine:
                 IngestJob(
                     shard,
                     shards[shard],
-                    [keys[i] for i in index],
+                    keys[index] if columnar else [keys[i] for i in index],
                     values[index],
                     hashes[index],
                 )

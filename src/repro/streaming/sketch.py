@@ -65,6 +65,25 @@ from repro.sampling.seeds import SeedAssigner, key_hashes
 __all__ = ["StreamingBottomK", "StreamingPoisson", "sketch_from_state"]
 
 
+def _validate_values(values: np.ndarray) -> None:
+    """Reject non-finite or negative values in one vectorised pass.
+
+    NaN fails every ordering comparison, so ``values.min() < 0`` alone
+    would wave NaN (and infinities) through into the rank computation and
+    silently break the sketch heap invariants.
+    """
+    if not values.size:
+        return
+    finite = np.isfinite(values)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite)[0])
+        raise InvalidParameterError(
+            f"update values must be finite, got {float(values[bad])!r} at row {bad}"
+        )
+    if float(values.min()) < 0.0:
+        raise InvalidParameterError("values must be nonnegative")
+
+
 class _StreamingSketch:
     """State shared by the streaming sketches: seeds, counters, batching."""
 
@@ -91,6 +110,12 @@ class _StreamingSketch:
     def update(self, key: object, value: float) -> None:
         """Ingest a single ``(key, value)`` update."""
         value = float(value)
+        # ``value < 0`` is False for NaN, so check finiteness explicitly:
+        # a NaN rank would break every heap comparison downstream.
+        if value != value or value in (float("inf"), float("-inf")):
+            raise InvalidParameterError(
+                f"update values must be finite, got {value!r}"
+            )
         if value < 0.0:
             raise InvalidParameterError("values must be nonnegative")
         self.n_updates += 1
@@ -116,8 +141,7 @@ class _StreamingSketch:
             raise InvalidParameterError(
                 "keys and values must have matching length"
             )
-        if values.size and float(values.min()) < 0.0:
-            raise InvalidParameterError("values must be nonnegative")
+        _validate_values(values)
         if hashes is None:
             hashes = key_hashes(keys)
         seeds = self.seed_assigner.seeds_from_hashes(
@@ -155,7 +179,10 @@ class _StreamingSketch:
             raise InvalidParameterError(
                 f"chunk_size must be positive, got {chunk_size}"
             )
-        keys = list(keys)
+        if not isinstance(keys, np.ndarray):
+            # a NumPy key column stays an array: chunk slices below are
+            # views, and the vectorised hash path can consume it directly
+            keys = list(keys)
         values = np.asarray(values, dtype=float)
         if values.shape != (len(keys),):
             raise InvalidParameterError(
@@ -163,8 +190,7 @@ class _StreamingSketch:
             )
         # Validate the whole column up front so a bad value in a late
         # chunk cannot leave the sketch partially updated.
-        if values.size and float(values.min()) < 0.0:
-            raise InvalidParameterError("values must be nonnegative")
+        _validate_values(values)
         if hashes is None:
             hashes = key_hashes(keys)
         for start in range(0, len(keys), chunk_size):
@@ -200,14 +226,22 @@ class _StreamingSketch:
         if np.unique(hashes).size != len(hashes):
             return False
         if self._values:
-            if np.isin(hashes, self._retained_hashes()).any():
+            # the retained hashes are kept sorted, so membership is a
+            # binary search — np.isin would re-sort the whole retained
+            # set on every chunk, which dominates large-sketch ingest
+            retained = self._retained_hashes()
+            slots = np.minimum(
+                np.searchsorted(retained, hashes), retained.size - 1
+            )
+            if (retained[slots] == hashes).any():
                 return False
         return True
 
     def _retained_hashes(self) -> np.ndarray:
-        """Hashes of the retained keys (recomputed per chunk; subclasses
-        with an unbounded retained set cache them incrementally)."""
-        return key_hashes(list(self._values))
+        """Sorted hashes of the retained keys (recomputed per chunk;
+        subclasses with an unbounded retained set cache them
+        incrementally)."""
+        return np.sort(key_hashes(list(self._values)))
 
     def _try_bulk(self, keys, values, seeds, ranks, hashes) -> bool:
         """Fold one clean chunk into the sketch with array operations;
@@ -714,7 +748,8 @@ class StreamingPoisson(_StreamingSketch):
             keep = ranks < self.threshold
         rows = np.nonzero(keep)[0]
         # _bulk_clean just synchronised (or trivially matched) the hash
-        # cache, so the inserted hashes can be appended incrementally.
+        # cache, so the inserted hashes merge into the sorted cache in
+        # one O(retained + inserted) pass instead of a full re-sort.
         retained = self._retained_hashes()
         self._values.update(
             (keys[i], float(values[i])) for i in rows.tolist()
@@ -722,14 +757,17 @@ class StreamingPoisson(_StreamingSketch):
         self._ranks.update(
             (keys[i], float(ranks[i])) for i in rows.tolist()
         )
-        self._hash_cache = np.concatenate([retained, hashes[rows]])
+        inserted = np.sort(hashes[rows])
+        self._hash_cache = np.insert(
+            retained, np.searchsorted(retained, inserted), inserted
+        )
         self._hash_cache_count = len(self._values)
         self.n_discarded_keys += int(len(keys) - rows.size)
         return True
 
     def _retained_hashes(self) -> np.ndarray:
         if self._hash_cache_count != len(self._values):
-            self._hash_cache = key_hashes(list(self._values))
+            self._hash_cache = np.sort(key_hashes(list(self._values)))
             self._hash_cache_count = len(self._values)
         return self._hash_cache
 

@@ -14,8 +14,12 @@ import threading
 import numpy as np
 import pytest
 
+import json
+import struct
+
 from repro.sampling.seeds import SeedAssigner
 from repro.server import AsyncSketchClient, ClientResponseError
+from repro.server.wire import BATCH_CONTENT_TYPE, encode_batches
 from repro.service import Query, SketchStore
 
 SALT = 7
@@ -156,6 +160,231 @@ class TestBasics:
         run_scenario(json_scenario, store=json_store)
         run_scenario(csv_scenario, store=csv_store)
         assert json_store.engine("traffic") == csv_store.engine("traffic")
+
+
+class TestBinaryIngest:
+    def test_binary_ingest_matches_json_bit_exactly(self, run_scenario):
+        json_store = make_store()
+        binary_store = make_store()
+        generator = np.random.default_rng(3)
+        keys = generator.choice(10**6, 400, replace=False).astype(np.int64)
+        values = generator.random(400) + 0.05
+        batches = [
+            (
+                "monday" if index % 2 else "tuesday",
+                keys[index * 100 : (index + 1) * 100],
+                values[index * 100 : (index + 1) * 100],
+            )
+            for index in range(4)
+        ]
+
+        async def json_scenario(server, client):
+            for instance, batch_keys, batch_values in batches:
+                await client.ingest(
+                    "traffic",
+                    instance,
+                    [int(key) for key in batch_keys],
+                    batch_values.tolist(),
+                )
+
+        async def binary_scenario(server, client):
+            report = await client.ingest_binary("traffic", batches)
+            assert report["rows"] == 400
+            assert report["batches"] == 4
+            assert report["version"] >= 1
+
+        run_scenario(json_scenario, store=json_store)
+        run_scenario(binary_scenario, store=binary_store)
+        assert json_store.engine("traffic") == binary_store.engine("traffic")
+
+    def test_binary_ingest_string_and_mixed_keys(self, run_scenario):
+        store = make_store()
+        reference = make_store()
+        str_keys, values = make_columns(120, seed=9)
+
+        async def scenario(server, client):
+            await client.ingest_binary(
+                "traffic",
+                [
+                    ("monday", str_keys, values),
+                    ("tuesday", [1, (2, "x"), None], [1.0, 2.0, 3.0]),
+                ],
+            )
+
+        run_scenario(scenario, store=store)
+        reference.ingest("traffic", "monday", str_keys, values)
+        reference.ingest(
+            "traffic", "tuesday", [1, (2, "x"), None], [1.0, 2.0, 3.0]
+        )
+        assert store.engine("traffic") == reference.engine("traffic")
+
+    def test_binary_ingest_requires_name(self, run_scenario):
+        async def scenario(server, client):
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                body=encode_batches([("d", [1], [1.0])]),
+                content_type=BATCH_CONTENT_TYPE,
+            )
+            assert status == 400
+            assert "?name=" in payload["error"]
+
+        run_scenario(scenario, store=make_store())
+
+    def test_binary_garbage_is_400_not_500(self, run_scenario):
+        async def scenario(server, client):
+            for body in (b"", b"junk", b"RBAT" + b"\xff" * 20):
+                status, payload = await client.request(
+                    "POST",
+                    "/ingest",
+                    params={"name": "traffic"},
+                    body=body,
+                    content_type=BATCH_CONTENT_TYPE,
+                )
+                assert status == 400, (body, payload)
+                assert "error" in payload
+            # nothing reached the engine
+            assert server.store.version("traffic") == 0
+
+        run_scenario(scenario, store=make_store())
+
+    def test_binary_row_limit_applies_across_pipelined_batches(
+        self, run_scenario
+    ):
+        async def scenario(server, client):
+            batches = [
+                ("d", np.arange(8, dtype=np.int64) + shift * 8, np.ones(8))
+                for shift in range(3)
+            ]
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                params={"name": "traffic"},
+                body=encode_batches(batches),
+                content_type=BATCH_CONTENT_TYPE,
+            )
+            assert status == 413
+            assert "24 rows" in payload["error"]
+            assert server.store.version("traffic") == 0
+
+        run_scenario(scenario, store=make_store(), max_batch_rows=20)
+
+
+class TestNonFiniteRejection:
+    """A NaN/Infinity body must get a 400 on every ingest format and
+    never touch a sketch."""
+
+    @staticmethod
+    async def assert_rejected(server, client, *, body, content_type, params=None):
+        status, payload = await client.request(
+            "POST",
+            "/ingest",
+            params=params or {"name": "traffic"},
+            body=body,
+            content_type=content_type,
+        )
+        assert status == 400, payload
+        assert "error" in payload
+        assert server.store.version("traffic") == 0
+        assert server.store.engine("traffic").n_updates == 0
+
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_json_literals_rejected(self, run_scenario, literal):
+        async def scenario(server, client):
+            # json.dumps(allow_nan=True) emits these bare literals, and
+            # json.loads accepts them by default — the server must not
+            body = (
+                '{"name":"traffic","instance":"d","keys":["a"],'
+                f'"values":[{literal}]}}'
+            ).encode()
+            await self.assert_rejected(
+                server, client, body=body, content_type="application/json"
+            )
+
+        run_scenario(scenario, store=make_store())
+
+    def test_json_overflow_number_rejected(self, run_scenario):
+        async def scenario(server, client):
+            # 1e999 is a spec-legal JSON number that parses to inf
+            body = json.dumps(
+                {
+                    "name": "traffic",
+                    "rows": [["d", "a", 1.0]],
+                }
+            ).replace("1.0", "1e999").encode()
+            await self.assert_rejected(
+                server, client, body=body, content_type="application/json"
+            )
+
+        run_scenario(scenario, store=make_store())
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NAN"])
+    def test_csv_rejected_with_line_context(self, run_scenario, bad):
+        async def scenario(server, client):
+            body = f"d,a,1.0\nd,b,{bad}\n".encode()
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                params={"name": "traffic"},
+                body=body,
+                content_type="text/csv",
+            )
+            assert status == 400
+            assert "line 2" in payload["error"]
+            assert server.store.engine("traffic").n_updates == 0
+
+        run_scenario(scenario, store=make_store())
+
+    def test_binary_smuggled_nan_rejected(self, run_scenario):
+        async def scenario(server, client):
+            blob = bytearray(encode_batches([("d", [1, 2], [1.0, 2.0])]))
+            blob[-8:] = struct.pack("<d", float("nan"))
+            await self.assert_rejected(
+                server,
+                client,
+                body=bytes(blob),
+                content_type=BATCH_CONTENT_TYPE,
+            )
+
+        run_scenario(scenario, store=make_store())
+
+
+class TestCsvHeaderHandling:
+    def test_header_after_leading_blank_lines_is_skipped(self, run_scenario):
+        """Regression: a leading blank line used to demote the header to
+        a data row, failing with a confusing 'bad update row'."""
+        store = make_store()
+
+        async def scenario(server, client):
+            body = b"\n\ninstance,key,value\nd,a,1.0\nd,b,2.0\n"
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                params={"name": "traffic"},
+                body=body,
+                content_type="text/csv",
+            )
+            assert status == 200, payload
+            assert payload["rows"] == 2
+
+        run_scenario(scenario, store=store)
+        assert store.engine("traffic").n_updates == 2
+
+    def test_error_lines_count_non_empty_rows(self, run_scenario):
+        async def scenario(server, client):
+            body = b"\nd,a,1.0\n\n\nd,b,bogus\n"
+            status, payload = await client.request(
+                "POST",
+                "/ingest",
+                params={"name": "traffic"},
+                body=body,
+                content_type="text/csv",
+            )
+            assert status == 400
+            # 'd,b,bogus' is the second non-empty row
+            assert "line 2" in payload["error"]
+
+        run_scenario(scenario, store=make_store())
 
 
 class TestErrorPaths:

@@ -1,0 +1,160 @@
+"""Transport-level behaviour of :class:`AsyncSketchClient`.
+
+Drives the client against a scripted fake server so the suite can send
+byte-exact malformed responses: a garbage or conflicting
+``Content-Length`` must surface as a *connection* error (the class the
+idempotent retry logic understands), never an unhandled ``ValueError``
+mid-read (the regression this file pins down).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server import AsyncSketchClient
+
+
+class ScriptedServer:
+    """One-connection-at-a-time server that replays canned responses."""
+
+    def __init__(self, responses: list[bytes]) -> None:
+        self.responses = list(responses)
+        self.requests: list[bytes] = []
+        self.server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def __aenter__(self) -> "ScriptedServer":
+        self.server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        assert self.server is not None
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _serve(self, reader, writer) -> None:
+        try:
+            while self.responses:
+                head = await reader.readuntil(b"\r\n\r\n")
+                self.requests.append(head)
+                length = 0
+                for line in head.decode("latin-1").split("\r\n"):
+                    if line.lower().startswith("content-length:"):
+                        length = int(line.split(":", 1)[1])
+                if length:
+                    await reader.readexactly(length)
+                writer.write(self.responses.pop(0))
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+
+
+def response(*header_lines: str, body: bytes = b"") -> bytes:
+    head = "HTTP/1.1 200 OK\r\n" + "".join(
+        line + "\r\n" for line in header_lines
+    )
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestMalformedContentLength:
+    def test_garbage_length_is_a_connection_error(self):
+        async def scenario():
+            responses = [response("Content-Length: banana")] * 2
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ConnectionResetError, match="banana"):
+                        await client.request("GET", "/healthz")
+
+        run(scenario())
+
+    def test_negative_length_is_a_connection_error(self):
+        async def scenario():
+            responses = [response("Content-Length: -5")] * 2
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ConnectionResetError, match="-5"):
+                        await client.request("GET", "/healthz")
+
+        run(scenario())
+
+    def test_post_with_garbage_length_does_not_retry(self):
+        """Non-idempotent requests surface the error after ONE attempt —
+        resending could double-apply the ingest."""
+
+        async def scenario():
+            responses = [response("Content-Length: nope")] * 2
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ConnectionResetError):
+                        await client.request(
+                            "POST", "/ingest", json_body={"name": "x"}
+                        )
+                # a second canned response remains: only one request hit
+                # the wire
+                assert len(server.requests) == 1
+
+        run(scenario())
+
+    def test_conflicting_duplicate_lengths_rejected(self):
+        async def scenario():
+            responses = [
+                response(
+                    "Content-Length: 2",
+                    "Content-Length: 99",
+                    body=b"{}",
+                )
+            ] * 2
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(
+                        ConnectionResetError, match="duplicate"
+                    ):
+                        await client.request("GET", "/healthz")
+
+        run(scenario())
+
+    def test_repeated_identical_lengths_accepted(self):
+        async def scenario():
+            responses = [
+                response(
+                    "Content-Length: 2",
+                    "Content-Length: 2",
+                    body=b"{}",
+                )
+            ]
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    status, payload = await client.request("GET", "/healthz")
+                    assert status == 200
+                    assert payload == {}
+
+        run(scenario())
+
+    def test_well_formed_response_still_parses(self):
+        async def scenario():
+            responses = [
+                response(
+                    "Content-Length: 15",
+                    "X-Request-Id: abc123",
+                    body=b'{"status":"ok"}',
+                )
+            ]
+            async with ScriptedServer(responses) as server:
+                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                    status, payload = await client.request("GET", "/healthz")
+                    assert status == 200
+                    assert payload == {"status": "ok"}
+                    assert client.last_request_id == "abc123"
+
+        run(scenario())

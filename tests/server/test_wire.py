@@ -1,0 +1,279 @@
+"""Property-based and adversarial suite for the binary batch format.
+
+Two contracts:
+
+* **round-trip exactness** — for arbitrary mixes of key types (NumPy
+  integer columns, plain ints, strings, heterogeneous codec labels) and
+  batch sizes including empty, ``decode_batches(encode_batches(b))``
+  reproduces every batch, and ingesting the decoded columns yields a
+  sketch state bit-identical to ingesting the originals;
+* **no undefined failure modes** — truncated, garbage, bad-magic,
+  future-version, wrong-tag and non-finite payloads raise the typed
+  :class:`~repro.exceptions.SketchCodecError` (never ``struct.error``
+  or a stray ``UnicodeDecodeError``), and encoding rejects malformed
+  batches before writing anything.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SketchCodecError
+from repro.sampling.seeds import SeedAssigner
+from repro.server.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    WireBatch,
+    decode_batches,
+    encode_batches,
+)
+from repro.streaming.engine import StreamEngine
+
+I64_MIN, I64_MAX = -(2**63), 2**63 - 1
+
+labels = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**25), max_value=10**25),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+    st.binary(max_size=6),
+    st.tuples(st.integers(min_value=0, max_value=99), st.text(max_size=3)),
+)
+finite_values = st.floats(min_value=0.0, max_value=1e12)
+
+
+@st.composite
+def key_columns(draw):
+    """One key column in any of the encodable shapes."""
+    shape = draw(st.sampled_from(["i64_array", "int_list", "str_list", "mixed"]))
+    n = draw(st.integers(min_value=0, max_value=30))
+    if shape == "i64_array":
+        column = draw(
+            st.lists(
+                st.integers(min_value=I64_MIN, max_value=I64_MAX),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return np.array(column, dtype=np.int64)
+    if shape == "int_list":
+        return draw(
+            st.lists(
+                st.integers(min_value=-(10**25), max_value=10**25),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    if shape == "str_list":
+        return draw(st.lists(st.text(max_size=8), min_size=n, max_size=n))
+    return draw(st.lists(labels, min_size=n, max_size=n))
+
+
+@st.composite
+def batch_lists(draw):
+    columns = draw(st.lists(key_columns(), max_size=5))
+    batches = []
+    for keys in columns:
+        values = draw(
+            st.lists(finite_values, min_size=len(keys), max_size=len(keys))
+        )
+        instance = draw(labels)
+        batches.append((instance, keys, np.asarray(values, dtype=float)))
+    return batches
+
+
+def normalize_keys(keys):
+    return [
+        key.tolist() if isinstance(key, np.integer) else key for key in keys
+    ]
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(batch_lists())
+    def test_batches_round_trip_exactly(self, batches):
+        decoded = decode_batches(encode_batches(batches))
+        assert len(decoded) == len(batches)
+        for (instance, keys, values), batch in zip(batches, decoded):
+            assert isinstance(batch, WireBatch)
+            assert batch.instance == instance
+            assert normalize_keys(batch.keys) == normalize_keys(keys)
+            assert np.array_equal(batch.values, values)
+
+    def test_empty_payload_round_trips(self):
+        assert decode_batches(encode_batches([])) == []
+
+    def test_empty_batch_round_trips(self):
+        (batch,) = decode_batches(encode_batches([("d", [], [])]))
+        assert batch.instance == "d"
+        assert len(batch.keys) == 0
+        assert batch.values.size == 0
+
+    def test_i64_column_decodes_as_numpy(self):
+        keys = np.array([5, -3, I64_MAX, I64_MIN], dtype=np.int64)
+        (batch,) = decode_batches(
+            encode_batches([(1, keys, np.ones(4))])
+        )
+        assert isinstance(batch.keys, np.ndarray)
+        assert batch.keys.dtype == np.dtype("<i8")
+        assert np.array_equal(batch.keys, keys)
+
+    def test_plain_int_list_uses_flat_column(self):
+        # ints within i64 take the flat path and decode as an array
+        (batch,) = decode_batches(
+            encode_batches([("d", [1, 2, 3], [1.0, 2.0, 3.0])])
+        )
+        assert isinstance(batch.keys, np.ndarray)
+
+    def test_oversized_ints_fall_back_to_tagged(self):
+        keys = [2**80, -(2**90), 7]
+        (batch,) = decode_batches(
+            encode_batches([("d", keys, np.ones(3))])
+        )
+        assert list(batch.keys) == keys
+
+    def test_uint64_column_beyond_i64_falls_back(self):
+        keys = np.array([2**63 + 5, 1], dtype=np.uint64)
+        (batch,) = decode_batches(
+            encode_batches([("d", keys, np.ones(2))])
+        )
+        assert normalize_keys(batch.keys) == [2**63 + 5, 1]
+
+    def test_bools_are_not_flattened_to_ints(self):
+        # bool is an int subclass; the tagged union must preserve it
+        (batch,) = decode_batches(
+            encode_batches([("d", [True, False, 1], np.ones(3))])
+        )
+        assert batch.keys == [True, False, 1]
+        assert isinstance(batch.keys[0], bool)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch_lists())
+    def test_ingest_parity_with_original_columns(self, batches):
+        def build(feed):
+            engine = StreamEngine.bottom_k(
+                k=8, seed_assigner=SeedAssigner(salt=3), n_shards=2
+            )
+            feed(engine)
+            return engine
+
+        direct = build(
+            lambda engine: [
+                engine.ingest(instance, list(keys), np.asarray(values))
+                for instance, keys, values in batches
+            ]
+        )
+        via_wire = build(
+            lambda engine: [
+                engine.ingest(batch.instance, batch.keys, batch.values)
+                for batch in decode_batches(encode_batches(batches))
+            ]
+        )
+        assert direct == via_wire
+
+
+class TestEncodeValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SketchCodecError, match="2 keys but 1 values"):
+            encode_batches([("d", ["a", "b"], [1.0])])
+
+    def test_generator_keys_length_checked(self):
+        with pytest.raises(SketchCodecError, match="keys but"):
+            encode_batches([("d", (key for key in "abc"), [1.0])])
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(SketchCodecError, match="1-D"):
+            encode_batches([("d", np.zeros((2, 2), dtype=np.int64), [1.0, 2.0])])
+
+    def test_2d_values_rejected(self):
+        with pytest.raises(SketchCodecError, match="1-D"):
+            encode_batches([("d", [1, 2, 3, 4], np.zeros((2, 2)))])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_values_rejected(self, bad):
+        with pytest.raises(SketchCodecError, match="non-finite"):
+            encode_batches([("d", [1, 2], [1.0, bad])])
+
+    def test_bad_batch_reported_with_index(self):
+        with pytest.raises(SketchCodecError, match="batch 1"):
+            encode_batches(
+                [("ok", [1], [1.0]), ("bad", [2], [float("nan")])]
+            )
+
+
+def valid_blob() -> bytes:
+    return encode_batches(
+        [
+            ("mon", np.arange(4, dtype=np.int64), np.ones(4)),
+            (2, ["a", "b"], [0.5, 1.5]),
+            ("tue", [None, (1, "x")], [1.0, 2.0]),
+        ]
+    )
+
+
+class TestDecodeFuzz:
+    def test_bad_magic(self):
+        with pytest.raises(SketchCodecError, match="magic"):
+            decode_batches(b"NOPE" + valid_blob()[4:])
+
+    def test_unsupported_version(self):
+        blob = bytearray(valid_blob())
+        blob[4:6] = struct.pack("<H", WIRE_VERSION + 1)
+        with pytest.raises(SketchCodecError, match="version"):
+            decode_batches(bytes(blob))
+
+    def test_every_truncation_is_typed(self):
+        blob = valid_blob()
+        for cut in range(len(blob)):
+            with pytest.raises(SketchCodecError):
+                decode_batches(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SketchCodecError):
+            decode_batches(valid_blob() + b"\x00")
+
+    def test_unknown_key_tag(self):
+        blob = encode_batches([("d", [1], [1.0])])
+        # the key tag is the byte right after the instance label
+        offset = blob.index(b"d") + 1
+        mutated = blob[:offset] + bytes([200]) + blob[offset + 1 :]
+        with pytest.raises(SketchCodecError, match="key tag"):
+            decode_batches(mutated)
+
+    def test_corrupt_utf8_keys_are_typed(self):
+        blob = bytearray(encode_batches([("d", ["ab"], [1.0])]))
+        position = bytes(blob).index(b"ab")
+        blob[position] = 0xFF
+        with pytest.raises(SketchCodecError, match="utf-8"):
+            decode_batches(bytes(blob))
+
+    def test_smuggled_nan_rejected_at_decode(self):
+        # bypass the encoder's check by patching the value bytes directly
+        blob = bytearray(encode_batches([("d", [1, 2], [1.0, 2.0])]))
+        blob[-8:] = struct.pack("<d", float("nan"))
+        with pytest.raises(SketchCodecError, match="non-finite"):
+            decode_batches(bytes(blob))
+
+    def test_smuggled_infinity_rejected_at_decode(self):
+        blob = bytearray(encode_batches([("d", [1], [1.0])]))
+        blob[-8:] = struct.pack("<d", float("inf"))
+        with pytest.raises(SketchCodecError, match="non-finite"):
+            decode_batches(bytes(blob))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_garbage_never_escapes_the_typed_error(self, data):
+        try:
+            decode_batches(MAGIC + data)
+        except SketchCodecError:
+            pass
+
+    def test_magic_matches_codec_conventions(self):
+        assert len(MAGIC) == 4
+        assert valid_blob()[:4] == MAGIC

@@ -236,6 +236,120 @@ class TestCliEndToEnd:
         assert json.loads(completed.stdout)["command"] == "ingest"
 
 
+class TestConvertAndBinaryIngest:
+    def test_convert_then_replay_matches_csv_ingest(
+        self, tmp_path, capsys, rows
+    ):
+        write_csv(tmp_path / "updates.csv", rows)
+        report = run_cli(
+            capsys,
+            "convert", "--input", str(tmp_path / "updates.csv"),
+            "--out", str(tmp_path / "updates.rbat"),
+            "--batch-size", "500",
+        )
+        assert report["rows"] == len(rows)
+        assert report["batches"] >= 2
+        assert report["bytes"] == (tmp_path / "updates.rbat").stat().st_size
+
+        for source in ("updates.csv", "updates.rbat"):
+            run_cli(
+                capsys,
+                "ingest", "--store", str(tmp_path / f"{source}.store"),
+                "--name", "traffic", "--input", str(tmp_path / source),
+                "--kind", "poisson", "--threshold", str(THRESHOLD),
+                "--salt", str(SALT),
+            )
+        from_csv = SketchStore.restore(tmp_path / "updates.csv.store")
+        from_binary = SketchStore.restore(tmp_path / "updates.rbat.store")
+        assert from_binary.engine("traffic") == from_csv.engine("traffic")
+
+    def test_convert_int_keys_round_trip(self, tmp_path, capsys):
+        write_csv(
+            tmp_path / "u.csv",
+            [("d", str(key), 1.0 + key) for key in range(40)],
+            header=False,
+        )
+        run_cli(
+            capsys,
+            "convert", "--input", str(tmp_path / "u.csv"),
+            "--out", str(tmp_path / "u.rbat"), "--int-keys",
+        )
+        from repro.server.wire import decode_batches
+
+        (batch,) = decode_batches((tmp_path / "u.rbat").read_bytes())
+        assert isinstance(batch.keys, np.ndarray)
+        assert list(batch.keys) == list(range(40))
+
+    def test_convert_refuses_binary_input(self, tmp_path, capsys, rows):
+        write_csv(tmp_path / "u.csv", rows[:10], header=False)
+        run_cli(
+            capsys,
+            "convert", "--input", str(tmp_path / "u.csv"),
+            "--out", str(tmp_path / "u.rbat"),
+        )
+        with pytest.raises(SystemExit, match="binary"):
+            main([
+                "convert", "--input", str(tmp_path / "u.rbat"),
+                "--out", str(tmp_path / "again.rbat"),
+            ])
+
+    def test_corrupt_binary_input_reports_error(self, tmp_path, capsys):
+        (tmp_path / "bad.rbat").write_bytes(b"RBATgarbage")
+        code = main([
+            "ingest", "--store", str(tmp_path / "s.bin"),
+            "--name", "t", "--input", str(tmp_path / "bad.rbat"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMalformedUpdateStreams:
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf"])
+    def test_csv_non_finite_values_rejected(self, tmp_path, bad):
+        write_csv(
+            tmp_path / "u.csv",
+            [("d", "a", "1.0"), ("d", "b", bad)],
+            header=False,
+        )
+        with pytest.raises(SystemExit, match="finite") as excinfo:
+            main([
+                "ingest", "--store", str(tmp_path / "s.bin"),
+                "--name", "t", "--input", str(tmp_path / "u.csv"),
+            ])
+        assert "u.csv:2" in str(excinfo.value)
+        assert not (tmp_path / "s.bin").exists()
+
+    def test_jsonl_non_finite_values_rejected(self, tmp_path):
+        path = tmp_path / "u.jsonl"
+        path.write_text(
+            json.dumps({"instance": "d", "key": "a", "value": 1.0})
+            + "\n"
+            + '{"instance": "d", "key": "b", "value": NaN}\n'
+        )
+        with pytest.raises(SystemExit, match="finite") as excinfo:
+            main([
+                "ingest", "--store", str(tmp_path / "s.bin"),
+                "--name", "t", "--input", str(path),
+            ])
+        assert "u.jsonl:2" in str(excinfo.value)
+
+    def test_header_after_leading_blank_line_is_skipped(
+        self, tmp_path, capsys
+    ):
+        """Regression: a leading blank line used to demote the header
+        to a data row and fail the whole ingest."""
+        (tmp_path / "u.csv").write_text(
+            "\ninstance,key,value\nd,a,1.0\nd,b,2.0\n"
+        )
+        report = run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "s.bin"),
+            "--name", "t", "--input", str(tmp_path / "u.csv"),
+            "--kind", "bottom_k", "--k", "8",
+        )
+        assert report["rows_ingested"] == 2
+
+
 class TestServeSpecs:
     """--create engine-spec parsing of the `serve` subcommand."""
 

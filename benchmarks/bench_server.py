@@ -22,6 +22,13 @@ the two resulting engines are *bit-exact equal*, and probes all three
 ingest formats (JSON, CSV, binary) with non-finite values, which must
 come back ``400`` without touching engine state.
 
+A third benchmark prices durability: ``bench_wal_ingest`` repeats the
+binary ingest with a :class:`repro.wal.WriteAheadLog` attached
+(``fsync=interval``, the serving default), checks the logged engine
+stays bit-exact equal to the unlogged one *and* that the log alone
+recovers it bit-exactly, and gates WAL-on throughput at
+``--min-wal-ratio`` of WAL-off (default 0.5x).
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_server.py
@@ -33,8 +40,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import struct
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -48,6 +58,7 @@ from repro.server import (
 )
 from repro.service.queries import Query, query_value_json
 from repro.service.store import SketchStore
+from repro.wal import WriteAheadLog, recover_store
 
 SALT = 7
 INSTANCES = ("mon", "tue")
@@ -71,15 +82,19 @@ def make_batches(n_updates: int, batch_rows: int, seed: int = 0):
     return batches
 
 
-def make_store() -> SketchStore:
+def make_store(wal: WriteAheadLog | None = None) -> SketchStore:
     """A weight-oblivious Poisson engine sized for serving.
 
     A low threshold keeps the retained set (and therefore per-query
     work) bounded the way a production sketch would be — the whole point
     of sketch-based serving is that query cost tracks the sketch, not
-    the stream.
+    the stream.  ``wal`` (when given) is attached *before* the engine is
+    created, so the engine-create record lands in the log and the store
+    is recoverable from the log alone.
     """
     store = SketchStore()
+    if wal is not None:
+        store.attach_wal(wal)
     store.create(
         "bench",
         "poisson",
@@ -383,14 +398,7 @@ def bench_binary_ingest(
 
         return send
 
-    chunks = []
-    pending_rows = 0
-    for batch in column_batches:
-        if not chunks or pending_rows >= rows_per_request:
-            chunks.append([])
-            pending_rows = 0
-        chunks[-1].append(batch)
-        pending_rows += len(batch[1])
+    chunks = _chunk_batches(column_batches, rows_per_request)
 
     json_store = make_store()
     json_seconds = asyncio.run(
@@ -457,6 +465,137 @@ def bench_binary_ingest(
     }
 
 
+def _chunk_batches(column_batches, rows_per_request):
+    """Group column batches into pipelined request bodies."""
+    chunks = []
+    pending_rows = 0
+    for batch in column_batches:
+        if not chunks or pending_rows >= rows_per_request:
+            chunks.append([])
+            pending_rows = 0
+        chunks[-1].append(batch)
+        pending_rows += len(batch[1])
+    return chunks
+
+
+def bench_wal_ingest(
+    n_updates: int,
+    batch_rows: int = 100,
+    rows_per_request: int = 50_000,
+    ingest_workers: int = 2,
+    min_ratio: float = 0.5,
+    repeats: int = 3,
+) -> dict:
+    """The durability tax: identical binary ingest with and without a
+    write-ahead log (fsync policy ``interval``, the serving default).
+
+    Three checks ride along with the throughput gate: the WAL-attached
+    engine must stay bit-exact equal to the unlogged one, the log alone
+    must recover that engine bit-exactly, and WAL-on rows/second must
+    hold at least ``min_ratio`` of WAL-off.  Each side is timed
+    ``repeats`` times and the best run counts — a single run lasts only
+    a fraction of a second, so one slow fsync (or a page-cache writeback
+    stall from an earlier benchmark) would otherwise swing the ratio by
+    2-3x and make the gate flaky.
+    """
+    rows_per_request = max(batch_rows, min(rows_per_request, n_updates // 2))
+    max_batch_rows = max(100_000, rows_per_request)
+    chunks = _chunk_batches(
+        make_column_batches(n_updates, batch_rows), rows_per_request
+    )
+
+    def send_binary(chunk):
+        async def send(client):
+            await client.ingest_binary("bench", chunk)
+
+        return send
+
+    nowal_store = None
+    nowal_seconds = math.inf
+    for _ in range(repeats):
+        nowal_store = make_store()
+        nowal_seconds = min(
+            nowal_seconds,
+            asyncio.run(
+                _ingest_only(
+                    nowal_store,
+                    [send_binary(chunk) for chunk in chunks],
+                    ingest_workers,
+                    max_batch_rows,
+                )
+            ),
+        )
+
+    wal_seconds = math.inf
+    wal_stats = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory(prefix="repro-wal-bench-") as scratch:
+            wal_dir = Path(scratch) / "wal"
+            wal = WriteAheadLog(wal_dir, fsync="interval")
+            wal_store = make_store(wal)
+            seconds = asyncio.run(
+                _ingest_only(
+                    wal_store,
+                    [send_binary(chunk) for chunk in chunks],
+                    ingest_workers,
+                    max_batch_rows,
+                )
+            )
+            if seconds < wal_seconds:
+                wal_seconds = seconds
+                wal_stats = wal.stats()
+            wal.close()
+            assert wal_store.engine("bench") == nowal_store.engine("bench"), (
+                "attaching a WAL changed the ingested sketch state"
+            )
+            reopened = WriteAheadLog(wal_dir, fsync="off")
+            try:
+                report = recover_store(None, reopened)
+            finally:
+                reopened.close()
+            assert report.store.engine("bench") == nowal_store.engine(
+                "bench"
+            ), "recovery from the WAL alone diverged from the live engine"
+            assert report.torn_tail is None
+
+    nowal_rps = n_updates / nowal_seconds
+    wal_rps = n_updates / wal_seconds
+    ratio = wal_rps / nowal_rps
+    print(
+        f"wal ingest ({n_updates} updates, fsync=interval, "
+        f"{wal_stats['appended_records']} records / "
+        f"{wal_stats['appended_bytes']} bytes logged, "
+        f"{wal_stats['fsync_count']} fsyncs): "
+        f"wal-off {nowal_rps:10.0f} rows/s, wal-on {wal_rps:10.0f} rows/s "
+        f"-> {ratio:5.2f}x  [parity: ok; recover-from-log: bit-exact]  "
+        f"(gate >= {min_ratio:g}x)"
+    )
+    assert ratio >= min_ratio, (
+        f"WAL-on ingest holds only {ratio:.2f}x of WAL-off throughput, "
+        f"below the {min_ratio:g}x gate "
+        f"(wal-off {nowal_rps:.0f} rows/s, wal-on {wal_rps:.0f} rows/s)"
+    )
+    return {
+        "n_updates": n_updates,
+        "batch_rows": batch_rows,
+        "rows_per_request": rows_per_request,
+        "ingest_workers": ingest_workers,
+        "repeats": repeats,
+        "fsync_policy": "interval",
+        "nowal_seconds": nowal_seconds,
+        "wal_seconds": wal_seconds,
+        "nowal_rows_per_second": nowal_rps,
+        "wal_rows_per_second": wal_rps,
+        "ratio": ratio,
+        "min_ratio_gate": min_ratio,
+        "appended_records": wal_stats["appended_records"],
+        "appended_bytes": wal_stats["appended_bytes"],
+        "fsync_count": wal_stats["fsync_count"],
+        "parity": "ok",
+        "recovery": "bit-exact",
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--updates", type=int, default=200_000,
@@ -471,6 +610,8 @@ def main(argv=None) -> int:
                         help="rows pipelined per binary ingest body")
     parser.add_argument("--min-speedup", type=float, default=10.0,
                         help="binary-over-JSON ingest rows/s gate")
+    parser.add_argument("--min-wal-ratio", type=float, default=0.5,
+                        help="WAL-on over WAL-off ingest rows/s gate")
     parser.add_argument("--smoke", action="store_true",
                         help="small workload for CI (same gates)")
     parser.add_argument("--json", action="store_true", help="print the record as JSON")
@@ -492,6 +633,13 @@ def main(argv=None) -> int:
             rows_per_request=args.rows_per_request,
             ingest_workers=args.ingest_workers,
             min_speedup=args.min_speedup,
+        ),
+        "wal_ingest": bench_wal_ingest(
+            args.updates,
+            batch_rows=args.batch_rows,
+            rows_per_request=args.rows_per_request,
+            ingest_workers=args.ingest_workers,
+            min_ratio=args.min_wal_ratio,
         ),
     }
     if args.json:

@@ -3,13 +3,14 @@
 Runs the headline benchmarks (exact-enumeration grid, streaming
 ``update_many``, full fast-mode experiment suite, the service layer —
 concurrent store ingest, snapshot/restore codec latency, query-cache
-speedup — the HTTP server's mixed ingest/query load, and the binary
-columnar ingest path raced against JSON) and writes
+speedup — the HTTP server's mixed ingest/query load, the binary
+columnar ingest path raced against JSON, and the same binary load with
+a write-ahead log attached to measure the durability tax) and writes
 their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
 repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR7.json
-    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR8.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR8.json
 
 After writing (or with ``--compare-only``, instead of benching at all)
 the record is diffed against every earlier ``BENCH_PR*.json``:
@@ -241,6 +242,9 @@ def record_benchmarks(smoke: bool) -> dict:
             "server_binary_ingest": bench_server.bench_binary_ingest(
                 server_updates
             ),
+            "server_wal_ingest": bench_server.bench_wal_ingest(
+                server_updates
+            ),
         },
     }
     record["total_bench_seconds"] = time.time() - started
@@ -249,7 +253,7 @@ def record_benchmarks(smoke: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR7.json",
+    parser.add_argument("--out", default="BENCH_PR8.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")

@@ -44,6 +44,17 @@ class SketchCodecError(ReproError, ValueError):
     (custom rank families, factory-built engines, unsupported key types)."""
 
 
+class WalCorruptionError(SketchCodecError):
+    """Raised by :mod:`repro.wal` when a write-ahead-log segment fails
+    validation in a way that cannot be a torn tail write: a checksum or
+    framing error in the middle of a segment, a log-sequence-number gap,
+    or a record that decodes to garbage despite a valid checksum.  The
+    message always names the segment file and byte offset.  Torn tails
+    (an interrupted final append) are *not* errors — recovery truncates
+    them — so this exception firing means the log must not be trusted and
+    recovery stops loudly instead of serving partial data."""
+
+
 class UnknownStoreError(ReproError, KeyError):
     """Raised by :class:`repro.service.SketchStore` when a named engine is
     not registered in the store."""

@@ -90,7 +90,7 @@ def key_hashes(keys: Sequence[object]) -> np.ndarray:
     if keys and all(
         isinstance(k, (int, np.integer))
         and not isinstance(k, bool)
-        and k >= 0
+        and 0 <= k <= 0xFFFFFFFFFFFFFFFF
         for k in keys
     ):
         return splitmix64(np.asarray(keys, dtype=np.uint64))

@@ -17,7 +17,8 @@ network, standard-library only:
   last snapshot;
 * :mod:`repro.server.wire` — the columnar binary batch format behind
   ``Content-Type: application/x-repro-batch``, the ingest fast path
-  that decodes straight into NumPy columns;
+  that decodes straight into NumPy columns, plus the ``/replicate``
+  envelope followers use to catch up from the write-ahead log;
 * :mod:`repro.server.metrics` — the serving counters behind
   ``/metrics``;
 * :mod:`repro.server.client` — :class:`AsyncSketchClient`, the
@@ -36,9 +37,14 @@ from repro.server.protocol import HttpError
 from repro.server.routing import Router
 from repro.server.wire import (
     BATCH_CONTENT_TYPE,
+    REPLICA_CONTENT_TYPE,
+    REPLICA_MODE_STORE,
+    REPLICA_MODE_WAL,
     WireBatch,
     decode_batches,
+    decode_replica,
     encode_batches,
+    encode_replica,
 )
 
 __all__ = [
@@ -46,11 +52,16 @@ __all__ = [
     "BATCH_CONTENT_TYPE",
     "ClientResponseError",
     "HttpError",
+    "REPLICA_CONTENT_TYPE",
+    "REPLICA_MODE_STORE",
+    "REPLICA_MODE_WAL",
     "Router",
     "ServerConfig",
     "ServerMetrics",
     "SketchServer",
     "WireBatch",
     "decode_batches",
+    "decode_replica",
     "encode_batches",
+    "encode_replica",
 ]

@@ -19,6 +19,8 @@ GET      /query        distinct / sum / dominance / l1 through the
                        version-cached :class:`QueryPlanner`
 POST     /snapshot     persist the store through the binary codec
 POST     /merge        fold a peer snapshot file into the store
+GET      /replicate    WAL tail (or full store delta) since ?since=<lsn>
+                       for follower catch-up (requires ``wal_dir``)
 GET      /healthz      liveness + uptime
 GET      /metrics      throughput, cache hit rate, per-engine probes
 =======  ============  ====================================================
@@ -83,7 +85,14 @@ from repro.server.protocol import (
     response_bytes,
 )
 from repro.server.routing import Router
-from repro.server.wire import BATCH_CONTENT_TYPE, decode_batches
+from repro.server.wire import (
+    BATCH_CONTENT_TYPE,
+    REPLICA_CONTENT_TYPE,
+    REPLICA_MODE_STORE,
+    REPLICA_MODE_WAL,
+    decode_batches,
+    encode_replica,
+)
 from repro.service.queries import Query, query_value_json
 from repro.service.store import SketchStore
 
@@ -197,6 +206,25 @@ class SketchServer:
         self.router.add("GET", "/query", self._handle_query)
         self.router.add("POST", "/snapshot", self._handle_snapshot)
         self.router.add("POST", "/merge", self._handle_merge)
+        self.router.add("GET", "/replicate", self._handle_replicate)
+
+        # durability: open (or resume) the write-ahead log and attach it
+        # before serving, so the very first acknowledged ingest is
+        # logged.  Imported lazily — repro.wal pulls in the wire module,
+        # a module-level import here would cycle.
+        self._owns_wal = False
+        if self.config.wal_dir is not None and self.store.wal is None:
+            from repro.wal import WriteAheadLog
+
+            self.store.attach_wal(
+                WriteAheadLog(
+                    self.config.wal_dir,
+                    fsync=self.config.wal_fsync,
+                    fsync_interval=self.config.wal_fsync_interval,
+                    segment_bytes=self.config.wal_segment_bytes,
+                )
+            )
+            self._owns_wal = True
 
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.ingest_threads,
@@ -262,6 +290,10 @@ class SketchServer:
             _, marks = self.store.snapshot_marked(path)
             self._clean_marks = dict(marks)
             self.last_shutdown_snapshot = path
+        if self._owns_wal and self.store.wal is not None:
+            # after the final snapshot: a clean shutdown leaves a
+            # checkpointed log, so the next boot replays (almost) nothing
+            self.store.wal.close()
         if self.config.trace_jsonl_path is not None:
             # stop the live JSONL export this server attached to the
             # process-wide recorder (and close its file handle)
@@ -776,22 +808,62 @@ class SketchServer:
                 400,
                 'no snapshot path: pass {"path": ...} or configure snapshot_path',
             )
-        written, marks = await self._in_executor(self.store.snapshot_marked, target)
         # Only a snapshot of the configured store file makes the engines
         # "clean" — a backup elsewhere must not suppress the shutdown
         # snapshot that keeps --store current.  The marks were captured
         # inside each engine's quiescent read, so an ingest that landed
         # while a later engine was being serialized still reads dirty.
-        if (
+        # The same primary/backup distinction gates WAL checkpointing:
+        # an ad-hoc backup copy must not truncate the recovery log.
+        is_primary = (
             self.config.snapshot_path is not None
             and target.resolve() == Path(self.config.snapshot_path).resolve()
-        ):
+        )
+        written, marks = await self._in_executor(
+            self.store.snapshot_marked, target, checkpoint_wal=is_primary
+        )
+        if is_primary:
             self._clean_marks = dict(marks)
         return 200, {
             "path": str(written),
             "bytes": written.stat().st_size,
             "engines": self.store.names(),
         }
+
+    async def _handle_replicate(self, request: Request) -> tuple[int, object]:
+        if self.store.wal is None:
+            raise HttpError(
+                400,
+                "replication requires a write-ahead log; start the "
+                "server with wal_dir / --wal-dir",
+            )
+        raw_since = request.params.get("since", "0")
+        try:
+            since = int(raw_since)
+        except ValueError:
+            raise HttpError(
+                400, f"?since must be an integer LSN, got {raw_since!r}"
+            ) from None
+        if since < 0:
+            raise HttpError(400, f"?since must be >= 0, got {since}")
+        body = await self._in_executor(self._build_replica, since)
+        return 200, RawResponse(body, REPLICA_CONTENT_TYPE)
+
+    def _build_replica(self, since: int) -> bytes:
+        """One ``/replicate`` body: WAL tail, or full store delta when
+        the requested tail was checkpointed away.  Runs on the executor
+        (segment reads + possible full-store serialization)."""
+        wal = self.store.wal
+        tail = wal.tail_since(since)
+        if tail is not None:
+            blob, last_lsn = tail
+            return encode_replica(REPLICA_MODE_WAL, last_lsn, blob)
+        # Capture the cursor BEFORE serializing: a batch ingested during
+        # serialization may or may not be in the blob, and a too-small
+        # cursor only makes the follower re-fetch records its version
+        # checks then skip — a too-large one would silently lose data.
+        last_lsn = wal.last_lsn
+        return encode_replica(REPLICA_MODE_STORE, last_lsn, self.store.to_bytes())
 
     async def _handle_merge(self, request: Request) -> tuple[int, dict]:
         payload = request.json()

@@ -14,11 +14,21 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import random
 import socket
+from typing import TYPE_CHECKING
 from urllib.parse import quote, urlencode
 
 from repro.obs import current_request_id, new_request_id
-from repro.server.wire import BATCH_CONTENT_TYPE, encode_batches
+from repro.server.wire import (
+    BATCH_CONTENT_TYPE,
+    REPLICA_MODE_WAL,
+    encode_batches,
+    decode_replica,
+)
+
+if TYPE_CHECKING:
+    from repro.service.store import SketchStore
 
 __all__ = ["AsyncSketchClient", "ClientResponseError"]
 
@@ -46,9 +56,33 @@ class AsyncSketchClient:
                 "traffic", "distinct", ["monday", "tuesday"])
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry_attempts: int = 4,
+        retry_base: float = 0.05,
+        retry_cap: float = 2.0,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        #: 503 (backpressure) retries before the error surfaces; 0
+        #: restores the old fail-fast behaviour
+        self.retry_attempts = int(retry_attempts)
+        #: first-retry backoff in seconds; doubles per attempt up to
+        #: ``retry_cap``, with equal jitter on top
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
+        if self.retry_attempts < 0:
+            raise ValueError(
+                f"retry_attempts must be >= 0, got {retry_attempts}"
+            )
+        if self.retry_base <= 0 or self.retry_cap < self.retry_base:
+            raise ValueError(
+                "need 0 < retry_base <= retry_cap, got "
+                f"{retry_base} / {retry_cap}"
+            )
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
@@ -56,6 +90,11 @@ class AsyncSketchClient:
         #: the ``X-Request-Id`` the server attached to the most recent
         #: response — correlate client-side failures with server traces
         self.last_request_id: str | None = None
+        #: parsed ``Retry-After`` seconds of the most recent response
+        self.last_retry_after: float | None = None
+        # injectable for deterministic tests
+        self._sleep = asyncio.sleep
+        self._random = random.random
 
     async def connect(self) -> "AsyncSketchClient":
         if self._writer is None:
@@ -202,21 +241,48 @@ class AsyncSketchClient:
                 f"malformed Content-Length {headers.get('content-length')!r}"
             ) from exc
         self.last_request_id = headers.get("x-request-id")
+        self.last_retry_after = None
+        if "retry-after" in headers:
+            with contextlib.suppress(ValueError):
+                self.last_retry_after = max(0.0, float(headers["retry-after"]))
         raw = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.close()
         if not raw:
             return status, None
+        content_type = (
+            headers.get("content-type", "").partition(";")[0].strip().lower()
+        )
+        if content_type.startswith("application/x-repro-"):
+            # binary bodies (batch / replica payloads) pass through raw
+            return status, raw
         try:
             return status, json.loads(raw)
         except json.JSONDecodeError:
             return status, raw.decode("utf-8", "replace")
 
     async def _checked(self, *args, **kwargs) -> object:
-        status, payload = await self.request(*args, **kwargs)
-        if status >= 400:
-            raise ClientResponseError(status, payload)
-        return payload
+        """:meth:`request`, raising on >= 400 — after riding out 503s.
+
+        Backpressure 503s are retried with capped exponential backoff
+        plus equal jitter (so a thundering herd of clients decorrelates),
+        honouring the server's ``Retry-After`` hint as a floor.  Any
+        other error status raises :class:`ClientResponseError`
+        immediately; so does a 503 once ``retry_attempts`` is exhausted.
+        """
+        for attempt in range(self.retry_attempts + 1):
+            status, payload = await self.request(*args, **kwargs)
+            if status != 503 or attempt >= self.retry_attempts:
+                if status >= 400:
+                    raise ClientResponseError(status, payload)
+                return payload
+            backoff = min(self.retry_cap, self.retry_base * 2**attempt)
+            delay = backoff / 2 + self._random() * (backoff / 2)
+            hint = self.last_retry_after
+            if hint is not None:
+                delay = max(delay, min(hint, self.retry_cap))
+            await self._sleep(delay)
+        raise RuntimeError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Endpoint surface
@@ -307,3 +373,97 @@ class AsyncSketchClient:
 
     async def merge(self, path: object) -> dict:
         return await self._checked("POST", "/merge", json_body={"path": str(path)})
+
+    # ------------------------------------------------------------------
+    # Replication (follower side)
+    # ------------------------------------------------------------------
+    async def replicate(self, since: int = 0) -> tuple[int, int, bytes]:
+        """Fetch the primary's changes past LSN ``since``.
+
+        Returns ``(mode, last_lsn, payload)`` — ``mode`` is
+        :data:`repro.server.wire.REPLICA_MODE_WAL` (``payload`` is a WAL
+        tail for :func:`repro.wal.decode_tail`) or ``REPLICA_MODE_STORE``
+        (``payload`` is a full store snapshot blob: the tail was
+        checkpointed away).  ``last_lsn`` is the next ``since`` cursor.
+        """
+        payload = await self._checked(
+            "GET", "/replicate", params={"since": str(int(since))}
+        )
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ClientResponseError(502, payload)
+        return decode_replica(bytes(payload))
+
+    async def catch_up(
+        self, store: "SketchStore", since: int = 0, *, on_full: str = "replace"
+    ) -> int:
+        """One replication round: fetch past ``since``, apply to
+        ``store``, return the new cursor.
+
+        A WAL tail replays through the store's idempotent version checks
+        (records the follower already has are skipped).  A full-store
+        delta is applied per ``on_full``: ``"replace"`` (default) adopts
+        the primary's engines wholesale — bit-exact for a pure follower —
+        while ``"merge"`` folds them in through the
+        ``StreamEngine.merge_from`` algebra, for followers holding their
+        own *disjoint* data (merging overlapping streams double-counts).
+        """
+        if on_full not in ("replace", "merge"):
+            raise ValueError(
+                f"on_full must be 'replace' or 'merge', got {on_full!r}"
+            )
+        mode, last_lsn, payload = await self.replicate(since)
+        if mode == REPLICA_MODE_WAL:
+            from repro.wal import apply_records, decode_tail
+
+            records = decode_tail(payload)
+            if records:
+                await asyncio.to_thread(apply_records, store, records)
+        else:
+            await asyncio.to_thread(_apply_full_delta, store, payload, on_full)
+        return last_lsn
+
+    async def follow(
+        self,
+        store: "SketchStore",
+        *,
+        since: int = 0,
+        interval: float = 1.0,
+        stop: asyncio.Event | None = None,
+        max_rounds: int | None = None,
+        on_full: str = "replace",
+    ) -> int:
+        """Pull-replication loop: :meth:`catch_up` every ``interval``
+        seconds until ``stop`` is set (or ``max_rounds`` rounds ran).
+        Returns the final cursor, so a later ``follow(since=cursor)``
+        resumes where this one left off.
+        """
+        cursor = int(since)
+        rounds = 0
+        while True:
+            cursor = await self.catch_up(store, cursor, on_full=on_full)
+            rounds += 1
+            if max_rounds is not None and rounds >= max_rounds:
+                return cursor
+            if stop is not None and stop.is_set():
+                return cursor
+            if stop is None:
+                await self._sleep(interval)
+            else:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(stop.wait(), interval)
+
+
+def _apply_full_delta(store: "SketchStore", payload: bytes, on_full: str) -> None:
+    """Apply a full-store replica payload (executor-thread half)."""
+    from repro.service import codec
+    from repro.service.store import SketchStore
+
+    entries = codec.store_from_bytes(payload)
+    if on_full == "merge":
+        peer = SketchStore()
+        for name, version, engine in entries:
+            peer.register(name, engine, version=version)
+        store.merge_store(peer)
+    else:
+        for name, version, engine in entries:
+            store.adopt(name, engine, version=version)

@@ -72,6 +72,21 @@ class ServerConfig:
     trace_jsonl_path:
         When set, every finished span is additionally appended to this
         JSONL file (offline trace analysis).
+    wal_dir:
+        When set, the server opens (or resumes) a
+        :class:`repro.wal.WriteAheadLog` in this directory and attaches
+        it to the store, so every acknowledged ingest batch is appended
+        to the log before it is applied, ``GET /replicate`` serves the
+        log tail to followers, and snapshots checkpoint the log.
+        ``None`` (the default) disables the durability layer.
+    wal_fsync:
+        Fsync policy of the log: ``"always"`` (fsync per append),
+        ``"interval"`` (flush per append, fsync at most every
+        ``wal_fsync_interval`` seconds — the default), or ``"off"``.
+    wal_fsync_interval:
+        Seconds between fsyncs under the ``interval`` policy.
+    wal_segment_bytes:
+        Segment-rotation size cap of the log.
     """
 
     host: str = "127.0.0.1"
@@ -88,6 +103,10 @@ class ServerConfig:
     log_json: bool = False
     trace_capacity: int = 2048
     trace_jsonl_path: str | Path | None = None
+    wal_dir: str | Path | None = None
+    wal_fsync: str = "interval"
+    wal_fsync_interval: float = 0.05
+    wal_segment_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -110,4 +129,21 @@ class ServerConfig:
             raise InvalidParameterError(
                 "slow_request_ms must be >= 0 (0 disables the slow log), "
                 f"got {self.slow_request_ms}"
+            )
+        # literal tuple rather than repro.wal.FSYNC_POLICIES: importing
+        # repro.wal here would cycle through repro.server.wire
+        if self.wal_fsync not in ("always", "interval", "off"):
+            raise InvalidParameterError(
+                "wal_fsync must be 'always', 'interval' or 'off', got "
+                f"{self.wal_fsync!r}"
+            )
+        if self.wal_fsync_interval < 0:
+            raise InvalidParameterError(
+                "wal_fsync_interval must be >= 0, got "
+                f"{self.wal_fsync_interval}"
+            )
+        if int(self.wal_segment_bytes) <= 0:
+            raise InvalidParameterError(
+                "wal_segment_bytes must be positive, got "
+                f"{self.wal_segment_bytes}"
             )

@@ -188,6 +188,8 @@ class ServerMetrics:
             },
             "query_cache": planner.cache_stats(),
             "engines": self._engine_block(store, pending),
+            # getattr: duck-typed store stand-ins in tests predate .wal
+            "wal": wal.stats() if (wal := getattr(store, "wal", None)) else None,
         }
 
     def prometheus(self, store, planner, pending: dict) -> str:
@@ -314,4 +316,43 @@ class ServerMetrics:
                 ],
             ),
         ]
+        wal = getattr(store, "wal", None)
+        if wal is not None:
+            stats = payload["wal"]
+            families.extend(
+                [
+                    prom.counter(
+                        "repro_wal_appended_records_total",
+                        "Records appended to the write-ahead log.",
+                        [({}, stats["appended_records"])],
+                    ),
+                    prom.counter(
+                        "repro_wal_appended_bytes_total",
+                        "Bytes appended to the write-ahead log.",
+                        [({}, stats["appended_bytes"])],
+                    ),
+                    prom.histogram(
+                        "repro_wal_fsync_seconds",
+                        "Wall time of write-ahead-log fsync calls.",
+                        {stats["fsync_policy"]: wal.fsync_histogram},
+                        label="policy",
+                    ),
+                    prom.gauge(
+                        "repro_wal_replay_seconds",
+                        "Wall time of the recovery replay that produced "
+                        "this store (0 when the process did not recover).",
+                        [({}, stats["replay_seconds"] or 0.0)],
+                    ),
+                    prom.gauge(
+                        "repro_wal_last_lsn",
+                        "Log sequence number of the newest WAL record.",
+                        [({}, stats["last_lsn"])],
+                    ),
+                    prom.gauge(
+                        "repro_wal_segments",
+                        "Write-ahead-log segment files on disk.",
+                        [({}, stats["segments"])],
+                    ),
+                ]
+            )
         return prom.render(families)

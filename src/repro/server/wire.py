@@ -61,15 +61,33 @@ from repro.service.codec import Reader, Writer, read_label, write_label
 __all__ = [
     "BATCH_CONTENT_TYPE",
     "MAGIC",
+    "REPLICA_CONTENT_TYPE",
+    "REPLICA_MAGIC",
+    "REPLICA_MODE_STORE",
+    "REPLICA_MODE_WAL",
+    "REPLICA_VERSION",
     "WIRE_VERSION",
     "WireBatch",
     "decode_batches",
+    "decode_replica",
     "encode_batches",
+    "encode_replica",
 ]
 
 BATCH_CONTENT_TYPE = "application/x-repro-batch"
 MAGIC = b"RBAT"
 WIRE_VERSION = 1
+
+#: MIME type of ``GET /replicate`` response bodies
+REPLICA_CONTENT_TYPE = "application/x-repro-replica"
+REPLICA_MAGIC = b"RREP"
+REPLICA_VERSION = 1
+#: payload is a WAL tail — concatenated record frames for
+#: :func:`repro.wal.decode_tail`
+REPLICA_MODE_WAL = 1
+#: payload is a full store snapshot blob (the tail was checkpointed
+#: away) for :func:`repro.service.codec.store_from_bytes`
+REPLICA_MODE_STORE = 2
 
 #: key-column encodings
 _KEY_TAGGED = 0
@@ -252,3 +270,45 @@ def decode_batches(data: bytes) -> list[WireBatch]:
         batches.append(WireBatch(instance, keys, values))
     reader.expect_end()
     return batches
+
+
+def encode_replica(mode: int, last_lsn: int, payload: bytes) -> bytes:
+    """Frame one ``/replicate`` response body.
+
+    Layout: ``b"RREP"`` magic, u16 version, u8 mode
+    (:data:`REPLICA_MODE_WAL` / :data:`REPLICA_MODE_STORE`), u64
+    ``last_lsn`` (the follower's next ``since`` cursor), then the
+    length-prefixed payload.
+    """
+    if mode not in (REPLICA_MODE_WAL, REPLICA_MODE_STORE):
+        raise SketchCodecError(f"unknown replica mode {mode}")
+    writer = Writer()
+    writer.raw(REPLICA_MAGIC)
+    writer.u16(REPLICA_VERSION)
+    writer.u8(mode)
+    writer.u64(int(last_lsn))
+    writer.blob(bytes(payload))
+    return writer.getvalue()
+
+
+def decode_replica(data: bytes) -> tuple[int, int, bytes]:
+    """Decode a ``/replicate`` body into ``(mode, last_lsn, payload)``."""
+    reader = Reader(data)
+    magic = reader.raw(len(REPLICA_MAGIC))
+    if magic != REPLICA_MAGIC:
+        raise SketchCodecError(
+            f"bad magic {magic!r}: not a repro replica payload"
+        )
+    version = reader.u16()
+    if not 1 <= version <= REPLICA_VERSION:
+        raise SketchCodecError(
+            f"unsupported replica version {version}; this build reads "
+            f"versions 1..{REPLICA_VERSION}"
+        )
+    mode = reader.u8()
+    if mode not in (REPLICA_MODE_WAL, REPLICA_MODE_STORE):
+        raise SketchCodecError(f"unknown replica mode {mode}")
+    last_lsn = reader.u64()
+    payload = reader.blob()
+    reader.expect_end()
+    return mode, last_lsn, payload

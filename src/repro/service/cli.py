@@ -10,12 +10,19 @@ Drives the persistent store end-to-end from the shell::
         --kind distinct --instances monday tuesday
     python -m repro.service serve    --store s.bin --port 8080 \\
         --create name=traffic,kind=poisson,threshold=0.5,salt=7
+    python -m repro.service serve    --store s.bin --wal-dir s.wal \\
+        --fsync always
+    python -m repro.service recover  --store s.bin --wal-dir s.wal
 
 ``serve`` boots the :mod:`repro.server` asyncio HTTP front-end over the
 store file (restored when it exists, created otherwise), prints one
 JSON "listening" line to stdout, and on SIGINT/SIGTERM shuts down
 gracefully — draining in-flight requests and snapshotting back to the
-store file if any engine changed.
+store file if any engine changed.  With ``--wal-dir`` the server first
+*recovers* (snapshot + write-ahead-log tail, exactly what ``recover``
+does offline), then appends every ingest batch to the log before
+applying it, so a ``kill -9`` loses at most the unsynced tail — nothing
+at all under ``--fsync always``.
 
 Update streams are CSV (``instance,key,value`` columns, optional header),
 JSON lines (objects with ``instance`` / ``key`` / ``value`` fields;
@@ -367,12 +374,75 @@ def _create_from_spec(store: SketchStore, fields: dict) -> None:
     store.create_from_config(config)
 
 
+def _recover_with_wal(args, store_path: Path):
+    """Open the WAL, recover snapshot + tail, attach, re-persist.
+
+    Shared boot path of ``serve --wal-dir`` and ``recover``: after it
+    returns, ``--store`` holds the recovered state, the replayed tail is
+    checkpointed, and the returned store has the (still open) log
+    attached.  Corruption raises :class:`WalCorruptionError` out of here
+    — the process refuses to serve partial data.
+    """
+    from repro.wal import WriteAheadLog, recover_store
+
+    wal = WriteAheadLog(
+        args.wal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        segment_bytes=args.wal_segment_bytes,
+    )
+    try:
+        report = recover_store(
+            store_path if store_path.exists() else None, wal
+        )
+        store = report.store
+        store.attach_wal(wal)
+        if report.replayed_records or not store_path.exists():
+            # the snapshot is now behind the recovered state (or absent):
+            # persist and checkpoint so a crash loop cannot replay the
+            # same tail forever
+            store.snapshot_marked(store_path)
+    except BaseException:
+        wal.close()
+        raise
+    summary = {
+        "wal_dir": str(args.wal_dir),
+        "snapshot_engines": report.snapshot_engines,
+        "replayed_records": report.replayed_records,
+        "replayed_rows": report.replayed_rows,
+        "skipped_records": report.skipped_records,
+        "last_lsn": report.last_lsn,
+        "torn_tail": report.torn_tail,
+        "replay_seconds": report.replay_seconds,
+    }
+    return store, wal, summary
+
+
+def _cmd_recover(args) -> dict:
+    """Offline crash recovery: rebuild ``--store`` from snapshot + WAL."""
+    store_path = Path(args.store)
+    store, wal, summary = _recover_with_wal(args, store_path)
+    wal.close()
+    return {
+        "command": "recover",
+        "store": str(store_path),
+        "engines": store.names(),
+        **summary,
+    }
+
+
 def _cmd_serve(args) -> dict:
     from repro.server import ServerConfig, SketchServer
 
     store_path = Path(args.store)
     restored = store_path.exists()
-    store = _load_store(store_path)
+    wal = None
+    recovery = None
+    if args.wal_dir is not None:
+        store, wal, recovery = _recover_with_wal(args, store_path)
+        restored = True  # _recover_with_wal persisted the store file
+    else:
+        store = _load_store(store_path)
     created_engines = []
     for spec in args.create or ():
         fields = _parse_engine_spec(spec)
@@ -390,7 +460,13 @@ def _cmd_serve(args) -> dict:
         snapshot_on_shutdown=not args.no_snapshot_on_shutdown,
         slow_request_ms=args.slow_ms,
         log_json=args.log_json,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.fsync,
+        wal_fsync_interval=args.fsync_interval,
+        wal_segment_bytes=args.wal_segment_bytes,
     )
+    # the WAL (when any) is already recovered and attached, so the
+    # server adopts it instead of opening its own
     server = SketchServer(store, config)
     if restored and not created_engines:
         # the store state came verbatim from --store; an idle server
@@ -398,21 +474,23 @@ def _cmd_serve(args) -> dict:
         server.mark_clean()
 
     def on_ready(ready_server) -> None:
-        print(
-            json.dumps(
-                {
-                    "command": "serve",
-                    "listening": f"{config.host}:{ready_server.port}",
-                    "store": str(store_path),
-                    "engines": store.names(),
-                },
-                sort_keys=True,
-            ),
-            flush=True,
-        )
+        ready = {
+            "command": "serve",
+            "listening": f"{config.host}:{ready_server.port}",
+            "store": str(store_path),
+            "engines": store.names(),
+        }
+        if recovery is not None:
+            ready["wal_dir"] = recovery["wal_dir"]
+            ready["replayed_records"] = recovery["replayed_records"]
+        print(json.dumps(ready, sort_keys=True), flush=True)
 
-    server.run(on_ready=on_ready)
-    return {
+    try:
+        server.run(on_ready=on_ready)
+    finally:
+        if wal is not None:
+            wal.close()
+    result = {
         "command": "serve",
         "shutdown": "clean",
         "store": str(store_path),
@@ -423,6 +501,9 @@ def _cmd_serve(args) -> dict:
         ),
         "engines": store.names(),
     }
+    if recovery is not None:
+        result["recovery"] = recovery
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -555,9 +636,39 @@ def _build_parser() -> argparse.ArgumentParser:
                             "milliseconds (0 disables)")
     serve.add_argument("--no-snapshot-on-shutdown", action="store_true",
                        help="do not snapshot dirty engines on shutdown")
+    _add_wal_arguments(serve, required=False)
     serve.set_defaults(run=_cmd_serve)
 
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild --store from its snapshot plus the write-ahead "
+             "log tail (crash recovery), checkpointing the log",
+    )
+    recover.add_argument("--store", required=True,
+                         help="store file to rebuild (read when present, "
+                              "written with the recovered state)")
+    _add_wal_arguments(recover, required=True)
+    recover.set_defaults(run=_cmd_recover)
+
     return parser
+
+
+def _add_wal_arguments(command, required: bool) -> None:
+    """The shared ``serve`` / ``recover`` write-ahead-log flags."""
+    command.add_argument("--wal-dir", default=None, required=required,
+                         help="write-ahead-log directory"
+                              + ("" if required
+                                 else " (enables the durability layer)"))
+    command.add_argument("--fsync",
+                         choices=("always", "interval", "off"),
+                         default="interval",
+                         help="WAL fsync policy (default: interval)")
+    command.add_argument("--fsync-interval", type=float, default=0.05,
+                         help="seconds between fsyncs under the "
+                              "interval policy")
+    command.add_argument("--wal-segment-bytes", type=int,
+                         default=64 * 1024 * 1024,
+                         help="WAL segment rotation size cap")
 
 
 def main(argv=None) -> int:

@@ -157,6 +157,16 @@ class _Reader:
         self._pos = end
         return chunk
 
+    @property
+    def position(self) -> int:
+        """Current decode offset — error context for corrupt payloads."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left after the current position."""
+        return len(self._data) - self._pos
+
     def raw(self, n: int) -> bytes:
         return self._take(n)
 
@@ -500,26 +510,46 @@ def to_bytes(obj) -> bytes:
     return writer.getvalue()
 
 
+#: exceptions a corrupt-but-well-framed payload can smuggle out of the
+#: decode path: struct unpacking, NumPy buffer slicing, int/float
+#: conversions and oversized allocations.  The public decoders translate
+#: them into SketchCodecError with the reader offset, so callers see one
+#: exception type (with context) for every flavour of corruption.
+_STRAY_DECODE_ERRORS = (
+    struct.error, ValueError, TypeError, KeyError, IndexError,
+    OverflowError, MemoryError,
+)
+
+
 def from_bytes(data: bytes):
     """Restore a sketch or engine serialized by :func:`to_bytes`.
 
     The restored object is state-identical to the one encoded: same
     snapshots, same query results, bit-identical subsequent updates.
+    Any corruption surfaces as :class:`SketchCodecError` carrying the
+    decode offset — never a bare ``struct.error`` or NumPy exception.
     """
     reader = _Reader(data)
-    kind = _read_header(reader)
-    if kind in (_KIND_BOTTOM_K, _KIND_POISSON):
-        obj = _restore_sketch(_read_sketch_body(reader, kind))
-    elif kind == _KIND_ENGINE:
-        obj = _restore_engine(_read_engine_state(reader))
-    elif kind == _KIND_STORE:
+    try:
+        kind = _read_header(reader)
+        if kind in (_KIND_BOTTOM_K, _KIND_POISSON):
+            obj = _restore_sketch(_read_sketch_body(reader, kind))
+        elif kind == _KIND_ENGINE:
+            obj = _restore_engine(_read_engine_state(reader))
+        elif kind == _KIND_STORE:
+            raise SketchCodecError(
+                "blob is a store snapshot; use SketchStore.restore() or "
+                "store_from_bytes()"
+            )
+        else:
+            raise SketchCodecError(f"unknown payload kind {kind}")
+        reader.expect_end()
+    except SketchCodecError:
+        raise
+    except _STRAY_DECODE_ERRORS as exc:
         raise SketchCodecError(
-            "blob is a store snapshot; use SketchStore.restore() or "
-            "store_from_bytes()"
-        )
-    else:
-        raise SketchCodecError(f"unknown payload kind {kind}")
-    reader.expect_end()
+            f"corrupt payload near offset {reader.position}: {exc!r}"
+        ) from exc
     return obj
 
 
@@ -552,23 +582,34 @@ write_label = _write_label
 
 
 def store_from_bytes(data: bytes) -> list[tuple[str, int, StreamEngine]]:
-    """Decode a store blob into ``(name, version, engine)`` triples."""
+    """Decode a store blob into ``(name, version, engine)`` triples.
+
+    Corruption anywhere in the container or in an embedded engine blob
+    raises :class:`SketchCodecError` with the offending offset.
+    """
     reader = _Reader(data)
-    kind = _read_header(reader)
-    if kind != _KIND_STORE:
-        raise SketchCodecError(
-            f"expected a store snapshot (kind {_KIND_STORE}), got kind "
-            f"{kind}"
-        )
-    items = []
-    for _ in range(reader.u64()):
-        name = reader.text()
-        version = reader.u64()
-        engine = from_bytes(reader.blob())
-        if not isinstance(engine, StreamEngine):
+    try:
+        kind = _read_header(reader)
+        if kind != _KIND_STORE:
             raise SketchCodecError(
-                f"store entry {name!r} does not contain an engine"
+                f"expected a store snapshot (kind {_KIND_STORE}), got kind "
+                f"{kind}"
             )
-        items.append((name, version, engine))
-    reader.expect_end()
+        items = []
+        for _ in range(reader.u64()):
+            name = reader.text()
+            version = reader.u64()
+            engine = from_bytes(reader.blob())
+            if not isinstance(engine, StreamEngine):
+                raise SketchCodecError(
+                    f"store entry {name!r} does not contain an engine"
+                )
+            items.append((name, version, engine))
+        reader.expect_end()
+    except SketchCodecError:
+        raise
+    except _STRAY_DECODE_ERRORS as exc:
+        raise SketchCodecError(
+            f"corrupt store snapshot near offset {reader.position}: {exc!r}"
+        ) from exc
     return items

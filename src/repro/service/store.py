@@ -35,7 +35,11 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.exceptions import InvalidParameterError, UnknownStoreError
+from repro.exceptions import (
+    InvalidParameterError,
+    SketchCodecError,
+    UnknownStoreError,
+)
 from repro.obs import span
 from repro.sampling.ranks import RankFamily, rank_family_from_name
 from repro.sampling.seeds import SeedAssigner
@@ -82,6 +86,36 @@ class SketchStore:
         self._lock = threading.Lock()
         self._entries: dict[str, _StoreEntry] = {}
         self._planner: "QueryPlanner | None" = None
+        #: duck-typed repro.wal.WriteAheadLog (kept untyped to avoid a
+        #: service -> wal -> server import cycle)
+        self._wal = None
+
+    # ------------------------------------------------------------------
+    # Durability log
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`repro.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Attach a write-ahead log: from now on every ingest batch and
+        engine-state change is appended *before* it is applied.
+
+        The log records batches in the :mod:`repro.server.wire` columnar
+        format, so a WAL-attached store only accepts wire-encodable keys
+        (str / int64 / the tagged instance labels) and finite values —
+        the same contract as the binary ingest endpoint.  Attach the log
+        *after* recovery replay and before serving traffic; re-attaching
+        is an error.
+        """
+        if wal is None:
+            raise InvalidParameterError("cannot attach wal=None")
+        if self._wal is not None:
+            raise InvalidParameterError(
+                "a write-ahead log is already attached to this store"
+            )
+        self._wal = wal
 
     # ------------------------------------------------------------------
     # Registry
@@ -212,7 +246,39 @@ class SketchStore:
                 raise InvalidParameterError(
                     f"store {name!r} already exists"
                 )
+            if self._wal is not None:
+                self._wal.append_engine(
+                    name, int(version), codec.to_bytes(engine)
+                )
             self._entries[name] = _StoreEntry(engine, version)
+
+    def adopt(
+        self, name: str, engine: StreamEngine, version: int = 0
+    ) -> None:
+        """Register ``name`` or replace its engine wholesale.
+
+        The replication / recovery counterpart of :meth:`register`: a
+        follower applying an engine-state record must overwrite whatever
+        it currently holds.  Replacement waits for in-flight ingests to
+        drain, keeps the version monotone (``max(local, version)``), and
+        logs an engine record when a WAL is attached.
+        """
+        if name not in self:
+            self.register(name, engine, version=version)
+            return
+        if not isinstance(engine, StreamEngine):
+            raise InvalidParameterError(
+                f"expected a StreamEngine, got {type(engine).__name__}"
+            )
+        with self._read(name) as entry:
+            new_version = max(entry.version, int(version))
+            if self._wal is not None:
+                self._wal.append_engine(
+                    name, new_version, codec.to_bytes(engine)
+                )
+            entry.engine = engine
+            entry.version = new_version
+            entry.shard_locks.clear()
 
     def names(self) -> list[str]:
         """Registered engine names, in registration order."""
@@ -272,6 +338,19 @@ class SketchStore:
         entry = self._entry(name)
         with entry.cond:
             jobs = entry.engine.ingest_jobs(instance, keys, values)
+            if self._wal is not None:
+                # append-before-apply: the version this batch will carry
+                # once applied is the idempotence key recovery replays
+                # against.  version + in_flight is invariant under
+                # completions, so planned versions are the exact sequence
+                # the quiescent (snapshot-visible) counter runs through.
+                self._wal.append_batch(
+                    name,
+                    entry.version + entry.in_flight + 1,
+                    instance,
+                    keys,
+                    values,
+                )
             for job in jobs:
                 entry.shard_locks.setdefault(
                     (instance, job.shard), threading.Lock()
@@ -289,6 +368,45 @@ class SketchStore:
                 version = entry.version
                 entry.cond.notify_all()
         return version
+
+    def replay_batch(
+        self,
+        name: str,
+        instance: object,
+        keys: Sequence[object],
+        values,
+        version: int,
+    ) -> int:
+        """Apply a logged ingest batch, forcing its recorded version.
+
+        Recovery and replica catch-up re-apply batches that already have
+        a version assigned by the origin store; applying them through
+        :meth:`ingest` would re-number them.  Runs quiescently (no
+        concurrent ingest can interleave), bumps the version to the
+        record's value, and — when this store has its *own* WAL attached
+        (a durable follower) — logs the batch before applying, same as a
+        live ingest.  Returns the new version.
+        """
+        entry = self._entry(name)
+        version = int(version)
+        with entry.cond:
+            while entry.in_flight:
+                entry.cond.wait()
+            if version <= entry.version:
+                raise InvalidParameterError(
+                    f"replayed batch for {name!r} carries version "
+                    f"{version} but the store is already at "
+                    f"{entry.version}; skip-checks belong to the caller"
+                )
+            if self._wal is not None:
+                self._wal.append_batch(name, version, instance, keys, values)
+            jobs = entry.engine.ingest_jobs(instance, keys, values)
+            with span("store.replay", engine=name, shards=len(jobs)):
+                for job in jobs:
+                    StreamEngine.run_job(job)
+            entry.version = version
+            entry.cond.notify_all()
+            return entry.version
 
     def ingest_rows(
         self, name: str, rows: Iterable[tuple[object, object, float]]
@@ -412,7 +530,9 @@ class SketchStore:
         """Write the whole store to ``path`` via the binary codec."""
         return self.snapshot_marked(path)[0]
 
-    def snapshot_marked(self, path) -> tuple[Path, dict]:
+    def snapshot_marked(
+        self, path, *, checkpoint_wal: bool = True
+    ) -> tuple[Path, dict]:
         """:meth:`snapshot` plus the exact per-engine marks written.
 
         Returns ``(path, marks)`` where ``marks[name]`` is the
@@ -421,10 +541,19 @@ class SketchStore:
         Serving layers use the marks for dirty tracking: an ingest that
         completes while a later engine is still being serialized must
         not be considered snapshotted.
+
+        With a WAL attached, a successful snapshot checkpoints the log:
+        segments whose records all predate the snapshot are deleted.
+        The cutoff LSN is captured *before* any engine is serialized, so
+        a batch racing the snapshot is always either in the file or in
+        the surviving tail — replay's version checks make the overlap
+        harmless.  ``checkpoint_wal=False`` keeps the log intact (ad-hoc
+        snapshot copies must not weaken the primary's recovery story).
         """
         items = []
         marks: dict[str, tuple[int, int]] = {}
         with span("store.snapshot") as attrs:
+            cutoff = self._wal.last_lsn if self._wal is not None else None
             for name in self.names():
                 with self._read(name) as entry:
                     items.append(
@@ -441,7 +570,25 @@ class SketchStore:
             os.replace(scratch, path)
             attrs["engines"] = len(items)
             attrs["bytes"] = len(blob)
+            if checkpoint_wal and cutoff is not None:
+                attrs["wal_segments_dropped"] = self._wal.checkpoint(cutoff)
         return path, marks
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole store to one snapshot blob, no file.
+
+        Same format as :meth:`snapshot` (readable by
+        :func:`repro.service.codec.store_from_bytes`); used by the
+        ``/replicate`` full-delta mode when the WAL tail a follower asks
+        for was already checkpointed away.
+        """
+        items = []
+        for name in self.names():
+            with self._read(name) as entry:
+                items.append(
+                    (name, entry.version, codec.to_bytes(entry.engine))
+                )
+        return codec.store_to_bytes(items)
 
     @classmethod
     def restore(cls, path) -> "SketchStore":
@@ -451,10 +598,17 @@ class SketchStore:
         versions, same query results.
         """
         store = cls()
+        path = Path(path)
         with span("store.restore") as attrs:
-            for name, version, engine in codec.store_from_bytes(
-                Path(path).read_bytes()
-            ):
+            data = path.read_bytes()
+            try:
+                entries = codec.store_from_bytes(data)
+            except SketchCodecError as exc:
+                raise SketchCodecError(
+                    f"corrupt store snapshot {path} "
+                    f"({len(data)} bytes): {exc}"
+                ) from exc
+            for name, version, engine in entries:
                 store.register(name, engine, version=version)
             attrs["engines"] = len(store.names())
         return store
@@ -484,6 +638,12 @@ class SketchStore:
                 entry.engine.merge_from(peer_engine)
                 entry.version = max(entry.version, peer_version) + 1
                 entry.shard_locks.clear()
+                if self._wal is not None:
+                    # a merge is not replayable from batches — log the
+                    # full post-merge state so recovery sees it
+                    self._wal.append_engine(
+                        name, entry.version, codec.to_bytes(entry.engine)
+                    )
 
     def merge_snapshot(self, path) -> None:
         """Fold a peer's :meth:`snapshot` file into this store."""

@@ -1,0 +1,45 @@
+"""Write-ahead log durability for the sketch store.
+
+Snapshots (:meth:`repro.service.SketchStore.snapshot`) bound data loss
+to "everything since the last snapshot"; this package closes that gap.
+:class:`WriteAheadLog` is an append-only, CRC-framed, segment-rotated
+log of ingest batches (in the :mod:`repro.server.wire` columnar format)
+and engine-state records, with a configurable fsync policy.  A store
+with an attached log appends every ingest batch *before* applying it,
+so crash recovery — :func:`recover_store` — is restore-snapshot +
+replay-tail and reproduces the pre-crash sketch state bit for bit.
+
+Replay is idempotent: every record carries the per-engine version the
+store assigned at plan time, and recovery skips records whose effects
+the snapshot already contains.  Torn tail writes (an append interrupted
+mid-record) are detected by checksum and truncated; any *other*
+corruption — a flipped bit in the middle of a segment, a sequence gap,
+a checksummed record that decodes to garbage — raises
+:class:`~repro.exceptions.WalCorruptionError` with file and offset
+context, so a damaged log fails loudly instead of silently serving
+partial data.
+"""
+
+from repro.exceptions import WalCorruptionError
+from repro.wal.log import (
+    FSYNC_POLICIES,
+    RECORD_BATCH,
+    RECORD_ENGINE,
+    WalRecord,
+    WriteAheadLog,
+    decode_tail,
+)
+from repro.wal.recovery import RecoveryReport, apply_records, recover_store
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RECORD_BATCH",
+    "RECORD_ENGINE",
+    "RecoveryReport",
+    "WalCorruptionError",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_records",
+    "decode_tail",
+    "recover_store",
+]

@@ -13,7 +13,7 @@ import asyncio
 
 import pytest
 
-from repro.server import AsyncSketchClient
+from repro.server import AsyncSketchClient, ClientResponseError
 
 
 class ScriptedServer:
@@ -158,3 +158,199 @@ class TestMalformedContentLength:
                     assert client.last_request_id == "abc123"
 
         run(scenario())
+
+
+def status_response(
+    status: int, *header_lines: str, body: bytes = b""
+) -> bytes:
+    head = f"HTTP/1.1 {status} X\r\n" + "".join(
+        line + "\r\n" for line in header_lines
+    )
+    head += f"Content-Length: {len(body)}\r\n"
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def overloaded(*header_lines: str) -> bytes:
+    return status_response(
+        503, *header_lines, body=b'{"error":"backpressure"}'
+    )
+
+
+def ok() -> bytes:
+    return status_response(200, body=b'{"status":"ok"}')
+
+
+class TestBackpressureRetry:
+    """503 handling in :meth:`AsyncSketchClient._checked`: capped
+    exponential backoff with jitter, honouring ``Retry-After``."""
+
+    @staticmethod
+    def instrument(client, jitter: float = 0.0) -> list[float]:
+        """Make backoff deterministic and capture the slept delays."""
+        delays: list[float] = []
+
+        async def fake_sleep(delay: float) -> None:
+            delays.append(delay)
+
+        client._sleep = fake_sleep
+        client._random = lambda: jitter
+        return delays
+
+    def test_retries_until_success(self):
+        async def scenario():
+            responses = [overloaded(), overloaded(), ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_base=0.1
+                )
+                delays = self.instrument(client)
+                async with client:
+                    assert await client.healthz() == {"status": "ok"}
+                assert len(server.requests) == 3
+                # zero jitter: delay == backoff/2, doubling per attempt
+                assert delays == [0.05, 0.1]
+
+        run(scenario())
+
+    def test_jitter_spreads_the_herd(self):
+        async def scenario():
+            responses = [overloaded(), ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_base=0.1
+                )
+                delays = self.instrument(client, jitter=1.0)
+                async with client:
+                    await client.healthz()
+                # full jitter: backoff/2 + 1.0 * backoff/2 == backoff
+                assert delays == [0.1]
+
+        run(scenario())
+
+    def test_backoff_is_capped(self):
+        async def scenario():
+            responses = [overloaded() for _ in range(5)] + [ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1",
+                    server.port,
+                    retry_attempts=5,
+                    retry_base=1.0,
+                    retry_cap=2.0,
+                )
+                delays = self.instrument(client)
+                async with client:
+                    await client.healthz()
+                # 1.0, 2.0, then pinned to the cap (halved: zero jitter)
+                assert delays == [0.5, 1.0, 1.0, 1.0, 1.0]
+
+        run(scenario())
+
+    def test_attempts_are_capped_then_the_503_surfaces(self):
+        async def scenario():
+            responses = [overloaded() for _ in range(3)]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_attempts=2
+                )
+                delays = self.instrument(client)
+                async with client:
+                    with pytest.raises(ClientResponseError) as err:
+                        await client.healthz()
+                assert err.value.status == 503
+                assert len(server.requests) == 3  # 1 try + 2 retries
+                assert len(delays) == 2
+
+        run(scenario())
+
+    def test_zero_attempts_fails_fast(self):
+        async def scenario():
+            responses = [overloaded()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_attempts=0
+                )
+                delays = self.instrument(client)
+                async with client:
+                    with pytest.raises(ClientResponseError):
+                        await client.healthz()
+                assert len(server.requests) == 1
+                assert delays == []
+
+        run(scenario())
+
+    def test_retry_after_is_a_floor(self):
+        async def scenario():
+            responses = [overloaded("Retry-After: 0.8"), ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_base=0.1
+                )
+                delays = self.instrument(client)
+                async with client:
+                    await client.healthz()
+                # the computed 0.05 backoff is raised to the hint
+                assert delays == [0.8]
+                # the final 200 carried no hint, so the cache cleared
+                assert client.last_retry_after is None
+
+        run(scenario())
+
+    def test_retry_after_is_clamped_to_the_cap(self):
+        async def scenario():
+            responses = [overloaded("Retry-After: 3600"), ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_cap=1.5
+                )
+                delays = self.instrument(client)
+                async with client:
+                    await client.healthz()
+                # a hostile/huge hint never stalls the client past the cap
+                assert delays == [1.5]
+
+        run(scenario())
+
+    def test_malformed_retry_after_is_ignored(self):
+        async def scenario():
+            responses = [overloaded("Retry-After: soon"), ok()]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient(
+                    "127.0.0.1", server.port, retry_base=0.1
+                )
+                delays = self.instrument(client)
+                async with client:
+                    await client.healthz()
+                assert client.last_retry_after is None
+                assert delays == [0.05]
+
+        run(scenario())
+
+    def test_non_503_errors_do_not_retry(self):
+        async def scenario():
+            responses = [
+                status_response(404, body=b'{"error":"no such route"}')
+            ]
+            async with ScriptedServer(responses) as server:
+                client = AsyncSketchClient("127.0.0.1", server.port)
+                delays = self.instrument(client)
+                async with client:
+                    with pytest.raises(ClientResponseError) as err:
+                        await client.healthz()
+                assert err.value.status == 404
+                assert len(server.requests) == 1
+                assert delays == []
+
+        run(scenario())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retry_attempts": -1},
+            {"retry_base": 0.0},
+            {"retry_base": 2.0, "retry_cap": 1.0},
+        ],
+    )
+    def test_bad_retry_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AsyncSketchClient("127.0.0.1", 1, **kwargs)

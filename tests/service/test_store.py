@@ -8,7 +8,11 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
-from repro.exceptions import InvalidParameterError, UnknownStoreError
+from repro.exceptions import (
+    InvalidParameterError,
+    SketchCodecError,
+    UnknownStoreError,
+)
 from repro.sampling.ranks import PpsRanks
 from repro.sampling.seeds import SeedAssigner
 from repro.service.store import SketchStore
@@ -296,3 +300,56 @@ class TestSnapshotMarked:
         assert marks["t"] != (
             store.version("t"), store.engine("t").change_tick
         )
+
+
+class TestCorruptSnapshot:
+    """Restoring a damaged snapshot file must raise
+    :class:`SketchCodecError` with file and offset context — never a
+    bare ``struct.error`` / ``ValueError`` / NumPy exception."""
+
+    @staticmethod
+    def write_snapshot(tmp_path):
+        store = build_store("poisson", threshold=0.05)
+        for instance, keys, values in make_batches(
+            n_keys=600, n_batches=3
+        ):
+            store.ingest("traffic", instance, keys, values)
+        path = tmp_path / "store.bin"
+        store.snapshot(path)
+        return path
+
+    def test_truncated_snapshot_names_the_file(self, tmp_path):
+        path = self.write_snapshot(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(SketchCodecError) as err:
+            SketchStore.restore(path)
+        message = str(err.value)
+        assert str(path) in message
+        assert "corrupt store snapshot" in message
+
+    def test_bad_magic_names_the_file(self, tmp_path):
+        path = self.write_snapshot(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SketchCodecError, match="corrupt store snapshot"):
+            SketchStore.restore(path)
+
+    def test_bit_flips_never_escape_as_stray_exceptions(self, tmp_path):
+        """Flip one bit at a spread of offsets.  Two outcomes are
+        acceptable — a clean restore (the flip landed in a value byte;
+        the snapshot format carries no checksum) or a SketchCodecError
+        with context — but never a stray decoder exception."""
+        path = self.write_snapshot(tmp_path)
+        pristine = path.read_bytes()
+        step = max(1, len(pristine) // 64)
+        for offset in range(0, len(pristine), step):
+            data = bytearray(pristine)
+            data[offset] ^= 1 << (offset % 8)
+            path.write_bytes(bytes(data))
+            try:
+                SketchStore.restore(path)
+            except SketchCodecError as exc:
+                assert str(path) in str(exc), f"offset {offset}: {exc}"
+        path.write_bytes(pristine)
+        SketchStore.restore(path)  # the pristine bytes still round-trip

@@ -1,0 +1,149 @@
+"""Exhaustive fault injection against the log's integrity policy.
+
+The final record of a log is torn at *every* byte offset — both by
+truncation and by single-bit flips — and recovery must always land in
+one of exactly two places: the precise pre-crash state minus the torn
+batch, or a loud :class:`~repro.exceptions.WalCorruptionError` carrying
+the byte offset.  Mid-log damage (sealed segments, corrupt records with
+intact successors, header damage) must always take the loud branch.
+Silently partial stores are never acceptable.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+import faults
+from repro.exceptions import WalCorruptionError
+from repro.service import codec
+from repro.wal import WriteAheadLog, recover_store
+
+N_BATCHES = 4
+ROWS = 3
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """A finished WAL directory plus the two acceptable recovery states:
+
+    ``full`` (all batches applied) and ``prev`` (the final batch torn
+    away), both as canonical engine bytes.
+    """
+    wal_dir = tmp_path_factory.mktemp("pristine") / "wal"
+    store, wal = faults.build_wal_store(wal_dir)
+    faults.fill(store, N_BATCHES, ROWS)
+    wal.close()
+    full = codec.to_bytes(store.engine(faults.ENGINE))
+    prev = codec.to_bytes(
+        faults.control_after(N_BATCHES - 1, rows=ROWS)
+    )
+    assert full != prev, "the final batch must change the sketch"
+    return wal_dir, full, prev
+
+
+def damaged_copy(pristine_dir, scratch):
+    if scratch.exists():
+        shutil.rmtree(scratch)
+    shutil.copytree(pristine_dir, scratch)
+    (segment,) = list(scratch.glob("*.wal"))
+    return segment
+
+
+def recover_bytes(wal_dir):
+    wal = WriteAheadLog(wal_dir, fsync="off")
+    try:
+        report = recover_store(None, wal)
+    finally:
+        wal.close()
+    return codec.to_bytes(report.store.engine(faults.ENGINE)), report
+
+
+def recover_error(wal_dir) -> str:
+    with pytest.raises(WalCorruptionError) as err:
+        wal = WriteAheadLog(wal_dir, fsync="off")
+        try:
+            recover_store(None, wal)
+        finally:
+            wal.close()
+    return str(err.value)
+
+
+class TestTornFinalRecord:
+    def test_truncation_at_every_byte_offset(self, pristine, tmp_path):
+        wal_dir, full, prev = pristine
+        (segment,) = list(wal_dir.glob("*.wal"))
+        start, end = faults.record_spans(segment)[-1]
+        for cut in range(start, end):
+            damaged = damaged_copy(wal_dir, tmp_path / "work")
+            faults.truncate_to(damaged, cut)
+            recovered, report = recover_bytes(damaged.parent)
+            assert recovered == prev, f"truncated at byte {cut}"
+            assert recovered != full
+            # a cut exactly on the record boundary is a clean tail
+            assert cut == start or report.torn_tail is not None
+
+    def test_bit_flip_at_every_byte_offset(self, pristine, tmp_path):
+        wal_dir, full, prev = pristine
+        (segment,) = list(wal_dir.glob("*.wal"))
+        start, end = faults.record_spans(segment)[-1]
+        for offset in range(start, end):
+            damaged = damaged_copy(wal_dir, tmp_path / "work")
+            faults.flip_bit(damaged, offset, bit=offset % 8)
+            recovered, report = recover_bytes(damaged.parent)
+            # CRC framing means no flipped final record ever half-applies
+            assert recovered == prev, f"bit flipped at byte {offset}"
+            assert report.torn_tail is not None, f"byte {offset}"
+
+
+class TestMidLogCorruption:
+    def test_flips_in_earlier_records_fail_loudly(self, pristine, tmp_path):
+        wal_dir, _, _ = pristine
+        (segment,) = list(wal_dir.glob("*.wal"))
+        spans = faults.record_spans(segment)
+        for start, end in spans[:-1]:
+            for offset in (start + 1, (start + end) // 2):
+                damaged = damaged_copy(wal_dir, tmp_path / "work")
+                faults.flip_bit(damaged, offset)
+                message = recover_error(damaged.parent)
+                assert "offset" in message, (
+                    f"flip at {offset} lost its offset context: {message}"
+                )
+
+    def test_segment_header_damage_fails_loudly(self, pristine, tmp_path):
+        wal_dir, _, _ = pristine
+        for offset, expected in [
+            (0, "segment magic"),  # magic
+            (4, "segment version"),  # version field
+            # base-LSN field: the first record is then out of sequence
+            (6, "out of sequence"),
+        ]:
+            damaged = damaged_copy(wal_dir, tmp_path / "work")
+            faults.flip_bit(damaged, offset)
+            message = recover_error(damaged.parent)
+            assert expected in message, f"header byte {offset}: {message}"
+
+    def test_sealed_segment_damage_fails_loudly(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        store, wal = faults.build_wal_store(wal_dir, segment_bytes=256)
+        faults.fill(store, 8, ROWS)
+        sealed = wal.segment_paths()[0]
+        assert len(wal.segment_paths()) > 1
+        wal.close()
+        start, end = faults.record_spans(sealed)[0]
+        faults.flip_bit(sealed, (start + end) // 2)
+        message = recover_error(wal_dir)
+        assert "sealed segment" in message
+        assert "offset" in message
+
+    def test_missing_middle_segment_fails_loudly(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        store, wal = faults.build_wal_store(wal_dir, segment_bytes=256)
+        faults.fill(store, 8, ROWS)
+        paths = wal.segment_paths()
+        assert len(paths) >= 3
+        wal.close()
+        paths[1].unlink()
+        message = recover_error(wal_dir)
+        assert "does not continue the log" in message

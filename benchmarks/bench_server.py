@@ -133,7 +133,15 @@ async def _query_worker(port, done, counters) -> None:
 async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dict:
     server = SketchServer(
         store,
-        ServerConfig(port=0, ingest_threads=4, max_pending_batches=64),
+        # ticker + health rules enabled: the mixed load measures the
+        # serving path with the full observability surface running
+        ServerConfig(
+            port=0,
+            ingest_threads=4,
+            max_pending_batches=64,
+            series_interval=0.25,
+            health_target_p99=1.0,
+        ),
     )
     await server.start()
     counters = {
@@ -171,6 +179,10 @@ async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dic
         done.set()
         await asyncio.gather(*query_tasks)
         elapsed = time.perf_counter() - started
+        # the health engine evaluates cleanly under load (the verdict
+        # itself is workload-dependent and not gated)
+        health = server.health.evaluate()
+        series_samples = server.series.n_samples
         # per-route latency quantiles from the server's own histograms
         latency = {
             label: histogram.to_dict()
@@ -194,6 +206,8 @@ async def _drive(store, batches, ingest_workers: int, query_workers: int) -> dic
         "requests_per_second": n_requests / elapsed,
         "ingest_rows_per_second": counters["rows"] / elapsed,
         "latency": latency,
+        "health_status": health.status,
+        "series_samples": series_samples,
     }
 
 

@@ -9,8 +9,8 @@ a write-ahead log attached to measure the durability tax) and writes
 their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
 repository root, so successive PRs leave a comparable perf trail::
 
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR8.json
-    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR8.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR9.json
 
 After writing (or with ``--compare-only``, instead of benching at all)
 the record is diffed against every earlier ``BENCH_PR*.json``:
@@ -253,7 +253,7 @@ def record_benchmarks(smoke: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR8.json",
+    parser.add_argument("--out", default="BENCH_PR9.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")

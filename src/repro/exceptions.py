@@ -55,6 +55,19 @@ class WalCorruptionError(SketchCodecError):
     recovery stops loudly instead of serving partial data."""
 
 
+class ConfidenceUnavailableError(ReproError, ValueError):
+    """Raised when a query asks for ``cv``/``ci90`` confidence reporting
+    but no variance estimator applies to its shape.
+
+    The paper's variance formulas cover distinct counts (HT and L
+    variants) and single-instance subset sums (rank conditioning on
+    bottom-k, Horvitz-Thompson on Poisson).  Dominance, L1 distance,
+    estimator-weighted multi-instance sums and custom queries have no
+    analyzable plug-in variance here, so — mirroring the
+    independence-assumption rejection in :mod:`repro.streaming.query` —
+    they are refused loudly instead of reporting a made-up interval."""
+
+
 class UnknownStoreError(ReproError, KeyError):
     """Raised by :class:`repro.service.SketchStore` when a named engine is
     not registered in the store."""

@@ -14,19 +14,28 @@ serving layer shares:
 * :mod:`repro.obs.logtools` — structured JSON logging correlated by
   request ID, and the :class:`SlowRequestLog` tail-latency tattler;
 * :mod:`repro.obs.prom` — Prometheus text exposition (0.0.4) for
-  counters, gauges and histogram series.
+  counters, gauges and histogram series;
+* :mod:`repro.obs.series` — :class:`MetricSeries` /
+  :class:`SeriesCollector`: bounded in-process metrics time series
+  (monotonic timestamps, counter→rate derivation, merge-safe
+  snapshots) behind ``GET /metrics/history``;
+* :mod:`repro.obs.health` — :class:`HealthRule` / :class:`HealthMonitor`:
+  declarative health rules with asymmetric hysteresis folding into one
+  ``healthy`` / ``degraded`` / ``unhealthy`` verdict.
 
 The package deliberately imports nothing from the serving layers, so
 ``repro.service`` and ``repro.server`` can instrument themselves with
 it without cycles.
 """
 
+from repro.obs.health import HealthMonitor, HealthReport, HealthRule
 from repro.obs.hist import LatencyHistogram
 from repro.obs.logtools import (
     JsonLogFormatter,
     SlowRequestLog,
     configure_json_logging,
 )
+from repro.obs.series import MetricPoint, MetricSeries, SeriesCollector
 from repro.obs.trace import (
     SpanRecord,
     TraceRecorder,
@@ -40,8 +49,14 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
     "JsonLogFormatter",
     "LatencyHistogram",
+    "MetricPoint",
+    "MetricSeries",
+    "SeriesCollector",
     "SlowRequestLog",
     "SpanRecord",
     "TraceRecorder",

@@ -1,0 +1,224 @@
+"""Declarative fleet-health rules with hysteresis.
+
+A :class:`HealthRule` binds a *probe* — any zero-argument callable
+returning the rule's current **badness** (a float where higher is
+worse, or ``None`` for "no data yet") — to ``warn`` / ``fail``
+thresholds.  A :class:`HealthMonitor` evaluates its rules into an
+overall ``healthy`` / ``degraded`` / ``unhealthy`` verdict with
+machine-readable reasons, suitable for ``GET /healthz?verbose=1``, the
+``/statusz`` page, and a ``repro_health_status`` Prometheus family.
+
+Semantics:
+
+* probe ``>= fail`` is ``unhealthy``, probe ``>= warn`` is
+  ``degraded``, below both (or ``None``) is ``healthy``;
+* a rule with ``warn=None`` and ``fail=None`` is *informational*: its
+  value is reported but can never degrade the verdict;
+* **hysteresis** dampens flapping asymmetrically: a rule *worsens
+  immediately* but only *recovers* after ``hysteresis`` consecutive
+  evaluations at the better level — an operator paged for ``degraded``
+  should not watch it flip back on the very next scrape;
+* a probe that raises reports ``unhealthy`` with the exception as the
+  reason — a broken probe is itself a health problem, not a pass.
+
+The module is standard-library only and knows nothing about WAL lag or
+latency targets; the serving layer supplies the probes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["HealthMonitor", "HealthReport", "HealthRule", "STATUSES"]
+
+#: verdicts, best to worst; list index doubles as the numeric severity
+#: exported as the ``repro_health_status`` gauge value
+STATUSES = ("healthy", "degraded", "unhealthy")
+
+_SEVERITY = {status: index for index, status in enumerate(STATUSES)}
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative health rule.
+
+    Parameters
+    ----------
+    name:
+        Machine-readable rule identifier (the ``reason`` key).
+    probe:
+        Zero-argument callable returning the current badness (higher is
+        worse) or ``None`` when there is no data to judge.
+    warn / fail:
+        Badness thresholds (inclusive) for ``degraded`` /
+        ``unhealthy``; ``None`` disables that level.  Both ``None``
+        makes the rule informational.
+    hysteresis:
+        Consecutive evaluations at a better level required before the
+        reported status improves (worsening is always immediate).
+    description:
+        Human-readable one-liner for ``/statusz``.
+    """
+
+    name: str
+    probe: Callable[[], float | None]
+    warn: float | None = None
+    fail: float | None = None
+    hysteresis: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidParameterError("rule name must be non-empty")
+        if not callable(self.probe):
+            raise InvalidParameterError(
+                f"rule {self.name!r}: probe must be callable"
+            )
+        if int(self.hysteresis) < 1:
+            raise InvalidParameterError(
+                f"rule {self.name!r}: hysteresis must be >= 1, got "
+                f"{self.hysteresis}"
+            )
+        if (
+            self.warn is not None
+            and self.fail is not None
+            and float(self.fail) < float(self.warn)
+        ):
+            raise InvalidParameterError(
+                f"rule {self.name!r}: fail ({self.fail}) must be >= "
+                f"warn ({self.warn})"
+            )
+
+    def raw_status(self, value: float | None) -> str:
+        """The threshold verdict of one probe value, before hysteresis."""
+        if value is None:
+            return "healthy"
+        if self.fail is not None and value >= float(self.fail):
+            return "unhealthy"
+        if self.warn is not None and value >= float(self.warn):
+            return "degraded"
+        return "healthy"
+
+
+class _RuleState:
+    """Mutable hysteresis state of one rule."""
+
+    __slots__ = ("reported", "streak")
+
+    def __init__(self) -> None:
+        self.reported = "healthy"
+        self.streak = 0
+
+    def update(self, raw: str, hysteresis: int) -> str:
+        if _SEVERITY[raw] >= _SEVERITY[self.reported]:
+            # same or worse: report immediately, recovery starts over
+            self.reported = raw
+            self.streak = 0
+            return self.reported
+        self.streak += 1
+        if self.streak >= hysteresis:
+            self.reported = raw
+            self.streak = 0
+        return self.reported
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One evaluation of every rule."""
+
+    status: str
+    reasons: tuple[dict, ...]
+    rules: dict[str, dict]
+
+    @property
+    def severity(self) -> int:
+        """Numeric verdict (0 healthy / 1 degraded / 2 unhealthy)."""
+        return _SEVERITY[self.status]
+
+    def to_json(self) -> dict:
+        return {
+            "status": self.status,
+            "severity": self.severity,
+            "reasons": [dict(reason) for reason in self.reasons],
+            "rules": {name: dict(rule) for name, rule in self.rules.items()},
+        }
+
+
+class HealthMonitor:
+    """Evaluates a set of :class:`HealthRule` into one verdict."""
+
+    def __init__(self, rules: Iterable[HealthRule] = ()) -> None:
+        # hysteresis state mutates on evaluation, and evaluations come
+        # from both the event loop (/healthz) and executor threads
+        # (the Prometheus render), so the monitor serializes itself
+        self._lock = threading.Lock()
+        self._rules: dict[str, HealthRule] = {}
+        self._states: dict[str, _RuleState] = {}
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: HealthRule) -> None:
+        if not isinstance(rule, HealthRule):
+            raise InvalidParameterError(
+                f"expected a HealthRule, got {type(rule).__name__}"
+            )
+        with self._lock:
+            if rule.name in self._rules:
+                raise InvalidParameterError(
+                    f"duplicate health rule {rule.name!r}"
+                )
+            self._rules[rule.name] = rule
+            self._states[rule.name] = _RuleState()
+
+    def rule_names(self) -> list[str]:
+        return list(self._rules)
+
+    def evaluate(self) -> HealthReport:
+        """Probe every rule and fold the results into one verdict.
+
+        The overall status is the worst reported rule status; every
+        rule at ``degraded`` or worse contributes a machine-readable
+        reason, worst first.
+        """
+        rules: dict[str, dict] = {}
+        reasons: list[dict] = []
+        worst = "healthy"
+        with self._lock:
+            pending = list(self._rules.items())
+        for name, rule in pending:
+            try:
+                value = rule.probe()
+                if value is not None:
+                    value = float(value)
+                error = None
+            except Exception as exc:  # noqa: BLE001 - probes are config
+                value = None
+                error = f"{type(exc).__name__}: {exc}"
+            raw = "unhealthy" if error is not None else rule.raw_status(value)
+            with self._lock:
+                reported = self._states[name].update(
+                    raw, int(rule.hysteresis)
+                )
+            detail: dict = {
+                "status": reported,
+                "value": value,
+                "warn": rule.warn,
+                "fail": rule.fail,
+            }
+            if rule.description:
+                detail["description"] = rule.description
+            if error is not None:
+                detail["error"] = error
+            rules[name] = detail
+            if _SEVERITY[reported] > _SEVERITY["healthy"]:
+                reasons.append({"rule": name, **detail})
+            if _SEVERITY[reported] > _SEVERITY[worst]:
+                worst = reported
+        reasons.sort(key=lambda reason: -_SEVERITY[reason["status"]])
+        return HealthReport(
+            status=worst, reasons=tuple(reasons), rules=rules
+        )

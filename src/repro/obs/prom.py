@@ -43,6 +43,14 @@ def _escape_label(value: object) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # the 0.0.4 text format escapes backslash and line feed in HELP —
+    # not double quotes, unlike label values; an unescaped newline
+    # would truncate the comment and feed the rest to the sample
+    # parser, corrupting the whole scrape
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_value(value: float) -> str:
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
@@ -64,7 +72,10 @@ def sample_line(name: str, labels: Mapping[str, object] | None, value: float) ->
 
 
 def _family(name: str, kind: str, help_text: str, lines: list[str]) -> str:
-    header = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    header = [
+        f"# HELP {name} {_escape_help(help_text)}",
+        f"# TYPE {name} {kind}",
+    ]
     return "\n".join(header + lines)
 
 

@@ -182,14 +182,21 @@ class TraceRecorder:
     def export_jsonl(self, path: str | Path) -> int:
         """Write the buffered spans to ``path`` as JSON lines.
 
+        The payloads are materialised under the recorder lock — one
+        consistent snapshot of the ring *and* of every record's attrs
+        dict (``to_json`` copies it), so a concurrent :meth:`record`
+        or an in-flight span mutating its attrs cannot corrupt the
+        export mid-write.  File I/O happens outside the lock.
+
         Returns the number of records written.
         """
-        records = self.recent()
+        with self._lock:
+            payloads = [record.to_json() for record in self._buffer]
         with Path(path).open("w") as handle:
-            for record in records:
-                json.dump(record.to_json(), handle, sort_keys=True)
+            for payload in payloads:
+                json.dump(payload, handle, sort_keys=True)
                 handle.write("\n")
-        return len(records)
+        return len(payloads)
 
     def clear(self) -> None:
         with self._lock:

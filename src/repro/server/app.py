@@ -20,9 +20,15 @@ GET      /query        distinct / sum / dominance / l1 through the
 POST     /snapshot     persist the store through the binary codec
 POST     /merge        fold a peer snapshot file into the store
 GET      /replicate    WAL tail (or full store delta) since ?since=<lsn>
-                       for follower catch-up (requires ``wal_dir``)
-GET      /healthz      liveness + uptime
+                       for follower catch-up (requires ``wal_dir``);
+                       ``?follower=<id>`` opts into lag tracking
+GET      /healthz      liveness + uptime; ``?verbose=1`` adds the health
+                       rule engine's verdict with reasons
+GET      /statusz      human-readable status page (uptime, engines,
+                       sparklines of recent series, health reasons)
 GET      /metrics      throughput, cache hit rate, per-engine probes
+GET      /metrics/history  ring-buffered time series of one metric
+                       (``?metric=<name>&window=<seconds>``)
 =======  ============  ====================================================
 
 Concurrency model
@@ -47,6 +53,7 @@ import asyncio
 import contextlib
 import contextvars
 import csv
+import html
 import io
 import logging
 import math
@@ -66,7 +73,11 @@ from repro.exceptions import (
     SketchCodecError,
     UnknownStoreError,
 )
+from repro import __version__
 from repro.obs import (
+    HealthMonitor,
+    HealthRule,
+    SeriesCollector,
     SlowRequestLog,
     configure_json_logging,
     default_recorder,
@@ -123,6 +134,28 @@ class RawResponse(NamedTuple):
 
 def _flag(params: dict[str, str], name: str) -> bool:
     return params.get(name, "").lower() in _TRUE_VALUES
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float]) -> str:
+    """A unicode sparkline of ``values`` for the ``/statusz`` page."""
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span_width = high - low
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append(" ")
+        elif span_width <= 0.0:
+            chars.append(_SPARK_CHARS[0])
+        else:
+            index = int((value - low) / span_width * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[index])
+    return "".join(chars)
 
 
 def _adopt_request_id(raw: str | None) -> str:
@@ -200,7 +233,9 @@ class SketchServer:
         self.port: int | None = None
         self.router = Router()
         self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/statusz", self._handle_statusz)
         self.router.add("GET", "/metrics", self._handle_metrics)
+        self.router.add("GET", "/metrics/history", self._handle_metrics_history)
         self.router.add("POST", "/engines", self._handle_create_engine)
         self.router.add("POST", "/ingest", self._handle_ingest)
         self.router.add("GET", "/query", self._handle_query)
@@ -244,6 +279,20 @@ class SketchServer:
         self._clean_marks: dict[str, tuple[int, int]] = {}
         self.last_shutdown_snapshot: Path | None = None
 
+        # fleet-health observability: the metrics time series behind
+        # /metrics/history and /statusz, the follower positions the WAL
+        # lag rules read, and the health rule engine itself (built last
+        # so its probes can close over everything above, including an
+        # attached WAL)
+        self.series = SeriesCollector(
+            interval=self.config.series_interval or 1.0,
+            capacity=self.config.series_capacity,
+        )
+        #: follower id -> {"position": lsn, "last_poll": monotonic}
+        self._followers: dict[str, dict] = {}
+        self.health = HealthMonitor(self._build_health_rules())
+        self._series_task: asyncio.Task | None = None
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -257,6 +306,10 @@ class SketchServer:
             port=self.config.port,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.series_interval > 0:
+            self._series_task = asyncio.get_running_loop().create_task(
+                self._series_ticker()
+            )
         return self
 
     async def shutdown(self, drain_seconds: float = 10.0) -> None:
@@ -267,6 +320,11 @@ class SketchServer:
         if self._shutdown_done:
             return
         self._closing = True
+        if self._series_task is not None:
+            self._series_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._series_task
+            self._series_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -452,24 +510,276 @@ class SketchServer:
         )
 
     # ------------------------------------------------------------------
+    # Time series + health rules
+    # ------------------------------------------------------------------
+    async def _series_ticker(self) -> None:
+        """Background sampler feeding the metrics time series.
+
+        Runs on the event loop — one :meth:`ServerMetrics.series_sample`
+        per interval is a handful of lock-protected reads, far cheaper
+        than an executor hop.  A failing sample is logged and skipped;
+        the ticker itself must survive anything short of cancellation.
+        """
+        logger = logging.getLogger("repro.server")
+        while True:
+            await asyncio.sleep(self.config.series_interval)
+            try:
+                self.series.collect(
+                    self.metrics.series_sample(
+                        self.store, self.planner, dict(self._pending)
+                    )
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - sampler must keep ticking
+                logger.exception("metrics series sample failed")
+
+    def _build_health_rules(self) -> tuple[HealthRule, ...]:
+        """The serving stack's declarative health rules.
+
+        Each probe returns a *badness* (higher is worse) or ``None``
+        for "no data" — a freshly started server with no followers and
+        no traffic is healthy, not unknown.  Thresholds are deliberately
+        conservative defaults; the sketch-shape rules are informational
+        (they describe estimate quality drift, which has no universal
+        bad threshold).
+        """
+        return (
+            HealthRule(
+                "wal_follower_lag",
+                self._probe_follower_lag,
+                warn=64,
+                fail=4096,
+                hysteresis=2,
+                description=(
+                    "records the furthest-behind registered follower "
+                    "still has to replay (LSNs)"
+                ),
+            ),
+            HealthRule(
+                "wal_follower_idle",
+                self._probe_follower_idle,
+                warn=30.0,
+                fail=300.0,
+                hysteresis=2,
+                description=(
+                    "seconds since the quietest registered follower "
+                    "last polled /replicate"
+                ),
+            ),
+            HealthRule(
+                "wal_checkpoint_age",
+                self._probe_checkpoint_age,
+                warn=600.0,
+                fail=3600.0,
+                description=(
+                    "seconds of un-checkpointed WAL history a crash "
+                    "would replay (0 while fully checkpointed)"
+                ),
+            ),
+            HealthRule(
+                "wal_fsync_p99",
+                self._probe_fsync_p99,
+                warn=0.1,
+                fail=1.0,
+                description="p99 of WAL fsync wall time (seconds)",
+            ),
+            HealthRule(
+                "backpressure_503",
+                self._probe_backpressure,
+                warn=0.05,
+                fail=0.25,
+                description=(
+                    "fraction of responses rejected with 503 "
+                    "backpressure"
+                ),
+            ),
+            HealthRule(
+                "route_p99_burn",
+                self._probe_p99_burn,
+                warn=1.0,
+                fail=4.0,
+                description=(
+                    "merged request p99 as a multiple of the "
+                    "configured health_target_p99"
+                ),
+            ),
+            HealthRule(
+                "cache_miss_rate",
+                self._probe_cache_miss_rate,
+                warn=0.95,
+                description="fraction of query-cache lookups that miss",
+            ),
+            HealthRule(
+                "sketch_fill_ratio",
+                self._probe_sketch_fill,
+                description=(
+                    "lowest bottom-k fill ratio (retained keys / k per "
+                    "shard) across engines; informational"
+                ),
+            ),
+            HealthRule(
+                "sketch_threshold_drift",
+                self._probe_threshold_drift,
+                description=(
+                    "worst relative spread of per-shard rank "
+                    "thresholds within one instance; informational"
+                ),
+            ),
+            HealthRule(
+                "sketch_discard_ratio",
+                self._probe_discard_ratio,
+                description=(
+                    "discarded keys as a fraction of updates across "
+                    "engines; informational"
+                ),
+            ),
+        )
+
+    # -- probes (each returns badness or None for "no data") -----------
+    def _probe_follower_lag(self) -> float | None:
+        wal = self.store.wal
+        if wal is None or not self._followers:
+            return None
+        last = wal.last_lsn
+        return float(
+            max(
+                max(0, last - entry["position"])
+                for entry in self._followers.values()
+            )
+        )
+
+    def _probe_follower_idle(self) -> float | None:
+        if not self._followers:
+            return None
+        now = time.monotonic()
+        return max(
+            now - entry["last_poll"] for entry in self._followers.values()
+        )
+
+    def _probe_checkpoint_age(self) -> float | None:
+        wal = self.store.wal
+        if wal is None:
+            return None
+        if wal.last_lsn <= wal.checkpoint_lsn:
+            # nothing to replay: an idle, fully-checkpointed log does
+            # not get older
+            return 0.0
+        return wal.checkpoint_age_seconds
+
+    def _probe_fsync_p99(self) -> float | None:
+        wal = self.store.wal
+        if wal is None:
+            return None
+        p99 = wal.fsync_histogram.quantile(0.99)
+        return p99 if math.isfinite(p99) else None
+
+    def _probe_backpressure(self) -> float | None:
+        responses, rejected = self.metrics.response_counts()
+        if responses < 100:
+            return None
+        return rejected / responses
+
+    def _probe_p99_burn(self) -> float | None:
+        merged = self.metrics.merged_histogram()
+        if merged.count < 100:
+            return None
+        return merged.quantile(0.99) / self.config.health_target_p99
+
+    def _probe_cache_miss_rate(self) -> float | None:
+        stats = self.planner.cache_stats()
+        if stats["hits"] + stats["misses"] < 100:
+            return None
+        return 1.0 - stats["hit_rate"]
+
+    def _bottom_k_probes(self):
+        """Yield ``(engine name, probe dict, k)`` for bottom-k engines."""
+        for name in self.store.names():
+            try:
+                engine = self.store.engine(name)
+                config = engine.sketch_config or {}
+                if config.get("kind") != "bottom_k":
+                    continue
+                yield name, engine.probe(), int(config["k"])
+            except (UnknownStoreError, KeyError):
+                continue
+
+    def _probe_sketch_fill(self) -> float | None:
+        fills = []
+        for _, probe, k in self._bottom_k_probes():
+            capacity = k * probe["n_shards"] * max(1, probe["n_instances"])
+            if capacity > 0 and probe["n_updates"] > 0:
+                fills.append(min(1.0, probe["retained_keys"] / capacity))
+        return min(fills) if fills else None
+
+    def _probe_threshold_drift(self) -> float | None:
+        drifts = []
+        for name in self.store.names():
+            try:
+                engine = self.store.engine(name)
+                labels = engine.instance_labels
+            except (UnknownStoreError, AttributeError):
+                continue
+            for label in labels:
+                try:
+                    thresholds = [
+                        sketch.threshold
+                        for sketch in engine.shard_sketches(label)
+                    ]
+                except (InvalidParameterError, AttributeError):
+                    continue
+                finite = [
+                    threshold
+                    for threshold in thresholds
+                    if math.isfinite(threshold) and threshold > 0
+                ]
+                if len(finite) == len(thresholds) and len(finite) > 1:
+                    drifts.append((max(finite) - min(finite)) / min(finite))
+        return max(drifts) if drifts else None
+
+    def _probe_discard_ratio(self) -> float | None:
+        discarded = 0
+        updates = 0
+        for name in self.store.names():
+            try:
+                engine = self.store.engine(name)
+                probe = engine.probe()
+                labels = engine.instance_labels
+            except (UnknownStoreError, AttributeError):
+                continue
+            updates += int(probe.get("n_updates", 0))
+            for label in labels:
+                try:
+                    sketches = engine.shard_sketches(label)
+                except (InvalidParameterError, AttributeError):
+                    continue
+                discarded += sum(
+                    int(getattr(sketch, "n_discarded_keys", 0))
+                    for sketch in sketches
+                )
+        if updates == 0:
+            return None
+        return discarded / updates
+
+    # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
     async def _handle_healthz(self, request: Request) -> tuple[int, dict]:
-        return 200, {
+        payload = {
             "status": "closing" if self._closing else "ok",
             "uptime_seconds": self.metrics.uptime_seconds(),
             "engines": len(self.store.names()),
         }
+        if _flag(request.params, "verbose"):
+            report = await self._in_executor(self.health.evaluate)
+            payload["health"] = report.to_json()
+        return 200, payload
 
     async def _handle_metrics(self, request: Request) -> tuple[int, object]:
         fmt = request.params.get("format", "json")
         if fmt == "prometheus":
-            text = await self._in_executor(
-                self.metrics.prometheus,
-                self.store,
-                self.planner,
-                dict(self._pending),
-            )
+            pending = dict(self._pending)
+            text = await self._in_executor(self._render_prometheus, pending)
             return 200, RawResponse(text.encode("utf-8"), prom.CONTENT_TYPE)
         if fmt != "json":
             raise HttpError(
@@ -483,6 +793,154 @@ class SketchServer:
             dict(self._pending),
         )
         return 200, payload
+
+    def _render_prometheus(self, pending: dict) -> str:
+        # evaluated on the executor: one scrape carries the health
+        # verdict too, so an external TSDB alerts on the same rules
+        # /healthz reports
+        return self.metrics.prometheus(
+            self.store,
+            self.planner,
+            pending,
+            health=self.health.evaluate(),
+        )
+
+    async def _handle_metrics_history(
+        self, request: Request
+    ) -> tuple[int, dict]:
+        metric = request.params.get("metric")
+        if not metric:
+            raise HttpError(
+                400,
+                "metrics history requires ?metric=<name>; known metrics: "
+                f"{self.series.names()}",
+            )
+        raw_window = request.params.get("window")
+        window = None
+        if raw_window is not None:
+            try:
+                window = float(raw_window)
+            except ValueError:
+                raise HttpError(
+                    400,
+                    f"?window must be a number of seconds, got "
+                    f"{raw_window!r}",
+                ) from None
+            if window < 0:
+                raise HttpError(400, f"?window must be >= 0, got {window}")
+        # unknown metrics raise InvalidParameterError -> 400 (with the
+        # known-name list in the message) via the dispatch error mapping
+        return 200, self.series.history(metric, window=window)
+
+    async def _handle_statusz(self, request: Request) -> tuple[int, object]:
+        page = await self._in_executor(self._statusz_html)
+        return 200, RawResponse(
+            page.encode("utf-8"), "text/html; charset=utf-8"
+        )
+
+    def _statusz_html(self) -> str:
+        """The human-readable ``/statusz`` page.
+
+        Deliberately dependency-free HTML: uptime and version, the
+        health verdict with its active reasons, per-engine probes, and
+        unicode sparklines of the recent metric series — the
+        at-a-glance page an operator opens before reaching for the
+        Prometheus console.
+        """
+        report = self.health.evaluate()
+        uptime = self.metrics.uptime_seconds()
+        lines = [
+            "<!DOCTYPE html>",
+            "<html><head><title>repro statusz</title>",
+            "<style>body{font-family:monospace;margin:2em;}"
+            "table{border-collapse:collapse;}"
+            "td,th{padding:2px 12px;text-align:left;}"
+            ".healthy{color:#0a0;}.degraded{color:#c80;}"
+            ".unhealthy{color:#c00;}</style></head><body>",
+            "<h1>repro sketch server</h1>",
+            "<p>version {} &middot; uptime {:.1f}s &middot; "
+            "{} engines &middot; health <b class={!r}>{}</b></p>".format(
+                html.escape(__version__),
+                uptime,
+                len(self.store.names()),
+                report.status,
+                report.status,
+            ),
+        ]
+        if report.reasons:
+            lines.append("<h2>active reasons</h2><ul>")
+            for reason in report.reasons:
+                lines.append(
+                    "<li><b class={!r}>{}</b> {}: value={} warn={} "
+                    "fail={}</li>".format(
+                        reason["status"],
+                        reason["status"],
+                        html.escape(str(reason["rule"])),
+                        html.escape(str(reason.get("value"))),
+                        html.escape(str(reason.get("warn"))),
+                        html.escape(str(reason.get("fail"))),
+                    )
+                )
+            lines.append("</ul>")
+        lines.append("<h2>health rules</h2><table>")
+        lines.append(
+            "<tr><th>rule</th><th>status</th><th>value</th>"
+            "<th>warn</th><th>fail</th></tr>"
+        )
+        for name, detail in sorted(report.rules.items()):
+            value = detail.get("value")
+            lines.append(
+                "<tr><td>{}</td><td class={!r}>{}</td><td>{}</td>"
+                "<td>{}</td><td>{}</td></tr>".format(
+                    html.escape(name),
+                    detail["status"],
+                    detail["status"],
+                    "-" if value is None else f"{value:.6g}",
+                    html.escape(str(detail.get("warn"))),
+                    html.escape(str(detail.get("fail"))),
+                )
+            )
+        lines.append("</table>")
+        lines.append("<h2>recent series</h2><table>")
+        lines.append(
+            "<tr><th>metric</th><th>last</th><th>recent</th></tr>"
+        )
+        for name in self.series.names():
+            series = self.series.series(name)
+            points = series.points()
+            if not points:
+                continue
+            values = [point.value for point in points[-60:]]
+            lines.append(
+                "<tr><td>{}</td><td>{:.6g}</td><td>{}</td></tr>".format(
+                    html.escape(name),
+                    values[-1],
+                    html.escape(_sparkline(values)),
+                )
+            )
+        lines.append("</table>")
+        lines.append("<h2>engines</h2><table>")
+        lines.append(
+            "<tr><th>engine</th><th>version</th><th>updates</th>"
+            "<th>retained keys</th></tr>"
+        )
+        for name in sorted(self.store.names()):
+            try:
+                probe = self.store.engine(name).probe()
+                version = self.store.version_hint(name)
+            except UnknownStoreError:
+                continue
+            lines.append(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+                "</tr>".format(
+                    html.escape(str(name)),
+                    version,
+                    probe.get("n_updates", 0),
+                    probe.get("retained_keys", 0),
+                )
+            )
+        lines.append("</table></body></html>")
+        return "\n".join(lines)
 
     async def _handle_create_engine(self, request: Request) -> tuple[int, dict]:
         payload = request.json()
@@ -747,13 +1205,18 @@ class SketchServer:
             if _flag(params, "int_instances")
             else list(labels)
         )
-        query = Query(kind, tuple(instances), variant=params.get("variant", "l"))
+        query = Query(
+            kind,
+            tuple(instances),
+            variant=params.get("variant", "l"),
+            confidence=_flag(params, "confidence"),
+        )
         # cache probes are cheap enough for the event loop; only pay the
         # executor hop when the result actually needs recomputing
         result = self.planner.peek(name, query)
         if result is None:
             result = await self._in_executor(self.planner.run, name, query)
-        return 200, {
+        payload = {
             "name": name,
             "kind": kind,
             "instances": labels,
@@ -761,6 +1224,14 @@ class SketchServer:
             "from_cache": result.from_cache,
             "value": query_value_json(result.value),
         }
+        if result.confidence is not None:
+            payload["confidence"] = result.confidence
+            cv = result.confidence.get("cv")
+            # fresh computations only: a cache hit re-serving the same
+            # estimate must not re-weight the accuracy distribution
+            if cv is not None and not result.from_cache:
+                self.metrics.record_accuracy(kind, cv)
+        return 200, payload
 
     def _resolve_data_path(self, raw: object) -> Path:
         """Confine a network-supplied snapshot/merge path.
@@ -846,24 +1317,43 @@ class SketchServer:
             ) from None
         if since < 0:
             raise HttpError(400, f"?since must be >= 0, got {since}")
-        body = await self._in_executor(self._build_replica, since)
+        follower = request.params.get("follower")
+        if follower:
+            # register at the *requested* position first — a crash
+            # mid-build must not leave the follower looking current
+            self._followers[follower] = {
+                "position": since,
+                "last_poll": time.monotonic(),
+            }
+        body, last_lsn = await self._in_executor(self._build_replica, since)
+        if follower:
+            entry = self._followers.get(follower)
+            if entry is not None:
+                # optimistic: the shipped cursor is what the follower
+                # will replay to; its next poll re-asserts the truth
+                entry["position"] = max(entry["position"], last_lsn)
+                entry["last_poll"] = time.monotonic()
         return 200, RawResponse(body, REPLICA_CONTENT_TYPE)
 
-    def _build_replica(self, since: int) -> bytes:
-        """One ``/replicate`` body: WAL tail, or full store delta when
-        the requested tail was checkpointed away.  Runs on the executor
-        (segment reads + possible full-store serialization)."""
+    def _build_replica(self, since: int) -> tuple[bytes, int]:
+        """One ``/replicate`` body plus its shipped cursor: WAL tail, or
+        full store delta when the requested tail was checkpointed away.
+        Runs on the executor (segment reads + possible full-store
+        serialization)."""
         wal = self.store.wal
         tail = wal.tail_since(since)
         if tail is not None:
             blob, last_lsn = tail
-            return encode_replica(REPLICA_MODE_WAL, last_lsn, blob)
+            return encode_replica(REPLICA_MODE_WAL, last_lsn, blob), last_lsn
         # Capture the cursor BEFORE serializing: a batch ingested during
         # serialization may or may not be in the blob, and a too-small
         # cursor only makes the follower re-fetch records its version
         # checks then skip — a too-large one would silently lose data.
         last_lsn = wal.last_lsn
-        return encode_replica(REPLICA_MODE_STORE, last_lsn, self.store.to_bytes())
+        body = encode_replica(
+            REPLICA_MODE_STORE, last_lsn, self.store.to_bytes()
+        )
+        return body, last_lsn
 
     async def _handle_merge(self, request: Request) -> tuple[int, dict]:
         payload = request.json()

@@ -287,11 +287,28 @@ class AsyncSketchClient:
     # ------------------------------------------------------------------
     # Endpoint surface
     # ------------------------------------------------------------------
-    async def healthz(self) -> dict:
-        return await self._checked("GET", "/healthz")
+    async def healthz(self, verbose: bool = False) -> dict:
+        params = {"verbose": "1"} if verbose else None
+        return await self._checked("GET", "/healthz", params=params)
+
+    async def statusz(self) -> str:
+        """The ``/statusz`` page as HTML text."""
+        payload = await self._checked("GET", "/statusz")
+        if isinstance(payload, (bytes, bytearray)):
+            return bytes(payload).decode("utf-8", "replace")
+        return str(payload)
 
     async def metrics(self) -> dict:
         return await self._checked("GET", "/metrics")
+
+    async def metrics_history(
+        self, metric: str, window: float | None = None
+    ) -> dict:
+        """The ring-buffered time series of one metric."""
+        params = {"metric": metric}
+        if window is not None:
+            params["window"] = str(float(window))
+        return await self._checked("GET", "/metrics/history", params=params)
 
     async def create_engine(self, name: str, kind: str = "bottom_k", **config) -> dict:
         return await self._checked(
@@ -356,6 +373,7 @@ class AsyncSketchClient:
         instances: list,
         variant: str = "l",
         int_instances: bool = False,
+        confidence: bool = False,
     ) -> dict:
         params = {
             "name": name,
@@ -365,6 +383,8 @@ class AsyncSketchClient:
         }
         if int_instances:
             params["int_instances"] = "1"
+        if confidence:
+            params["confidence"] = "1"
         return await self._checked("GET", "/query", params=params)
 
     async def snapshot(self, path: object = None) -> dict:
@@ -377,7 +397,9 @@ class AsyncSketchClient:
     # ------------------------------------------------------------------
     # Replication (follower side)
     # ------------------------------------------------------------------
-    async def replicate(self, since: int = 0) -> tuple[int, int, bytes]:
+    async def replicate(
+        self, since: int = 0, follower: str | None = None
+    ) -> tuple[int, int, bytes]:
         """Fetch the primary's changes past LSN ``since``.
 
         Returns ``(mode, last_lsn, payload)`` — ``mode`` is
@@ -385,16 +407,25 @@ class AsyncSketchClient:
         tail for :func:`repro.wal.decode_tail`) or ``REPLICA_MODE_STORE``
         (``payload`` is a full store snapshot blob: the tail was
         checkpointed away).  ``last_lsn`` is the next ``since`` cursor.
+        ``follower`` registers this replica under an id on the primary,
+        which then watches its lag through the ``wal_follower_lag`` /
+        ``wal_follower_idle`` health rules.
         """
-        payload = await self._checked(
-            "GET", "/replicate", params={"since": str(int(since))}
-        )
+        params = {"since": str(int(since))}
+        if follower:
+            params["follower"] = str(follower)
+        payload = await self._checked("GET", "/replicate", params=params)
         if not isinstance(payload, (bytes, bytearray)):
             raise ClientResponseError(502, payload)
         return decode_replica(bytes(payload))
 
     async def catch_up(
-        self, store: "SketchStore", since: int = 0, *, on_full: str = "replace"
+        self,
+        store: "SketchStore",
+        since: int = 0,
+        *,
+        on_full: str = "replace",
+        follower: str | None = None,
     ) -> int:
         """One replication round: fetch past ``since``, apply to
         ``store``, return the new cursor.
@@ -411,7 +442,7 @@ class AsyncSketchClient:
             raise ValueError(
                 f"on_full must be 'replace' or 'merge', got {on_full!r}"
             )
-        mode, last_lsn, payload = await self.replicate(since)
+        mode, last_lsn, payload = await self.replicate(since, follower=follower)
         if mode == REPLICA_MODE_WAL:
             from repro.wal import apply_records, decode_tail
 
@@ -431,6 +462,7 @@ class AsyncSketchClient:
         stop: asyncio.Event | None = None,
         max_rounds: int | None = None,
         on_full: str = "replace",
+        follower: str | None = None,
     ) -> int:
         """Pull-replication loop: :meth:`catch_up` every ``interval``
         seconds until ``stop`` is set (or ``max_rounds`` rounds ran).
@@ -440,7 +472,9 @@ class AsyncSketchClient:
         cursor = int(since)
         rounds = 0
         while True:
-            cursor = await self.catch_up(store, cursor, on_full=on_full)
+            cursor = await self.catch_up(
+                store, cursor, on_full=on_full, follower=follower
+            )
             rounds += 1
             if max_rounds is not None and rounds >= max_rounds:
                 return cursor

@@ -87,6 +87,18 @@ class ServerConfig:
         Seconds between fsyncs under the ``interval`` policy.
     wal_segment_bytes:
         Segment-rotation size cap of the log.
+    series_interval:
+        Seconds between samples of the in-process metrics time series
+        (:class:`repro.obs.SeriesCollector`) that backs ``GET
+        /metrics/history`` and the ``/statusz`` sparklines.  ``0``
+        disables the background sampler.
+    series_capacity:
+        Ring-buffer capacity of each metric's time series (how many
+        samples of history are retained).
+    health_target_p99:
+        Target p99 request latency, in seconds, that the
+        ``route_p99_burn`` health rule compares the observed merged p99
+        against (burn = observed / target).
     """
 
     host: str = "127.0.0.1"
@@ -107,6 +119,9 @@ class ServerConfig:
     wal_fsync: str = "interval"
     wal_fsync_interval: float = 0.05
     wal_segment_bytes: int = 64 * 1024 * 1024
+    series_interval: float = 1.0
+    series_capacity: int = 512
+    health_target_p99: float = 1.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -146,4 +161,19 @@ class ServerConfig:
             raise InvalidParameterError(
                 "wal_segment_bytes must be positive, got "
                 f"{self.wal_segment_bytes}"
+            )
+        if self.series_interval < 0:
+            raise InvalidParameterError(
+                "series_interval must be >= 0 (0 disables the series "
+                f"sampler), got {self.series_interval}"
+            )
+        if int(self.series_capacity) <= 0:
+            raise InvalidParameterError(
+                "series_capacity must be positive, got "
+                f"{self.series_capacity}"
+            )
+        if self.health_target_p99 <= 0:
+            raise InvalidParameterError(
+                "health_target_p99 must be positive, got "
+                f"{self.health_target_p99}"
             )

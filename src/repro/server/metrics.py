@@ -16,10 +16,22 @@ Two reporting surfaces share the same state:
 * :meth:`prometheus` — the same state in Prometheus text exposition
   (``GET /metrics?format=prometheus``), with the route histograms
   rendered as cumulative ``_bucket`` series.
+
+A third, *derived* surface feeds the time-series layer:
+:meth:`series_sample` flattens the live counters, cache gauges, merged
+latency quantiles and WAL state into one ``name -> (kind, value)``
+mapping that the server's background ticker hands to a
+:class:`repro.obs.SeriesCollector` every ``series_interval`` seconds —
+the data behind ``GET /metrics/history`` and the ``/statusz``
+sparklines.  :meth:`record_accuracy` additionally folds each confident
+query's estimated coefficient of variation into a per-query-kind
+histogram, so ``/metrics`` reports not just how fast queries are but
+how *tight* their estimates run.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import Counter
@@ -60,6 +72,7 @@ class ServerMetrics:
         self._rejected_oversized = 0
         self._rejected_backpressure = 0
         self._slow_requests = 0
+        self._accuracy_histograms: dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -98,11 +111,39 @@ class ServerMetrics:
         with self._lock:
             self._slow_requests += 1
 
+    def record_accuracy(self, kind: str, cv: float) -> None:
+        """Fold one confident query's estimated coefficient of
+        variation into the per-query-kind accuracy histogram.
+
+        ``kind`` must be bounded-cardinality (a query kind, not a query
+        name).  The histogram machinery is unit-agnostic — a cv is a
+        dimensionless ratio on the same 1e-4..60 log grid.
+        """
+        cv = float(cv)
+        if not math.isfinite(cv):
+            return
+        histogram = self._accuracy_histograms.get(kind)
+        if histogram is None:
+            with self._lock:
+                histogram = self._accuracy_histograms.setdefault(
+                    kind, LatencyHistogram()
+                )
+        histogram.observe(cv)
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
+
+    def response_counts(self) -> tuple[int, int]:
+        """``(total responses, 503 backpressure rejections)`` — the
+        health rules' backpressure-rate feed."""
+        with self._lock:
+            return (
+                sum(self._responses_by_status.values()),
+                self._rejected_backpressure,
+            )
 
     def route_histogram(self, route: str) -> LatencyHistogram | None:
         """The live latency histogram of one route label, if any."""
@@ -118,6 +159,87 @@ class ServerMetrics:
         for histogram in histograms:
             merged.merge_from(histogram)
         return merged
+
+    def series_sample(
+        self, store, planner, pending: dict
+    ) -> dict[str, tuple[str, float]]:
+        """One flattened ``name -> (kind, value)`` sample for the
+        metrics time series.
+
+        Unlike :meth:`snapshot` this is label-free — every entry is one
+        scalar a ring buffer can hold — and intentionally cheap: the
+        per-route breakdown folds to totals, the engines contribute one
+        summed gauge, and the WAL contributes its cursor positions and
+        fsync tail.  Counter entries get their per-second rates derived
+        by :class:`~repro.obs.MetricSeries` on read.
+        """
+        with self._lock:
+            requests = sum(self._requests_by_route.values())
+            responses = sum(self._responses_by_status.values())
+            ingested_rows = self._ingested_rows
+            ingest_batches = self._ingest_batches
+            rejected_backpressure = self._rejected_backpressure
+            rejected_oversized = self._rejected_oversized
+            slow_requests = self._slow_requests
+        cache = planner.cache_stats()
+        sample: dict[str, tuple[str, float]] = {
+            "repro_requests_total": ("counter", float(requests)),
+            "repro_responses_total": ("counter", float(responses)),
+            "repro_ingest_rows_total": ("counter", float(ingested_rows)),
+            "repro_ingest_batches_total": (
+                "counter",
+                float(ingest_batches),
+            ),
+            "repro_rejected_backpressure_total": (
+                "counter",
+                float(rejected_backpressure),
+            ),
+            "repro_rejected_oversized_total": (
+                "counter",
+                float(rejected_oversized),
+            ),
+            "repro_slow_requests_total": ("counter", float(slow_requests)),
+            "repro_query_cache_hits_total": (
+                "counter",
+                float(cache["hits"]),
+            ),
+            "repro_query_cache_misses_total": (
+                "counter",
+                float(cache["misses"]),
+            ),
+            "repro_query_cache_entries": ("gauge", float(cache["entries"])),
+            "repro_query_cache_hit_rate": ("gauge", float(cache["hit_rate"])),
+        }
+        merged = self.merged_histogram()
+        if merged.count:
+            for name, value in merged.quantiles().items():
+                sample[f"repro_request_{name}_seconds"] = ("gauge", value)
+        retained = 0
+        for name in store.names():
+            try:
+                retained += int(
+                    store.engine(name).probe().get("retained_keys", 0)
+                )
+            except UnknownStoreError:
+                continue
+        sample["repro_engine_retained_keys"] = ("gauge", float(retained))
+        sample["repro_engine_pending_batches"] = (
+            "gauge",
+            float(sum(pending.values())),
+        )
+        wal = getattr(store, "wal", None)
+        if wal is not None:
+            stats = wal.stats()
+            sample["repro_wal_last_lsn"] = ("gauge", float(stats["last_lsn"]))
+            sample["repro_wal_checkpoint_lsn"] = (
+                "gauge",
+                float(stats["checkpoint_lsn"]),
+            )
+            sample["repro_wal_segments"] = ("gauge", float(stats["segments"]))
+            fsync_p99 = wal.fsync_histogram.quantile(0.99)
+            if math.isfinite(fsync_p99):
+                sample["repro_wal_fsync_p99_seconds"] = ("gauge", fsync_p99)
+        return sample
 
     def _engine_block(self, store, pending: dict) -> dict[str, dict]:
         """Per-engine probes, defensively iterated.
@@ -163,6 +285,7 @@ class ServerMetrics:
             rejected_oversized = self._rejected_oversized
             rejected_backpressure = self._rejected_backpressure
             slow_requests = self._slow_requests
+            accuracy = dict(self._accuracy_histograms)
 
         return {
             "started_at": time.strftime(
@@ -187,17 +310,30 @@ class ServerMetrics:
                 "rejected_backpressure": rejected_backpressure,
             },
             "query_cache": planner.cache_stats(),
+            # per-query-kind distribution of the estimated coefficient
+            # of variation reported by confident queries
+            "accuracy": {
+                kind: accuracy[kind].to_dict() for kind in sorted(accuracy)
+            },
             "engines": self._engine_block(store, pending),
             # getattr: duck-typed store stand-ins in tests predate .wal
             "wal": wal.stats() if (wal := getattr(store, "wal", None)) else None,
         }
 
-    def prometheus(self, store, planner, pending: dict) -> str:
+    def prometheus(self, store, planner, pending: dict, health=None) -> str:
         """The same state as :meth:`snapshot`, in Prometheus text
-        exposition format (0.0.4)."""
+        exposition format (0.0.4).
+
+        ``health`` is an optional :class:`repro.obs.HealthReport`; when
+        given it is rendered as the ``repro_health_status`` gauge family
+        (0 healthy, 1 degraded, 2 unhealthy) with the unlabelled sample
+        carrying the overall verdict and one ``rule``-labelled sample
+        per rule.
+        """
         payload = self.snapshot(store, planner, pending)
         with self._lock:
             histograms = dict(self._route_histograms)
+            accuracy = dict(self._accuracy_histograms)
         cache = payload["query_cache"]
         ingest = payload["ingest"]
         engines = payload["engines"]
@@ -258,6 +394,13 @@ class ServerMetrics:
                         ingest["rejected_backpressure"],
                     ),
                 ],
+            ),
+            prom.histogram(
+                "repro_query_cv",
+                "Estimated coefficient of variation of confident query "
+                "results, by query kind.",
+                {kind: accuracy[kind] for kind in sorted(accuracy)},
+                label="kind",
             ),
             prom.counter(
                 "repro_query_cache_requests_total",
@@ -353,6 +496,34 @@ class ServerMetrics:
                         "Write-ahead-log segment files on disk.",
                         [({}, stats["segments"])],
                     ),
+                    prom.gauge(
+                        "repro_wal_checkpoint_lsn",
+                        "Log sequence number covered by the last "
+                        "checkpoint.",
+                        [({}, stats["checkpoint_lsn"])],
+                    ),
+                    prom.gauge(
+                        "repro_wal_checkpoint_age_seconds",
+                        "Seconds since the write-ahead log last "
+                        "checkpointed.",
+                        [({}, stats["checkpoint_age_seconds"])],
+                    ),
                 ]
+            )
+        if health is not None:
+            from repro.obs.health import STATUSES
+
+            families.append(
+                prom.gauge(
+                    "repro_health_status",
+                    "Health verdict (0 healthy, 1 degraded, "
+                    "2 unhealthy); the unlabelled sample is the overall "
+                    "verdict, rule-labelled samples break it down.",
+                    [({}, health.severity)]
+                    + [
+                        ({"rule": name}, STATUSES.index(detail["status"]))
+                        for name, detail in sorted(health.rules.items())
+                    ],
+                )
             )
         return prom.render(families)

@@ -317,9 +317,14 @@ def _cmd_query(args) -> dict:
     instances = [
         _parse_key(label, args.int_instances) for label in args.instances
     ]
-    query = Query(args.kind, tuple(instances), variant=args.variant)
+    query = Query(
+        args.kind,
+        tuple(instances),
+        variant=args.variant,
+        confidence=args.confidence,
+    )
     result = store.query(args.name, query)
-    return {
+    payload = {
         "command": "query",
         "store": str(args.store),
         "name": args.name,
@@ -328,6 +333,9 @@ def _cmd_query(args) -> dict:
         "version": result.version,
         "value": query_value_json(result.value),
     }
+    if result.confidence is not None:
+        payload["confidence"] = result.confidence
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -460,6 +468,8 @@ def _cmd_serve(args) -> dict:
         snapshot_on_shutdown=not args.no_snapshot_on_shutdown,
         slow_request_ms=args.slow_ms,
         log_json=args.log_json,
+        series_interval=args.series_interval,
+        health_target_p99=args.health_target_p99,
         wal_dir=args.wal_dir,
         wal_fsync=args.fsync,
         wal_fsync_interval=args.fsync_interval,
@@ -602,6 +612,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="distinct-count estimator variant")
     query.add_argument("--int-instances", action="store_true",
                        help="parse instance labels as integers")
+    query.add_argument("--confidence", action="store_true",
+                       help="report estimate quality (cv / ci90) from "
+                            "the paper's variance estimators; errors "
+                            "for query shapes without one")
     query.set_defaults(run=_cmd_query)
 
     serve = commands.add_parser(
@@ -636,6 +650,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "milliseconds (0 disables)")
     serve.add_argument("--no-snapshot-on-shutdown", action="store_true",
                        help="do not snapshot dirty engines on shutdown")
+    serve.add_argument("--series-interval", type=float, default=1.0,
+                       help="seconds between metrics time-series "
+                            "samples (/metrics/history; 0 disables)")
+    serve.add_argument("--health-target-p99", type=float, default=1.0,
+                       help="target request p99 (seconds) the "
+                            "route_p99_burn health rule burns against")
     _add_wal_arguments(serve, required=False)
     serve.set_defaults(run=_cmd_serve)
 

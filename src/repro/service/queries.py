@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import InvalidParameterError
 from repro.obs import span
+from repro.service.confidence import query_confidence
 from repro.streaming.query import (
     distinct_count,
     l1_distance,
@@ -70,6 +71,10 @@ class Query:
     predicate: object = None
     #: custom query function ``fn(sketches) -> value``
     fn: object = field(default=None)
+    #: report estimate quality (``cv`` / ``ci90``) alongside the value;
+    #: raises :class:`~repro.exceptions.ConfidenceUnavailableError` for
+    #: query shapes without an applicable variance estimator
+    confidence: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -120,11 +125,17 @@ class Query:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """A query value plus the engine version it was computed at."""
+    """A query value plus the engine version it was computed at.
+
+    ``confidence`` carries the estimate-quality payload
+    (:func:`repro.service.confidence.query_confidence`) when the query
+    asked for it, else ``None``.
+    """
 
     value: object
     version: int
     from_cache: bool
+    confidence: dict | None = None
 
     def __float__(self) -> float:
         return float(self.value)
@@ -182,6 +193,7 @@ class QueryPlanner:
             cls._param_token(query.estimator),
             cls._param_token(query.predicate),
             cls._param_token(query.fn),
+            bool(query.confidence),
         )
         try:
             hash(key)
@@ -232,7 +244,8 @@ class QueryPlanner:
             if key in self._cache:
                 self._cache.move_to_end(key)
                 self.hits += 1
-                return QueryResult(self._cache[key], version, True)
+                value, confidence = self._cache[key]
+                return QueryResult(value, version, True, confidence)
         return None
 
     def run(self, name: str, query: Query) -> QueryResult:
@@ -254,14 +267,22 @@ class QueryPlanner:
                 name, query.instances
             )
             value = self._dispatch(sketches, query)
+            # computed against the same snapshot_view sketches as the
+            # value, so the quality payload describes exactly this
+            # estimate (and rides the cache entry with it)
+            confidence = (
+                query_confidence(sketches, query, value)
+                if query.confidence
+                else None
+            )
             key = self._cache_key(name, version, query)
             if key is not None:
                 with self._lock:
                     self.misses += 1
-                    self._cache[key] = value
+                    self._cache[key] = (value, confidence)
                     while len(self._cache) > self.max_cache_entries:
                         self._cache.popitem(last=False)
-            return QueryResult(value, version, False)
+            return QueryResult(value, version, False, confidence)
 
     def execute(self, name: str, query: Query):
         """Uncached execution (always recomputes, never stores)."""

@@ -372,6 +372,9 @@ class WriteAheadLog:
         self._fsync_count = 0
         self._fsync_seconds = 0.0
         self._last_fsync = time.monotonic()
+        # checkpoint age is measured from log open: a freshly opened log
+        # that never checkpoints is exactly as replay-heavy as its age
+        self._last_checkpoint = time.monotonic()
         self._replay_seconds: float | None = None
         self._replayed_records = 0
         self._torn_tail: str | None = None
@@ -558,6 +561,7 @@ class WriteAheadLog:
                 raise InvalidParameterError("the write-ahead log is closed")
             self._rotate_locked()
             self._checkpoint_lsn = max(self._checkpoint_lsn, int(up_to_lsn))
+            self._last_checkpoint = time.monotonic()
             removed = 0
             while len(self._segments) > 1:
                 _, path = self._segments[0]
@@ -663,6 +667,13 @@ class WriteAheadLog:
         """Description of the torn tail truncated at open, if any."""
         return self._torn_tail
 
+    @property
+    def checkpoint_age_seconds(self) -> float:
+        """Seconds since the last checkpoint (or since the log was
+        opened, when it never checkpointed) — a recovery-cost proxy:
+        the older the checkpoint, the longer the replay tail."""
+        return time.monotonic() - self._last_checkpoint
+
     def segment_paths(self) -> list[Path]:
         """Current segment files, oldest first (the last one is live)."""
         with self._lock:
@@ -687,6 +698,9 @@ class WriteAheadLog:
                 "segments": len(self._segments),
                 "last_lsn": self._last_lsn,
                 "checkpoint_lsn": self._checkpoint_lsn,
+                "checkpoint_age_seconds": (
+                    time.monotonic() - self._last_checkpoint
+                ),
                 "replay_seconds": self._replay_seconds,
                 "replayed_records": self._replayed_records,
                 "torn_tail": self._torn_tail,

@@ -1,0 +1,149 @@
+"""Health rule engine: thresholds, hysteresis, probe failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import HealthMonitor, HealthRule
+
+
+def rule_with_value(values, **kwargs):
+    """A rule whose probe pops successive values from ``values``."""
+    queue = list(values)
+    return HealthRule(
+        kwargs.pop("name", "r"),
+        lambda: queue.pop(0),
+        **kwargs,
+    )
+
+
+class TestHealthRule:
+    def test_thresholds_are_inclusive(self):
+        rule = HealthRule("r", lambda: None, warn=1.0, fail=2.0)
+        assert rule.raw_status(0.99) == "healthy"
+        assert rule.raw_status(1.0) == "degraded"
+        assert rule.raw_status(1.99) == "degraded"
+        assert rule.raw_status(2.0) == "unhealthy"
+
+    def test_none_means_no_data_means_healthy(self):
+        rule = HealthRule("r", lambda: None, warn=0.0, fail=0.0)
+        assert rule.raw_status(None) == "healthy"
+
+    def test_informational_rules_never_degrade(self):
+        rule = HealthRule("r", lambda: 1e9)
+        assert rule.raw_status(1e9) == "healthy"
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            HealthRule("", lambda: None)
+        with pytest.raises(InvalidParameterError, match="callable"):
+            HealthRule("r", probe=None)  # type: ignore[arg-type]
+        with pytest.raises(InvalidParameterError, match="hysteresis"):
+            HealthRule("r", lambda: None, hysteresis=0)
+        with pytest.raises(InvalidParameterError, match="fail"):
+            HealthRule("r", lambda: None, warn=2.0, fail=1.0)
+
+
+class TestHealthMonitor:
+    def test_worst_rule_wins_and_reasons_sort_worst_first(self):
+        monitor = HealthMonitor(
+            (
+                HealthRule("ok", lambda: 0.0, warn=1.0),
+                HealthRule("warned", lambda: 5.0, warn=1.0, fail=10.0),
+                HealthRule("failed", lambda: 50.0, warn=1.0, fail=10.0),
+            )
+        )
+        report = monitor.evaluate()
+        assert report.status == "unhealthy"
+        assert report.severity == 2
+        assert [reason["rule"] for reason in report.reasons] == [
+            "failed",
+            "warned",
+        ]
+        assert report.rules["ok"]["status"] == "healthy"
+        payload = report.to_json()
+        assert payload["status"] == "unhealthy"
+        assert payload["rules"]["warned"]["value"] == 5.0
+
+    def test_worsening_is_immediate(self):
+        monitor = HealthMonitor(
+            (rule_with_value([0.0, 9.0], warn=1.0, fail=5.0, hysteresis=3),)
+        )
+        assert monitor.evaluate().status == "healthy"
+        assert monitor.evaluate().status == "unhealthy"
+
+    def test_recovery_needs_hysteresis_consecutive_evaluations(self):
+        monitor = HealthMonitor(
+            (
+                rule_with_value(
+                    [9.0, 0.0, 0.0, 0.0], warn=1.0, fail=5.0, hysteresis=2
+                ),
+            )
+        )
+        assert monitor.evaluate().status == "unhealthy"
+        # first better evaluation: still reported unhealthy
+        assert monitor.evaluate().status == "unhealthy"
+        # second consecutive better evaluation: recovered
+        assert monitor.evaluate().status == "healthy"
+        assert monitor.evaluate().status == "healthy"
+
+    def test_relapse_resets_the_recovery_streak(self):
+        monitor = HealthMonitor(
+            (
+                rule_with_value(
+                    [9.0, 0.0, 9.0, 0.0, 0.0],
+                    warn=1.0,
+                    fail=5.0,
+                    hysteresis=2,
+                ),
+            )
+        )
+        assert monitor.evaluate().status == "unhealthy"
+        assert monitor.evaluate().status == "unhealthy"  # streak 1
+        assert monitor.evaluate().status == "unhealthy"  # relapse, streak 0
+        assert monitor.evaluate().status == "unhealthy"  # streak 1
+        assert monitor.evaluate().status == "healthy"  # streak 2 -> recover
+
+    def test_partial_recovery_respects_hysteresis_too(self):
+        monitor = HealthMonitor(
+            (
+                rule_with_value(
+                    [9.0, 2.0, 2.0], warn=1.0, fail=5.0, hysteresis=2
+                ),
+            )
+        )
+        assert monitor.evaluate().status == "unhealthy"
+        assert monitor.evaluate().status == "unhealthy"
+        # recovers to degraded (the probe still exceeds warn)
+        assert monitor.evaluate().status == "degraded"
+
+    def test_raising_probe_reports_unhealthy_with_error(self):
+        def probe():
+            raise RuntimeError("boom")
+
+        monitor = HealthMonitor((HealthRule("broken", probe, warn=1.0),))
+        report = monitor.evaluate()
+        assert report.status == "unhealthy"
+        detail = report.rules["broken"]
+        assert detail["error"] == "RuntimeError: boom"
+        assert detail["value"] is None
+
+    def test_no_data_is_healthy(self):
+        monitor = HealthMonitor(
+            (HealthRule("idle", lambda: None, warn=0.0, fail=0.0),)
+        )
+        assert monitor.evaluate().status == "healthy"
+
+    def test_duplicate_rule_names_rejected(self):
+        monitor = HealthMonitor((HealthRule("r", lambda: None),))
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            monitor.add_rule(HealthRule("r", lambda: None))
+        assert monitor.rule_names() == ["r"]
+
+    def test_description_rides_the_detail(self):
+        monitor = HealthMonitor(
+            (HealthRule("r", lambda: 1.0, description="what it means"),)
+        )
+        report = monitor.evaluate()
+        assert report.rules["r"]["description"] == "what it means"

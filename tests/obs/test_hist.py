@@ -113,6 +113,35 @@ class TestQuantiles:
             estimate = hist.quantile(q)
             assert abs(hist.bucket_index(estimate) - hist.bucket_index(exact)) <= 1
 
+    def test_empty_histogram_every_q_is_nan(self):
+        hist = LatencyHistogram()
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(hist.quantile(q))
+
+    def test_extreme_quantiles_pin_to_observed_extremes(self):
+        values = [0.003, 0.04, 0.5, 7.0]
+        hist = make_hist(values)
+        for q, expected in ((0.0, min(values)), (1.0, max(values))):
+            # inverted_cdf's order statistic at the extremes IS the
+            # observed min/max, which the histogram tracks exactly
+            exact = float(
+                np.percentile(np.asarray(values), q * 100, method="inverted_cdf")
+            )
+            assert exact == expected
+            assert hist.quantile(q) == pytest.approx(expected)
+
+    def test_overflow_observations_clamp_to_observed_max(self):
+        # 300s lands in the +Inf bucket; the quantile must answer with
+        # the observed maximum, never the infinite bucket bound
+        hist = make_hist([0.01, 300.0])
+        assert hist.quantile(1.0) == pytest.approx(300.0)
+        assert math.isfinite(hist.quantile(0.99))
+        all_overflow = make_hist([100.0, 200.0, 300.0])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert math.isfinite(all_overflow.quantile(q))
+        assert all_overflow.quantile(0.0) == pytest.approx(100.0)
+        assert all_overflow.quantile(1.0) == pytest.approx(300.0)
+
     def test_quantiles_named_and_monotone(self):
         hist = make_hist([i / 1000.0 for i in range(1, 200)])
         named = hist.quantiles()

@@ -93,3 +93,24 @@ class TestFamilies:
 
     def test_render_empty(self):
         assert prom.render([]) == ""
+
+    def test_help_text_escaping_keeps_exposition_line_framed(self):
+        # Text format 0.0.4: HELP escapes backslash and newline (only).
+        hostile = 'line one\nline two \\ "quoted" trailer'
+        block = prom.counter("repro_evil_total", hostile, [(None, 1)])
+        lines = block.splitlines()
+        assert lines[0] == (
+            "# HELP repro_evil_total "
+            'line one\\nline two \\\\ "quoted" trailer'
+        )
+        assert lines[1] == "# TYPE repro_evil_total counter"
+        assert lines[2] == "repro_evil_total 1"
+        # every physical line still starts with a comment marker or the
+        # metric name -- a raw newline in HELP would break this framing
+        for line in lines:
+            assert line.startswith("#") or line.startswith("repro_evil_total")
+        assert parse_samples(block) == {"repro_evil_total": 1.0}
+
+    def test_gauge_help_escaping_matches_counter(self):
+        block = prom.gauge("g", "a\\b\nc", [(None, 2)])
+        assert block.splitlines()[0] == "# HELP g a\\\\b\\nc"

@@ -166,3 +166,36 @@ class TestTraceRecorder:
             pass
         recorder.clear()
         assert len(recorder) == 0
+
+    def test_export_jsonl_is_safe_against_concurrent_recording(self, tmp_path):
+        # Regression: export used to iterate the ring outside the recorder
+        # lock, so a concurrent record() could rotate the deque mid-export.
+        recorder = TraceRecorder(capacity=64)
+        for index in range(64):
+            with span(f"seed{index}", recorder=recorder, idx=index):
+                pass
+
+        stop = False
+
+        def churn(worker: int) -> None:
+            index = 0
+            while not stop:
+                with span(f"w{worker}", recorder=recorder, idx=index):
+                    pass
+                index += 1
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(churn, worker) for worker in range(3)]
+            try:
+                for round_ in range(20):
+                    path = tmp_path / f"spans{round_}.jsonl"
+                    exported = recorder.export_jsonl(path)
+                    lines = path.read_text().splitlines()
+                    assert len(lines) == exported
+                    for line in lines:
+                        payload = json.loads(line)  # every line is valid JSON
+                        assert "name" in payload
+            finally:
+                stop = True
+            for future in futures:
+                future.result()

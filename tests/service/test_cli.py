@@ -192,6 +192,42 @@ class TestCliEndToEnd:
         direct.ingest("bk", "d", list(range(50)), [1.5] * 50)
         assert store.engine("bk") == direct.engine("bk")
 
+    def test_query_confidence_flag(self, tmp_path, capsys, rows):
+        write_csv(tmp_path / "updates.csv", rows)
+        run_cli(
+            capsys,
+            "ingest", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--input", str(tmp_path / "updates.csv"),
+            "--kind", "poisson", "--threshold", str(THRESHOLD),
+            "--salt", str(SALT),
+        )
+        result = run_cli(
+            capsys,
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--kind", "sum",
+            "--instances", "monday", "--confidence",
+        )
+        confidence = result["confidence"]
+        assert confidence["variance"] > 0.0
+        assert confidence["ci90"]["lower"] <= result["value"]
+        assert confidence["ci90"]["upper"] >= result["value"]
+        # without the flag the payload stays lean
+        plain = run_cli(
+            capsys,
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--kind", "sum",
+            "--instances", "monday",
+        )
+        assert "confidence" not in plain
+        # refusal surfaces as the standard CLI error exit
+        code = main([
+            "query", "--store", str(tmp_path / "store.bin"),
+            "--name", "traffic", "--kind", "l1",
+            "--instances", "monday", "tuesday", "--confidence",
+        ])
+        assert code == 2
+        assert "no variance estimator" in capsys.readouterr().err
+
     def test_missing_input_reports_error(self, tmp_path, capsys):
         code = main([
             "ingest", "--store", str(tmp_path / "s.bin"),

@@ -1,0 +1,239 @@
+"""Per-query estimate quality (``cv`` / ``ci90``).
+
+The payloads are pinned against the paper's variance estimators computed
+by hand on the same merged sketches the planner queried, the refusal
+policy is checked for every query shape without an applicable estimator,
+and the cache tests assert the quality payload rides the version-keyed
+result cache with its value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aggregates.distinct import (
+    distinct_ht_variance,
+    distinct_l_variance,
+)
+from repro.core.max_oblivious import MaxObliviousL
+from repro.exceptions import ConfidenceUnavailableError
+from repro.sampling.ranks import PpsRanks
+from repro.sampling.seeds import SeedAssigner
+from repro.service.confidence import CONFIDENCE_LEVEL, query_confidence
+from repro.service.queries import Query
+from repro.service.store import SketchStore
+
+
+def make_columns(n=2000, seed=13):
+    generator = np.random.default_rng(seed)
+    return (
+        generator.choice(10**6, size=n, replace=False),
+        generator.random(n) * 5.0 + 0.01,
+    )
+
+
+@pytest.fixture
+def oblivious_store():
+    store = SketchStore()
+    store.create(
+        "traffic", "poisson", threshold=0.5,
+        seed_assigner=SeedAssigner(salt=11), n_shards=4,
+    )
+    keys, values = make_columns()
+    store.ingest("traffic", "mon", keys[:1400], values[:1400])
+    store.ingest("traffic", "tue", keys[700:], values[700:])
+    return store
+
+
+@pytest.fixture
+def bottom_k_store():
+    store = SketchStore()
+    store.create(
+        "bk", "bottom_k", k=64, seed_assigner=SeedAssigner(salt=2),
+    )
+    keys, values = make_columns(1200, seed=9)
+    store.ingest("bk", "d", keys, values)
+    return store
+
+
+def confident(store, name, query):
+    """Run ``query`` with the quality request switched on."""
+    from dataclasses import replace
+
+    return store.query(name, replace(query, confidence=True))
+
+
+class TestDistinctConfidence:
+    def test_ht_variant_uses_exact_ht_variance(self, oblivious_store):
+        result = confident(
+            oblivious_store,
+            "traffic",
+            Query.distinct("mon", "tue", variant="ht"),
+        )
+        sketches = [
+            oblivious_store.merged_sketch("traffic", label)
+            for label in ("mon", "tue")
+        ]
+        p1, p2 = sketches[0].threshold, sketches[1].threshold
+        expected = distinct_ht_variance(result.value.estimate, p1, p2)
+        confidence = result.confidence
+        assert confidence["variance"] == pytest.approx(expected)
+        assert confidence["cv"] == pytest.approx(
+            math.sqrt(expected) / result.value.estimate
+        )
+        assert confidence["ci90"]["confidence"] == CONFIDENCE_LEVEL
+
+    def test_l_variant_uses_plugin_jaccard(self, oblivious_store):
+        result = confident(
+            oblivious_store, "traffic", Query.distinct("mon", "tue")
+        )
+        sketches = [
+            oblivious_store.merged_sketch("traffic", label)
+            for label in ("mon", "tue")
+        ]
+        p1, p2 = sketches[0].threshold, sketches[1].threshold
+        estimate = result.value.estimate
+        intersection = result.value.counts["F11"] / (p1 * p2)
+        jaccard = min(1.0, max(0.0, intersection / estimate))
+        expected = distinct_l_variance(estimate, jaccard, p1, p2)
+        assert result.confidence["variance"] == pytest.approx(expected)
+        # the L estimator dominates HT: its variance is never larger
+        assert expected <= distinct_ht_variance(estimate, p1, p2)
+
+    def test_interval_brackets_the_estimate(self, oblivious_store):
+        result = confident(
+            oblivious_store, "traffic", Query.distinct("mon", "tue")
+        )
+        interval = result.confidence["ci90"]
+        assert interval["lower"] <= result.value.estimate <= interval["upper"]
+        assert interval["lower"] >= 0.0
+
+
+class TestSumConfidence:
+    def test_bottom_k_plugin_variance_and_cv_bound(self, bottom_k_store):
+        result = confident(bottom_k_store, "bk", Query.sum("d"))
+        sample = bottom_k_store.sample("bk", "d")
+        expected = sum(
+            value * value * (1.0 - p) / (p * p)
+            for value, p in (
+                (
+                    value,
+                    sample.conditional_inclusion_probability(key),
+                )
+                for key, value in sample.entries.items()
+            )
+        )
+        confidence = result.confidence
+        assert confidence["variance"] == pytest.approx(expected)
+        assert confidence["cv_bound"] == pytest.approx(
+            1.0 / math.sqrt(sample.k - 2)
+        )
+        # the realized cv should respect the paper's bound in spirit;
+        # it is an estimate, so allow slack rather than asserting <=
+        assert confidence["cv"] < 3.0 * confidence["cv_bound"]
+
+    def test_poisson_plugin_variance(self, oblivious_store):
+        result = confident(oblivious_store, "traffic", Query.sum("mon"))
+        sample = oblivious_store.sample("traffic", "mon")
+        probabilities = sample.inclusion_probabilities
+        expected = sum(
+            value * value * (1.0 - probabilities[key])
+            / (probabilities[key] ** 2)
+            for key, value in sample.entries.items()
+        )
+        confidence = result.confidence
+        assert confidence["variance"] == pytest.approx(expected)
+        assert "cv_bound" not in confidence  # bottom-k only
+        assert confidence["ci90"]["upper"] >= result.value
+
+    def test_zero_estimate_has_no_cv(self, oblivious_store):
+        query = Query.sum("mon", predicate=lambda key: False)
+        result = confident(oblivious_store, "traffic", query)
+        assert result.value == 0.0
+        assert result.confidence["cv"] is None
+        assert result.confidence["variance"] == 0.0
+
+
+class TestRefusals:
+    @pytest.fixture
+    def pps_store(self):
+        store = SketchStore()
+        store.create(
+            "flows", "poisson", threshold=10.0, rank_family=PpsRanks(),
+            seed_assigner=SeedAssigner(salt=4), n_shards=2,
+        )
+        keys, values = make_columns(800, seed=5)
+        store.ingest("flows", "mon", keys[:600], values[:600] / 100.0)
+        store.ingest("flows", "tue", keys[300:], values[300:] / 100.0)
+        return store
+
+    def test_dominance_refused(self, pps_store):
+        query = Query.dominance("mon", "tue")
+        assert pps_store.query("flows", query)  # fine without confidence
+        with pytest.raises(ConfidenceUnavailableError, match="dominance"):
+            confident(pps_store, "flows", query)
+
+    def test_l1_refused(self, oblivious_store):
+        with pytest.raises(ConfidenceUnavailableError, match="l1"):
+            confident(oblivious_store, "traffic", Query.l1("mon", "tue"))
+
+    def test_custom_refused(self, oblivious_store):
+        query = Query.custom("mon", fn=lambda sketches: 42.0)
+        with pytest.raises(
+            ConfidenceUnavailableError, match="no variance estimator"
+        ):
+            confident(oblivious_store, "traffic", query)
+
+    def test_estimator_weighted_sum_refused(self, oblivious_store):
+        query = Query.sum("mon", "tue", estimator=MaxObliviousL((0.5, 0.5)))
+        with pytest.raises(
+            ConfidenceUnavailableError, match="multi-instance"
+        ):
+            confident(oblivious_store, "traffic", query)
+
+    def test_refusal_is_a_value_error(self, oblivious_store):
+        # the server maps ValueError subclasses to HTTP 400
+        with pytest.raises(ValueError):
+            confident(oblivious_store, "traffic", Query.l1("mon", "tue"))
+
+
+class TestCacheIntegration:
+    def test_confidence_rides_the_cache_entry(self, oblivious_store):
+        query = Query.distinct("mon", "tue")
+        first = confident(oblivious_store, "traffic", query)
+        assert first.from_cache is False
+        second = confident(oblivious_store, "traffic", query)
+        assert second.from_cache is True
+        assert second.confidence == first.confidence
+        assert second.confidence is not None
+
+    def test_confidence_flag_is_part_of_the_cache_key(self, oblivious_store):
+        query = Query.distinct("mon", "tue")
+        plain = oblivious_store.query("traffic", query)
+        assert plain.confidence is None
+        enriched = confident(oblivious_store, "traffic", query)
+        # the plain entry did not satisfy the confident request
+        assert enriched.from_cache is False
+        assert enriched.confidence is not None
+        # and the confident entry does not leak into plain requests
+        again = oblivious_store.query("traffic", query)
+        assert again.from_cache is True
+        assert again.confidence is None
+
+
+class TestDirectPayload:
+    def test_payload_shape(self, oblivious_store):
+        query = Query("sum", ("mon",), confidence=True)
+        _, sketches = oblivious_store.snapshot_view(
+            "traffic", query.instances
+        )
+        value = oblivious_store.query("traffic", query).value
+        payload = query_confidence(sketches, query, value)
+        assert set(payload) == {"cv", "variance", "ci90"}
+        assert set(payload["ci90"]) == {
+            "lower", "upper", "confidence", "method",
+        }
+        assert payload["ci90"]["method"] == "normal"

@@ -4,13 +4,15 @@ Runs the headline benchmarks (exact-enumeration grid, streaming
 ``update_many``, full fast-mode experiment suite, the service layer —
 concurrent store ingest, snapshot/restore codec latency, query-cache
 speedup — the HTTP server's mixed ingest/query load, the binary
-columnar ingest path raced against JSON, and the same binary load with
-a write-ahead log attached to measure the durability tax) and writes
-their wall times and throughputs to a ``BENCH_PR<n>.json`` file at the
-repository root, so successive PRs leave a comparable perf trail::
+columnar ingest path raced against JSON, the same binary load with a
+write-ahead log attached to measure the durability tax, and the
+multiprocess shard-worker ingest plane scaled across 1/2/4 workers)
+and writes their wall times and throughputs to a ``BENCH_PR<n>.json``
+file at the repository root, so successive PRs leave a comparable perf
+trail::
 
-    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR9.json
-    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/record.py --out BENCH_PR10.json
+    PYTHONPATH=src python benchmarks/record.py --smoke --out BENCH_PR10.json
 
 After writing (or with ``--compare-only``, instead of benching at all)
 the record is diffed against every earlier ``BENCH_PR*.json``:
@@ -245,6 +247,9 @@ def record_benchmarks(smoke: bool) -> dict:
             "server_wal_ingest": bench_server.bench_wal_ingest(
                 server_updates
             ),
+            "service_multiproc_ingest": (
+                bench_server.bench_multiproc_ingest(server_updates)
+            ),
         },
     }
     record["total_bench_seconds"] = time.time() - started
@@ -253,7 +258,7 @@ def record_benchmarks(smoke: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR9.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="output file name (written at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workloads for a quick run")

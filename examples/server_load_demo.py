@@ -61,7 +61,7 @@ def make_batches() -> list:
 async def worker(port: int, batches: list) -> int:
     """Ingest a slice of the stream, querying between batches."""
     n_requests = 0
-    async with AsyncSketchClient("127.0.0.1", port) as client:
+    async with AsyncSketchClient(host="127.0.0.1", port=port) as client:
         for instance, keys, values in batches:
             await client.ingest("traffic", instance, keys, values)
             result = await client.query("traffic", "sum", [instance])
@@ -75,7 +75,7 @@ async def drive(store: SketchStore, batches: list) -> dict:
     await server.start()
     print(f"serving on 127.0.0.1:{server.port}")
     try:
-        async with AsyncSketchClient("127.0.0.1", server.port) as client:
+        async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
             # seed both instances so queries never race instance creation
             for instance, keys, values in batches[: len(INSTANCES)]:
                 await client.ingest("traffic", instance, keys, values)

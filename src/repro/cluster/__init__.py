@@ -1,0 +1,42 @@
+"""Multiprocess shard-worker ingest plane.
+
+The paper's coordinated sketches are associative and commutative under
+merge, so per-shard state can live in independent worker *processes*
+and be combined by the existing reduce step
+(:meth:`repro.streaming.StreamEngine.merge_from`) with no loss of
+estimate fidelity — and, because each row is owned by exactly one
+worker, with *bit-exact* parity against single-process ingest.
+
+Layers:
+
+* :mod:`repro.cluster.ring` — SPSC shared-memory byte ring, the
+  parent -> worker frame transport (pipe fallback);
+* :mod:`repro.cluster.worker` — the worker process: applies its shard
+  group's slice of every batch via the engine's own routing;
+* :mod:`repro.cluster.pool` — :class:`ShardWorkerPool`: dispatch,
+  delta collection, per-worker probes, crash detection and respawn.
+
+The store integration lives in :meth:`repro.service.SketchStore.
+start_workers`; servers opt in with ``ServerConfig(workers=N)`` /
+``serve --workers N``.
+"""
+
+from repro.cluster.pool import (
+    DEFAULT_RING_BYTES,
+    ClusterProtocolError,
+    ShardWorkerPool,
+    WorkerCrashError,
+)
+from repro.cluster.ring import RingClosedError, ShmRing
+from repro.cluster.worker import owned_subset, worker_main
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "ClusterProtocolError",
+    "RingClosedError",
+    "ShardWorkerPool",
+    "ShmRing",
+    "WorkerCrashError",
+    "owned_subset",
+    "worker_main",
+]

@@ -1,0 +1,522 @@
+"""Parent-side orchestration of the multiprocess shard-worker plane.
+
+:class:`ShardWorkerPool` forks ``n_workers`` processes, each owning
+the shard group ``{s : s % n_workers == worker_id}`` of every engine.
+The parent broadcasts every wire-encoded batch to every worker (each
+applies only its owned rows), and reads fan back in by *collecting*
+per-worker engine deltas that the store folds through the associative
+sketch merge.  Frames to one worker travel over a shared-memory ring
+(:class:`repro.cluster.ring.ShmRing`; ``transport="pipe"`` falls back
+to ``multiprocessing`` pipes), replies come back over a pipe.
+
+Ordering is the only protocol invariant: frames to a worker are FIFO,
+so a ``collect`` observes every batch dispatched before it, and no
+global barrier is needed for a consistent per-engine fold.
+
+Crash handling is cooperative with the store's write-ahead log: the
+pool detects a dead worker (``dispatch``/``collect`` raise
+:class:`WorkerCrashError`), :meth:`respawn` restarts the slot and
+re-registers engine templates, and the *store* replays the WAL tail of
+un-folded batches to the fresh worker — so acked batches survive a
+``SIGKILL`` of any worker.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Any
+
+from repro.exceptions import InvalidParameterError
+from repro.cluster.ring import RingClosedError, ShmRing
+from repro.cluster.worker import worker_main
+
+__all__ = [
+    "ClusterProtocolError",
+    "DEFAULT_RING_BYTES",
+    "ShardWorkerPool",
+    "WorkerCrashError",
+]
+
+#: per-worker command-ring capacity; batches are bounded by the HTTP
+#: layer's max_body_bytes (8 MiB default), so twice that never blocks
+#: a healthy dispatch on frame size
+DEFAULT_RING_BYTES = 16 * 1024 * 1024
+
+_TRANSPORTS = ("shm", "pipe")
+
+
+class WorkerCrashError(RuntimeError):
+    """One or more workers died; carries the dead slot indices.
+
+    Recoverable: the caller respawns the slots and (with a WAL
+    attached) replays the un-folded batch tail to them.
+    """
+
+    def __init__(self, indices: list[int]) -> None:
+        self.indices = sorted(set(indices))
+        super().__init__(
+            f"shard worker(s) {self.indices} died"
+        )
+
+
+class ClusterProtocolError(RuntimeError):
+    """A worker answered a frame with an application error.
+
+    Not recoverable by respawn-and-replay — the same frame would fail
+    again — so it surfaces to the caller as a server-side fault.
+    """
+
+
+class _Worker:
+    """One worker slot: process, transports, and flow counters."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "ring",
+        "command_conn",
+        "reply_conn",
+        "sent",
+        "acked",
+        "batches",
+        "rows",
+        "restarts",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        process: Any,
+        ring: ShmRing | None,
+        command_conn: Any,
+        reply_conn: Any,
+        *,
+        batches: int = 0,
+        rows: int = 0,
+        restarts: int = 0,
+    ) -> None:
+        self.index = index
+        self.process = process
+        self.ring = ring
+        self.command_conn = command_conn
+        self.reply_conn = reply_conn
+        self.sent = 0
+        self.acked = 0
+        self.batches = batches
+        self.rows = rows
+        self.restarts = restarts
+
+
+class ShardWorkerPool:
+    """N shard-worker processes behind dispatch/collect/respawn."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        transport: str = "shm",
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        mp_method: str | None = None,
+    ) -> None:
+        if int(n_workers) < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if transport not in _TRANSPORTS:
+            raise InvalidParameterError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
+        if int(ring_bytes) <= 0:
+            raise InvalidParameterError(
+                f"ring_bytes must be positive, got {ring_bytes}"
+            )
+        if mp_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_method = "fork" if "fork" in methods else "spawn"
+        self.n_workers = int(n_workers)
+        self.transport = transport
+        self.mp_method = mp_method
+        self._ring_bytes = int(ring_bytes)
+        self._ctx = multiprocessing.get_context(mp_method)
+        #: serializes every pool interaction *and* the store's version /
+        #: synced-version bookkeeping around it, so crash healing sees a
+        #: consistent dispatched-vs-folded state across engines
+        self.lock = threading.RLock()
+        #: engine name -> empty-configured-clone blob (worker reset
+        #: template; re-sent to every respawned worker)
+        self._engines: dict[str, bytes] = {}
+        #: deltas rescued from a crash-interrupted collect, by name
+        self._stray_states: dict[str, list[bytes]] = {}
+        #: non-ack replies consumed by opportunistic ack folding, kept
+        #: for the next collect/drain of that worker
+        self._reply_stash: dict[int, list[tuple]] = {}
+        self._workers: list[_Worker] = []
+        self._seq = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardWorkerPool":
+        """Spawn every worker process."""
+        with self.lock:
+            if self._started:
+                raise InvalidParameterError("worker pool already started")
+            self._started = True
+            for index in range(self.n_workers):
+                self._workers.append(self._spawn(index))
+        return self
+
+    def _spawn(
+        self,
+        index: int,
+        *,
+        batches: int = 0,
+        rows: int = 0,
+        restarts: int = 0,
+    ) -> _Worker:
+        ring: ShmRing | None = None
+        command_parent = command_child = None
+        if self.transport == "shm":
+            ring = ShmRing.create(self._ring_bytes)
+            # fork inherits the mapped segment; spawn re-attaches by name
+            ring_ref: object = ring if self.mp_method == "fork" else ring.name
+        else:
+            command_child, command_parent = self._ctx.Pipe(duplex=False)
+            ring_ref = None
+        reply_parent, reply_child = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                index,
+                self.n_workers,
+                os.getpid(),
+                ring_ref,
+                command_child,
+                reply_child,
+            ),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # the child holds its own ends now; closing ours makes worker
+        # death observable as EOF/broken pipe
+        reply_child.close()
+        if command_child is not None:
+            command_child.close()
+        return _Worker(
+            index,
+            process,
+            ring,
+            command_parent,
+            reply_parent,
+            batches=batches,
+            rows=rows,
+            restarts=restarts,
+        )
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop every worker and release the transports."""
+        with self.lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                with contextlib.suppress(Exception):
+                    self._send(worker, ("stop",))
+            for worker in self._workers:
+                worker.process.join(timeout=join_timeout)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=join_timeout)
+                self._release_transports(worker)
+            self._workers = []
+
+    @staticmethod
+    def _release_transports(worker: _Worker) -> None:
+        if worker.ring is not None:
+            worker.ring.close()
+        with contextlib.suppress(OSError):
+            worker.reply_conn.close()
+        if worker.command_conn is not None:
+            with contextlib.suppress(OSError):
+                worker.command_conn.close()
+        with contextlib.suppress(ValueError):
+            worker.process.close()
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    def _send(self, worker: _Worker, message: tuple) -> None:
+        try:
+            if worker.ring is not None:
+                frame = pickle.dumps(
+                    message, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                worker.ring.push(
+                    frame,
+                    should_abort=lambda: not worker.process.is_alive(),
+                )
+            else:
+                worker.command_conn.send(message)
+        except (RingClosedError, BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError([worker.index]) from exc
+
+    def _pump(self, worker: _Worker, timeout: float) -> tuple | None:
+        """Next non-ack reply from ``worker`` (acks fold into counters).
+
+        Returns ``None`` when no reply arrives within ``timeout``;
+        raises :class:`WorkerCrashError` on a broken reply pipe.
+        """
+        stash = self._reply_stash.get(worker.index)
+        if stash:
+            return stash.pop(0)
+        while True:
+            try:
+                if not worker.reply_conn.poll(timeout):
+                    return None
+                message = worker.reply_conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashError([worker.index]) from exc
+            if message[0] == "ack":
+                worker.acked += 1
+                worker.batches += 1
+                worker.rows += int(message[3])
+                continue
+            return message
+
+    def _fold_acks(self, worker: _Worker) -> None:
+        """Consume buffered acks (queue-depth bookkeeping); any non-ack
+        reply is stashed for the next collect/drain, not dropped."""
+        with contextlib.suppress(WorkerCrashError):
+            message = self._pump(worker, timeout=0.0)
+            if message is not None:
+                self._reply_stash.setdefault(worker.index, []).append(
+                    message
+                )
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Dispatch / collect / drain
+    # ------------------------------------------------------------------
+    def dispatch(self, name: str, blob: bytes) -> None:
+        """Broadcast one wire-encoded batch group to every worker.
+
+        Sends to every *live* worker even when some slots are dead, so
+        healthy workers never miss a batch; dead slots are reported in
+        one :class:`WorkerCrashError` afterwards (their copy is
+        recovered from the WAL tail after respawn).
+        """
+        with self.lock:
+            dead: list[int] = []
+            for worker in self._workers:
+                self._fold_acks(worker)
+                # a push into a roomy ring "succeeds" even when the
+                # consumer is gone — probe liveness explicitly so the
+                # crash surfaces at dispatch time, not at the next fold
+                if not worker.process.is_alive():
+                    dead.append(worker.index)
+                    continue
+                try:
+                    self._send(
+                        worker, ("batch", self._next_seq(), name, blob)
+                    )
+                    worker.sent += 1
+                except WorkerCrashError:
+                    dead.append(worker.index)
+            if dead:
+                raise WorkerCrashError(dead)
+
+    def dispatch_to(self, index: int, name: str, blob: bytes) -> None:
+        """Send one batch group to a single worker (WAL-tail replay)."""
+        with self.lock:
+            worker = self._workers[index]
+            self._send(worker, ("batch", self._next_seq(), name, blob))
+            worker.sent += 1
+
+    def register_engine(self, name: str, template_blob: bytes) -> None:
+        """Broadcast an engine (reset template) to every worker.
+
+        Also called to *replace* an engine after ``adopt``: workers
+        drop their accumulated delta and start from the new template.
+        """
+        with self.lock:
+            self._engines[name] = bytes(template_blob)
+            dead: list[int] = []
+            for worker in self._workers:
+                if not worker.process.is_alive():
+                    dead.append(worker.index)
+                    continue
+                try:
+                    self._send(
+                        worker, ("engine", name, self._engines[name])
+                    )
+                except WorkerCrashError:
+                    dead.append(worker.index)
+            if dead:
+                raise WorkerCrashError(dead)
+
+    def collect(self, name: str) -> list[bytes]:
+        """Fetch-and-reset every worker's delta for ``name``.
+
+        FIFO ordering makes the result exact: each returned blob
+        reflects every batch dispatched to that worker before this
+        call.  Deltas from a crash-interrupted earlier collect are
+        included (they were reset out of their workers and must not be
+        lost).  Raises :class:`WorkerCrashError` with the dead slots —
+        after healing, calling again yields the remaining deltas.
+        """
+        with self.lock:
+            results: list[bytes] = list(self._stray_states.pop(name, []))
+            expected: dict[int, int] = {}
+            dead: list[int] = []
+            for worker in self._workers:
+                sequence = self._next_seq()
+                try:
+                    self._send(worker, ("collect", sequence, name))
+                except WorkerCrashError:
+                    dead.append(worker.index)
+                    continue
+                expected[worker.index] = sequence
+            for worker in self._workers:
+                want = expected.get(worker.index)
+                if want is None:
+                    continue
+                if not self._collect_one(worker, want, name, results):
+                    dead.append(worker.index)
+            if dead:
+                if results:
+                    # rescue already-reset deltas for the post-heal retry
+                    self._stray_states.setdefault(name, []).extend(results)
+                raise WorkerCrashError(dead)
+            return results
+
+    def _collect_one(
+        self,
+        worker: _Worker,
+        want: int,
+        name: str,
+        results: list[bytes],
+    ) -> bool:
+        """Wait for ``worker``'s state reply; False when it died."""
+        while True:
+            try:
+                message = self._pump(worker, timeout=0.05)
+            except WorkerCrashError:
+                return False
+            if message is None:
+                if worker.process.is_alive():
+                    continue
+                # one last sweep: the state may have been shipped just
+                # before death
+                try:
+                    message = self._pump(worker, timeout=0.0)
+                except WorkerCrashError:
+                    return False
+                if message is None:
+                    return False
+            kind = message[0]
+            if kind == "state":
+                _, sequence, state_name, blob = message
+                if blob is not None:
+                    if state_name == name:
+                        results.append(blob)
+                    else:
+                        self._stray_states.setdefault(
+                            state_name, []
+                        ).append(blob)
+                if sequence == want:
+                    return True
+            elif kind == "error":
+                raise ClusterProtocolError(
+                    f"worker {worker.index} failed a frame:\n{message[2]}"
+                )
+            else:  # pragma: no cover - future reply kinds
+                raise ClusterProtocolError(
+                    f"worker {worker.index} sent unknown reply "
+                    f"{message[0]!r}"
+                )
+
+    def drain(self) -> None:
+        """Block until every live worker acked every dispatched batch."""
+        with self.lock:
+            for worker in self._workers:
+                while worker.acked < worker.sent:
+                    message = self._pump(worker, timeout=0.05)
+                    if message is not None:
+                        if message[0] == "error":
+                            raise ClusterProtocolError(
+                                f"worker {worker.index} failed a frame:\n"
+                                f"{message[2]}"
+                            )
+                        continue
+                    if not worker.process.is_alive():
+                        raise WorkerCrashError([worker.index])
+
+    # ------------------------------------------------------------------
+    # Crash handling + probes
+    # ------------------------------------------------------------------
+    def dead_workers(self) -> list[int]:
+        """Slot indices whose process is not alive."""
+        with self.lock:
+            return [
+                worker.index
+                for worker in self._workers
+                if not worker.process.is_alive()
+            ]
+
+    def respawn(self, index: int) -> None:
+        """Restart a dead slot and re-register every engine template.
+
+        The fresh worker starts from empty engines; the caller replays
+        the un-folded WAL tail to it (``dispatch_to``) before the next
+        collect, restoring exactly the delta the dead worker lost.
+        """
+        with self.lock:
+            old = self._workers[index]
+            if old.process.is_alive():
+                old.process.terminate()
+                old.process.join(timeout=5.0)
+            else:
+                old.process.join(timeout=0.1)
+            self._release_transports(old)
+            # late replies of the dead incarnation are void: everything
+            # they carried is regenerated by the caller's WAL-tail replay
+            self._reply_stash.pop(index, None)
+            fresh = self._spawn(
+                index,
+                batches=old.batches,
+                rows=old.rows,
+                restarts=old.restarts + 1,
+            )
+            for name, blob in self._engines.items():
+                self._send(fresh, ("engine", name, blob))
+            self._workers[index] = fresh
+
+    def probes(self) -> list[dict]:
+        """Per-worker observability rows for ``/metrics``/``/statusz``."""
+        with self.lock:
+            rows = []
+            for worker in self._workers:
+                self._fold_acks(worker)
+                rows.append(
+                    {
+                        "worker": worker.index,
+                        "pid": worker.process.pid,
+                        "alive": bool(worker.process.is_alive()),
+                        "transport": self.transport,
+                        "queue_depth": worker.sent - worker.acked,
+                        "batches": worker.batches,
+                        "rows": worker.rows,
+                        "restarts": worker.restarts,
+                    }
+                )
+            return rows

@@ -1,0 +1,201 @@
+"""Single-producer single-consumer shared-memory byte ring.
+
+The parent process feeds each shard worker through one of these: a
+``multiprocessing.shared_memory`` segment holding two 8-byte cursors
+(consumer *head*, producer *tail*) followed by a power-of-two-free
+circular byte buffer.  Messages are length-prefixed frames (u32 length
++ payload) written contiguously modulo the capacity; the producer
+publishes a frame by bumping *tail* only after the payload bytes are
+fully written, and the consumer releases space by bumping *head* only
+after it copied the payload out — the classic SPSC contract, which
+needs no locks as long as each side has exactly one thread.
+
+Both cursors grow monotonically (they are taken modulo the capacity on
+access), so ``tail - head`` is always the number of unread payload
+bytes and the full/empty states never alias.
+
+The ring is a transport optimisation: frame order is the only
+guarantee dispatch relies on, and :class:`ShardWorkerPool` falls back
+to plain ``multiprocessing`` pipes (``transport="pipe"``) where shared
+memory is unavailable.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from collections.abc import Callable
+from multiprocessing import shared_memory
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["RingClosedError", "ShmRing"]
+
+_CURSORS = struct.Struct("<QQ")
+_LENGTH = struct.Struct("<I")
+_HEADER_BYTES = _CURSORS.size
+#: default sleep between polls of a full (producer) or empty (consumer)
+#: ring — long enough to yield the core on single-CPU hosts, short
+#: enough to keep per-batch latency in the tens of microseconds range
+_POLL_SECONDS = 0.0002
+
+
+class RingClosedError(RuntimeError):
+    """The peer of a blocking ring operation is gone."""
+
+
+class ShmRing:
+    """One SPSC byte ring over a named shared-memory segment."""
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, *, owner: bool
+    ) -> None:
+        self._segment = segment
+        self._owner = owner
+        self._closed = False
+        self.capacity = segment.size - _HEADER_BYTES
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Allocate a fresh ring of ``capacity`` payload bytes."""
+        if int(capacity) <= 0:
+            raise InvalidParameterError(
+                f"ring capacity must be positive, got {capacity}"
+            )
+        segment = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + int(capacity)
+        )
+        _CURSORS.pack_into(segment.buf, 0, 0, 0)
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach to an existing ring by segment name (worker side)."""
+        segment = shared_memory.SharedMemory(name=name)
+        # CPython's resource tracker registers *attached* segments too
+        # and would unlink the parent's ring when this process exits;
+        # only the creating side may own the segment's lifetime.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return cls(segment, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    # -- cursors --------------------------------------------------------
+    def _cursors(self) -> tuple[int, int]:
+        head, tail = _CURSORS.unpack_from(self._segment.buf, 0)
+        return head, tail
+
+    def _set_head(self, head: int) -> None:
+        struct.pack_into("<Q", self._segment.buf, 0, head)
+
+    def _set_tail(self, tail: int) -> None:
+        struct.pack_into("<Q", self._segment.buf, 8, tail)
+
+    # -- data movement --------------------------------------------------
+    def _write_at(self, position: int, data: bytes) -> None:
+        offset = position % self.capacity
+        first = min(len(data), self.capacity - offset)
+        start = _HEADER_BYTES + offset
+        self._segment.buf[start : start + first] = data[:first]
+        if first < len(data):
+            rest = len(data) - first
+            self._segment.buf[_HEADER_BYTES : _HEADER_BYTES + rest] = data[
+                first:
+            ]
+
+    def _read_at(self, position: int, length: int) -> bytes:
+        offset = position % self.capacity
+        first = min(length, self.capacity - offset)
+        start = _HEADER_BYTES + offset
+        data = bytes(self._segment.buf[start : start + first])
+        if first < length:
+            rest = length - first
+            data += bytes(
+                self._segment.buf[_HEADER_BYTES : _HEADER_BYTES + rest]
+            )
+        return data
+
+    def push(
+        self,
+        payload: bytes,
+        *,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> None:
+        """Append one frame, blocking while the ring is full.
+
+        Raises :class:`RingClosedError` when ``should_abort`` reports
+        the consumer is gone (a dead worker must not hang the parent on
+        a full ring).
+        """
+        need = _LENGTH.size + len(payload)
+        if need > self.capacity:
+            raise InvalidParameterError(
+                f"frame of {len(payload)} bytes exceeds the ring "
+                f"capacity of {self.capacity} bytes; raise ring_bytes "
+                "or use the pipe transport"
+            )
+        while True:
+            head, tail = self._cursors()
+            if self.capacity - (tail - head) >= need:
+                break
+            if should_abort is not None and should_abort():
+                raise RingClosedError("ring consumer is gone")
+            time.sleep(_POLL_SECONDS)
+        self._write_at(tail, _LENGTH.pack(len(payload)))
+        self._write_at(tail + _LENGTH.size, payload)
+        # publish last: the consumer only sees whole frames
+        self._set_tail(tail + need)
+
+    def pop(
+        self,
+        *,
+        timeout: float | None = None,
+        should_abort: Callable[[], bool] | None = None,
+    ) -> bytes | None:
+        """Remove and return the next frame.
+
+        Returns ``None`` after ``timeout`` seconds without a frame;
+        raises :class:`RingClosedError` when ``should_abort`` fires.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            head, tail = self._cursors()
+            if tail - head >= _LENGTH.size:
+                break
+            if should_abort is not None and should_abort():
+                raise RingClosedError("ring producer is gone")
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(_POLL_SECONDS)
+        (length,) = _LENGTH.unpack(self._read_at(head, _LENGTH.size))
+        # the producer publishes tail only after the full frame landed,
+        # so the payload is guaranteed present once its length is
+        payload = self._read_at(head + _LENGTH.size, length)
+        self._set_head(head + _LENGTH.size + length)
+        return payload
+
+    def backlog_bytes(self) -> int:
+        """Unread payload bytes currently queued (probe surface)."""
+        head, tail = self._cursors()
+        return tail - head
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Detach (and unlink, on the creating side) the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._segment.close()
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass

@@ -9,27 +9,35 @@ loop never blocks on shard locks or estimator math.
 
 Endpoints
 ---------
-=======  ============  ====================================================
-method   path          action
-=======  ============  ====================================================
-POST     /engines      create a named engine (JSON config)
-POST     /ingest       ingest a JSON or CSV update batch (bounded
-                       per-engine backpressure; oversized batches 413)
-GET      /query        distinct / sum / dominance / l1 through the
-                       version-cached :class:`QueryPlanner`
-POST     /snapshot     persist the store through the binary codec
-POST     /merge        fold a peer snapshot file into the store
-GET      /replicate    WAL tail (or full store delta) since ?since=<lsn>
-                       for follower catch-up (requires ``wal_dir``);
-                       ``?follower=<id>`` opts into lag tracking
-GET      /healthz      liveness + uptime; ``?verbose=1`` adds the health
-                       rule engine's verdict with reasons
-GET      /statusz      human-readable status page (uptime, engines,
-                       sparklines of recent series, health reasons)
-GET      /metrics      throughput, cache hit rate, per-engine probes
-GET      /metrics/history  ring-buffered time series of one metric
-                       (``?metric=<name>&window=<seconds>``)
-=======  ============  ====================================================
+The canonical surface lives under the versioned ``/v1`` prefix; every
+bare legacy path (``/ingest``, ``/query``, ...) keeps serving the
+byte-identical response but carries a ``Deprecation`` header plus a
+``Link: <successor>; rel="successor-version"`` pointer.  The whole
+table is generated from one route spec (:data:`ROUTE_SPEC`).
+
+=======  ===============  =================================================
+method   path             action
+=======  ===============  =================================================
+POST     /v1/engines      create a named engine (JSON config)
+POST     /v1/ingest       ingest a JSON or CSV update batch (bounded
+                          per-engine backpressure; oversized batches 413)
+GET      /v1/query        distinct / sum / dominance / l1 through the
+                          version-cached :class:`QueryPlanner`
+POST     /v1/snapshot     persist the store through the binary codec
+POST     /v1/merge        fold a peer snapshot file into the store
+GET      /v1/replicate    WAL tail (or full store delta) since
+                          ?since=<lsn> for follower catch-up (requires
+                          ``wal_dir``); ``?follower=<id>`` opts into lag
+                          tracking
+GET      /v1/healthz      liveness + uptime; ``?verbose=1`` adds the
+                          health rule engine's verdict with reasons
+GET      /v1/statusz      human-readable status page (uptime, engines,
+                          worker probes, sparklines, health reasons)
+GET      /v1/metrics      throughput, cache hit rate, per-engine and
+                          per-worker probes
+GET      /v1/metrics/history  ring-buffered time series of one metric
+                          (``?metric=<name>&window=<seconds>``)
+=======  ===============  =================================================
 
 Concurrency model
 -----------------
@@ -105,9 +113,25 @@ from repro.server.wire import (
     encode_replica,
 )
 from repro.service.queries import Query, query_value_json
-from repro.service.store import SketchStore
+from repro.service.store import IngestRequest, SketchStore
 
-__all__ = ["RawResponse", "SketchServer"]
+__all__ = ["ROUTE_SPEC", "RawResponse", "SketchServer"]
+
+#: The one route spec the dispatch table is generated from: ``(method,
+#: path, handler attribute)``.  :meth:`Router.from_spec` mounts each
+#: entry under ``/v1`` and keeps the bare path as a deprecated alias.
+ROUTE_SPEC: tuple[tuple[str, str, str], ...] = (
+    ("GET", "/healthz", "_handle_healthz"),
+    ("GET", "/statusz", "_handle_statusz"),
+    ("GET", "/metrics", "_handle_metrics"),
+    ("GET", "/metrics/history", "_handle_metrics_history"),
+    ("POST", "/engines", "_handle_create_engine"),
+    ("POST", "/ingest", "_handle_ingest"),
+    ("GET", "/query", "_handle_query"),
+    ("POST", "/snapshot", "_handle_snapshot"),
+    ("POST", "/merge", "_handle_merge"),
+    ("GET", "/replicate", "_handle_replicate"),
+)
 
 #: query kinds reachable over HTTP — ``custom`` needs a Python callable
 #: and is therefore CLI/API-only
@@ -231,17 +255,10 @@ class SketchServer:
             jsonl_path=self.config.trace_jsonl_path,
         )
         self.port: int | None = None
-        self.router = Router()
-        self.router.add("GET", "/healthz", self._handle_healthz)
-        self.router.add("GET", "/statusz", self._handle_statusz)
-        self.router.add("GET", "/metrics", self._handle_metrics)
-        self.router.add("GET", "/metrics/history", self._handle_metrics_history)
-        self.router.add("POST", "/engines", self._handle_create_engine)
-        self.router.add("POST", "/ingest", self._handle_ingest)
-        self.router.add("GET", "/query", self._handle_query)
-        self.router.add("POST", "/snapshot", self._handle_snapshot)
-        self.router.add("POST", "/merge", self._handle_merge)
-        self.router.add("GET", "/replicate", self._handle_replicate)
+        self.router = Router.from_spec(
+            (method, path, getattr(self, attribute))
+            for method, path, attribute in ROUTE_SPEC
+        )
 
         # durability: open (or resume) the write-ahead log and attach it
         # before serving, so the very first acknowledged ingest is
@@ -260,6 +277,14 @@ class SketchServer:
                 )
             )
             self._owns_wal = True
+
+        # multiprocess ingest plane: fan shard groups out to worker
+        # processes (repro.cluster).  Started after the WAL attach so a
+        # worker killed later can be replayed from the log tail.
+        self._owns_pool = False
+        if self.config.workers > 0 and not self.store.has_workers:
+            self.store.start_workers(self.config.workers)
+            self._owns_pool = True
 
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.ingest_threads,
@@ -339,6 +364,11 @@ class SketchServer:
         if self._conn_tasks:
             await asyncio.wait(list(self._conn_tasks), timeout=drain_seconds)
         self._executor.shutdown(wait=True)
+        if self._owns_pool:
+            # fold outstanding worker deltas into the parent before the
+            # final snapshot looks at engine state
+            self.store.stop_workers()
+            self._owns_pool = False
         if (
             self.config.snapshot_on_shutdown
             and self.config.snapshot_path is not None
@@ -497,6 +527,12 @@ class SketchServer:
         if self.slow_log.observe(route, elapsed, status=status, request_id=request_id):
             self.metrics.record_slow_request()
         self.metrics.record_response(status)
+        canonical = self.router.deprecation(request.path)
+        if canonical is not None:
+            extra_headers += (
+                ("Deprecation", "true"),
+                ("Link", f'<{canonical}>; rel="successor-version"'),
+            )
         return status, payload, extra_headers + (("X-Request-Id", request_id),)
 
     async def _in_executor(self, fn, *args, **kwargs):
@@ -939,7 +975,30 @@ class SketchServer:
                     probe.get("retained_keys", 0),
                 )
             )
-        lines.append("</table></body></html>")
+        lines.append("</table>")
+        worker_probes = self.store.worker_probes()
+        if worker_probes:
+            lines.append("<h2>shard workers</h2><table>")
+            lines.append(
+                "<tr><th>worker</th><th>pid</th><th>alive</th>"
+                "<th>transport</th><th>queue depth</th><th>batches</th>"
+                "<th>restarts</th></tr>"
+            )
+            for probe in worker_probes:
+                lines.append(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+                    "<td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                        probe.get("worker"),
+                        probe.get("pid"),
+                        probe.get("alive"),
+                        html.escape(str(probe.get("transport"))),
+                        probe.get("queue_depth"),
+                        probe.get("batches"),
+                        probe.get("restarts"),
+                    )
+                )
+            lines.append("</table>")
+        lines.append("</body></html>")
         return "\n".join(lines)
 
     async def _handle_create_engine(self, request: Request) -> tuple[int, dict]:
@@ -1020,15 +1079,32 @@ class SketchServer:
 
     def _apply_ingest(self, name: str, plan: tuple) -> int:
         """Run a parsed ingest plan through the store; returns the new
-        version.  Row-shaped plans reuse the store's own instance
-        grouping (:meth:`SketchStore.ingest_rows`); binary plans go
-        through the coalescing :meth:`SketchStore.ingest_batches`."""
+        version.  Every shape builds one :class:`IngestRequest` for
+        :meth:`SketchStore.submit` — binary and row plans coalesce
+        batches of the same instance, single-column plans ingest as-is.
+        """
         if plan[0] == "columns":
             _, instance, keys, values = plan
-            return self.store.ingest(name, instance, keys, values)
-        if plan[0] == "batches":
-            return self.store.ingest_batches(name, plan[1])
-        return self.store.ingest_rows(name, plan[1])
+            request = IngestRequest(
+                engine=name,
+                batches=((instance, keys, values),),
+                source="http",
+                coalesce=False,
+            )
+        elif plan[0] == "batches":
+            request = IngestRequest(
+                engine=name, batches=tuple(plan[1]), source="http"
+            )
+        else:
+            request = IngestRequest(
+                engine=name,
+                batches=tuple(
+                    (instance, [key], [float(value)])
+                    for instance, key, value in plan[1]
+                ),
+                source="http",
+            )
+        return self.store.submit(request)
 
     def _parse_ingest(self, request: Request) -> tuple[str, tuple, int, int]:
         """Normalise an ingest request to a store-ready plan.

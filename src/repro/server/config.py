@@ -29,6 +29,15 @@ class ServerConfig:
     ingest_threads:
         Size of the thread-pool executor that runs store ingests and
         queries, keeping shard-lock waits off the event loop.
+    workers:
+        Number of shard-worker *processes* the store fans ingest out to
+        (``repro.cluster.ShardWorkerPool``).  ``0`` — the default —
+        keeps the classic single-process threaded backend.  With
+        ``workers=N`` each worker owns the shards ``s`` where ``s %
+        N == worker``, applies its slice of every batch locally, and
+        reads fold worker deltas back through the associative sketch
+        merge.  WAL appends stay in the parent (append-before-dispatch)
+        so durability semantics are unchanged.
     max_pending_batches:
         Per-engine bound on ingest batches that may be queued or running
         at once.  Requests beyond the bound are rejected with ``503`` and
@@ -104,6 +113,7 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 8080
     ingest_threads: int = 4
+    workers: int = 0
     max_pending_batches: int = 32
     max_body_bytes: int = 8 * 1024 * 1024
     max_batch_rows: int = 100_000
@@ -140,6 +150,11 @@ class ServerConfig:
                 raise InvalidParameterError(
                     f"{attribute} must be positive, got {value}"
                 )
+        if int(self.workers) < 0:
+            raise InvalidParameterError(
+                "workers must be >= 0 (0 keeps the in-process backend), "
+                f"got {self.workers}"
+            )
         if self.slow_request_ms < 0:
             raise InvalidParameterError(
                 "slow_request_ms must be >= 0 (0 disables the slow log), "

@@ -5,36 +5,100 @@ The API surface is a handful of fixed paths, so the router is a plain
 HTTP bookkeeping that matter for clients: an unknown path is ``404``,
 while a known path hit with the wrong method is ``405`` carrying an
 ``Allow`` header listing the methods that would work.
+
+Since the v1 API redesign the table is *generated* from one route
+spec: :meth:`Router.from_spec` takes ``(method, path, handler)``
+entries and registers each endpoint twice — once under the versioned
+canonical path (``/v1`` + path) and once under the bare legacy path,
+flagged deprecated.  Legacy paths dispatch to the same handler (the
+response body is byte-identical) but :meth:`Router.deprecation` lets
+the server attach a ``Deprecation`` header pointing clients at the
+canonical path.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 from repro.server.protocol import HttpError
 
-__all__ = ["Router"]
+__all__ = ["Route", "Router", "V1_PREFIX"]
+
+#: Current API version prefix; ``Router.from_spec`` mounts every spec
+#: entry under it (and keeps the unprefixed path as a deprecated alias).
+V1_PREFIX = "/v1"
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered ``(method, path)`` endpoint.
+
+    ``canonical`` is the preferred path for the same endpoint when this
+    registration is a deprecated alias (legacy unprefixed paths point at
+    their ``/v1`` twin); it is ``None`` for canonical routes.
+    """
+
+    method: str
+    path: str
+    handler: Callable
+    canonical: str | None = None
+
+    @property
+    def deprecated(self) -> bool:
+        return self.canonical is not None
 
 
 class Router:
     """A ``(method, path)`` dispatch table with 404/405 semantics."""
 
     def __init__(self) -> None:
-        self._handlers: dict[tuple[str, str], Callable] = {}
+        self._table: dict[tuple[str, str], Route] = {}
         self._methods_by_path: dict[str, set[str]] = {}
 
-    def add(self, method: str, path: str, handler: Callable) -> None:
-        """Register ``handler`` for ``method path``."""
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Iterable[tuple[str, str, Callable]],
+        *,
+        prefix: str = V1_PREFIX,
+    ) -> Router:
+        """Build the full table from one route spec.
+
+        Each ``(method, path, handler)`` entry yields two registrations:
+        the canonical ``prefix + path`` and the legacy bare ``path`` as
+        a deprecated alias of the canonical one.
+        """
+        router = cls()
+        for method, path, handler in spec:
+            canonical = prefix + path
+            router.add(method, canonical, handler)
+            router.add(method, path, handler, canonical=canonical)
+        return router
+
+    def add(
+        self,
+        method: str,
+        path: str,
+        handler: Callable,
+        *,
+        canonical: str | None = None,
+    ) -> None:
+        """Register ``handler`` for ``method path``.
+
+        Passing ``canonical`` marks the registration as a deprecated
+        alias of that path.
+        """
         method = method.upper()
         key = (method, path)
-        if key in self._handlers:
+        if key in self._table:
             raise ValueError(f"duplicate route {method} {path}")
-        self._handlers[key] = handler
+        self._table[key] = Route(method, path, handler, canonical)
         self._methods_by_path.setdefault(path, set()).add(method)
 
     def routes(self) -> list[tuple[str, str]]:
         """Registered ``(method, path)`` pairs, sorted by path."""
-        return sorted(self._handlers, key=lambda key: (key[1], key[0]))
+        return sorted(self._table, key=lambda key: (key[1], key[0]))
 
     def known_path(self, path: str) -> bool:
         """Whether any method is registered on ``path``.
@@ -45,15 +109,28 @@ class Router:
         """
         return path in self._methods_by_path
 
+    def deprecation(self, path: str) -> str | None:
+        """The canonical path ``path`` is a deprecated alias of, if any.
+
+        Method-independent on purpose: every alias of a path points at
+        the same canonical prefix twin, and the ``Deprecation`` header
+        must also ride on 405 responses for the legacy path.
+        """
+        for method in self._methods_by_path.get(path, ()):
+            route = self._table[(method, path)]
+            if route.canonical is not None:
+                return route.canonical
+        return None
+
     def resolve(self, method: str, path: str) -> Callable:
         """The handler for ``method path``.
 
         Raises ``HttpError(404)`` for unknown paths and ``HttpError(405)``
         (with an ``Allow`` header) for known paths with other methods.
         """
-        handler = self._handlers.get((method.upper(), path))
-        if handler is not None:
-            return handler
+        route = self._table.get((method.upper(), path))
+        if route is not None:
+            return route.handler
         allowed = self._methods_by_path.get(path)
         if allowed:
             raise HttpError(

@@ -25,9 +25,10 @@ state:
 
 from repro.service.codec import from_bytes, to_bytes
 from repro.service.queries import Query, QueryPlanner, QueryResult
-from repro.service.store import SketchStore
+from repro.service.store import IngestRequest, SketchStore
 
 __all__ = [
+    "IngestRequest",
     "Query",
     "QueryPlanner",
     "QueryResult",

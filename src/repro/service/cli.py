@@ -461,6 +461,7 @@ def _cmd_serve(args) -> dict:
         host=args.host,
         port=args.port,
         ingest_threads=args.threads,
+        workers=args.workers,
         max_pending_batches=args.max_pending_batches,
         max_body_bytes=args.max_body_bytes,
         max_batch_rows=args.max_batch_rows,
@@ -636,6 +637,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "shards=...); repeatable")
     serve.add_argument("--threads", type=int, default=4,
                        help="ingest/query executor threads")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard-worker processes for the multiprocess "
+                            "ingest plane (0 keeps the in-process "
+                            "backend); requires --wal-dir for crash "
+                            "recovery of in-flight batches")
     serve.add_argument("--max-pending-batches", type=int, default=32,
                        help="per-engine in-flight ingest bound "
                             "(backpressure: 503 beyond it)")

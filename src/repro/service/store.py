@@ -22,6 +22,24 @@ registry of named :class:`~repro.streaming.StreamEngine` instances with
 Reads (queries, snapshots, merges) are quiescent: they wait for in-flight
 ingests to drain and briefly block new ones, so every exported state and
 every version observed is a consistent point-in-time view.
+
+Every ingest surface — live API calls, binary batch groups, recovery
+replay — funnels through one validated call shape:
+:class:`IngestRequest` via :meth:`SketchStore.submit`.  The legacy
+``ingest`` / ``ingest_batches`` / ``replay_batch`` methods survive as
+thin deprecated shims over it.
+
+With :meth:`SketchStore.start_workers` the store swaps its in-process
+threaded execution for a multiprocess shard-worker plane
+(:mod:`repro.cluster`): batches are wire-encoded once, appended to the
+WAL *before* dispatch (unchanged kill-9 recovery semantics), and
+broadcast to N worker processes that each apply the rows of their own
+shard group.  Quiescent reads first *fold* the workers' accumulated
+deltas back into the parent engine through the associative sketch
+merge — bit-exact with single-process ingest, because every row is
+owned by exactly one worker.  A crashed worker is respawned and
+replayed from the WAL tail, so acknowledged batches survive worker
+``SIGKILL``.
 """
 
 from __future__ import annotations
@@ -29,6 +47,7 @@ from __future__ import annotations
 import os
 import threading
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 from contextlib import contextmanager
@@ -49,22 +68,159 @@ from repro.streaming.engine import StreamEngine
 if TYPE_CHECKING:
     from repro.service.queries import QueryPlanner
 
-__all__ = ["SketchStore"]
+__all__ = ["IngestRequest", "SketchStore"]
 
 
 class _StoreEntry:
     """A named engine plus its concurrency state."""
 
-    __slots__ = ("engine", "version", "cond", "in_flight", "shard_locks")
+    __slots__ = (
+        "engine",
+        "version",
+        "cond",
+        "in_flight",
+        "shard_locks",
+        "synced_version",
+    )
 
     def __init__(self, engine: StreamEngine, version: int = 0) -> None:
         self.engine = engine
         self.version = int(version)
         #: guards version / in_flight / shard-lock creation; readers wait
-        #: on it for quiescence
-        self.cond = threading.Condition()
+        #: on it for quiescence.  Reentrant so pool-mode crash healing
+        #: can re-touch an entry from inside a quiescent read.
+        self.cond = threading.Condition(threading.RLock())
         self.in_flight = 0
         self.shard_locks: dict[tuple, threading.Lock] = {}
+        #: multiprocess backend only: the highest version whose effects
+        #: are folded into the *parent* engine.  Batches in
+        #: ``(synced_version, version]`` live as worker deltas (and WAL
+        #: records — the crash-replay window for a respawned worker).
+        self.synced_version = int(version)
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """One validated ingest call shape shared by every execution path.
+
+    The thread backend, the multiprocess shard-worker backend, and
+    recovery replay all consume this via :meth:`SketchStore.submit`:
+
+    ``engine``
+        Target engine name.
+    ``batches``
+        ``(instance, keys, values)`` column triples (one or many;
+        :class:`repro.server.wire` ``WireBatch`` tuples work as-is).
+    ``source``
+        Informational origin tag (``"api"``, ``"replay"``, ...) carried
+        into trace spans.
+    ``version``
+        ``None`` for live ingest (the store assigns the next version);
+        an explicit version turns the submit into a *replay* of a
+        logged batch — quiescent, version-forced, exactly one batch.
+    ``wal_bypass``
+        Skip the write-ahead-log append for this submit (for callers
+        replaying batches that already live in the attached log).
+    ``coalesce``
+        Merge batches of the same instance into one column before
+        ingesting (safe under the streaming permutation guarantee, and
+        what the binary ingest fast path wants); disable to force one
+        ingest per batch.
+    """
+
+    engine: str
+    batches: tuple = field(default=())
+    source: str = "api"
+    version: int | None = None
+    wal_bypass: bool = False
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) or not self.engine:
+            raise InvalidParameterError(
+                "IngestRequest.engine must be a non-empty string, got "
+                f"{self.engine!r}"
+            )
+        if not isinstance(self.source, str) or not self.source:
+            raise InvalidParameterError(
+                "IngestRequest.source must be a non-empty string, got "
+                f"{self.source!r}"
+            )
+        normalized = tuple(tuple(batch) for batch in self.batches)
+        for batch in normalized:
+            if len(batch) != 3:
+                raise InvalidParameterError(
+                    "each IngestRequest batch must be an (instance, "
+                    f"keys, values) triple, got {len(batch)} fields"
+                )
+        object.__setattr__(self, "batches", normalized)
+        if self.version is not None:
+            if len(normalized) != 1:
+                raise InvalidParameterError(
+                    "a version-forced (replay) IngestRequest carries "
+                    f"exactly one batch, got {len(normalized)}"
+                )
+
+
+def _coalesce_batches(
+    batches: Iterable[tuple[object, Sequence[object], Sequence[float]]],
+) -> list[tuple[object, object, object]]:
+    """Merge column batches of the same instance into one column each.
+
+    Safe under the streaming permutation guarantee — sketch state does
+    not depend on how a stream is batched — and it amortises per-batch
+    engine planning over the whole group.
+    """
+    groups: dict[object, tuple[list, list]] = {}
+    for instance, keys, values in batches:
+        columns = groups.get(instance)
+        if columns is None:
+            columns = groups[instance] = ([], [])
+        columns[0].append(keys)
+        columns[1].append(values)
+    coalesced: list[tuple[object, object, object]] = []
+    for instance, (key_columns, value_columns) in groups.items():
+        if len(key_columns) == 1:
+            keys, values = key_columns[0], value_columns[0]
+        elif all(
+            isinstance(column, np.ndarray) for column in key_columns
+        ):
+            keys = np.concatenate(key_columns)
+            values = np.concatenate(
+                [np.asarray(col, dtype=float) for col in value_columns]
+            )
+        else:
+            keys = [key for column in key_columns for key in column]
+            values = np.concatenate(
+                [np.asarray(col, dtype=float) for col in value_columns]
+            )
+        coalesced.append((instance, keys, values))
+    return coalesced
+
+
+def _checked_columns(keys: Sequence[object], values: object) -> np.ndarray:
+    """Validate one column batch ahead of multiprocess dispatch.
+
+    The thread backend validates inside ``ingest_jobs`` *before* any
+    state changes; the dispatch path acknowledges before workers apply,
+    so the same rejections must happen parent-side first.
+    """
+    column = np.asarray(values, dtype=float)
+    if column.ndim != 1 or column.shape[0] != len(keys):
+        raise InvalidParameterError(
+            f"keys ({len(keys)}) and values (shape {column.shape}) must "
+            "be equal-length 1-D columns"
+        )
+    if column.size:
+        if not np.all(np.isfinite(column)):
+            raise InvalidParameterError(
+                "update values must be finite"
+            )
+        if bool((column < 0).any()):
+            raise InvalidParameterError(
+                "update weights must be nonnegative"
+            )
+    return column
 
 
 class SketchStore:
@@ -89,6 +245,9 @@ class SketchStore:
         #: duck-typed repro.wal.WriteAheadLog (kept untyped to avoid a
         #: service -> wal -> server import cycle)
         self._wal = None
+        #: duck-typed repro.cluster.ShardWorkerPool; when set, ingest
+        #: dispatches to worker processes instead of running in-process
+        self._pool = None
 
     # ------------------------------------------------------------------
     # Durability log
@@ -116,6 +275,208 @@ class SketchStore:
                 "a write-ahead log is already attached to this store"
             )
         self._wal = wal
+
+    # ------------------------------------------------------------------
+    # Multiprocess shard workers
+    # ------------------------------------------------------------------
+    @property
+    def has_workers(self) -> bool:
+        """Whether the multiprocess shard-worker backend is active."""
+        return self._pool is not None
+
+    def start_workers(
+        self,
+        n_workers: int,
+        *,
+        transport: str = "shm",
+        ring_bytes: int | None = None,
+        mp_method: str | None = None,
+    ) -> None:
+        """Swap ingest execution onto ``n_workers`` shard processes.
+
+        Each worker owns the shards ``s % n_workers == worker_id`` of
+        every engine and starts from an *empty* configured clone (the
+        parent keeps all pre-existing state); quiescent reads fold the
+        workers' deltas back through the associative merge, bit-exact
+        with single-process ingest.  Call before serving concurrent
+        traffic; engines registered later join the pool automatically.
+        Worker-mode ingest requires wire-encodable keys (the binary
+        ingest contract) and engines with a recorded configuration.
+        """
+        from repro.cluster import DEFAULT_RING_BYTES, ShardWorkerPool
+
+        if self._pool is not None:
+            raise InvalidParameterError(
+                "shard workers are already running for this store"
+            )
+        # fail fast (before any process exists) on template-less engines
+        templates = {
+            name: self._engine_template(name, self._entry(name).engine)
+            for name in self.names()
+        }
+        pool = ShardWorkerPool(
+            n_workers,
+            transport=transport,
+            ring_bytes=(
+                DEFAULT_RING_BYTES if ring_bytes is None else ring_bytes
+            ),
+            mp_method=mp_method,
+        )
+        pool.start()
+        try:
+            for name, blob in templates.items():
+                pool.register_engine(name, blob)
+        except Exception:
+            pool.stop()
+            raise
+        # all existing state lives in the parent: the fold frontier is
+        # exactly the current version of every engine
+        for name in self.names():
+            with self._read(name) as entry:
+                entry.synced_version = entry.version
+        self._pool = pool
+
+    def stop_workers(self) -> None:
+        """Fold outstanding worker deltas, then stop every worker.
+
+        The pool is torn down even when the final fold fails (crashed
+        workers without a WAL to heal from): the exception still
+        propagates, but no orphaned worker processes linger.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        try:
+            with pool.lock:
+                try:
+                    for name, entry in list(self._entries.items()):
+                        self._sync_one(name, entry)
+                finally:
+                    self._pool = None
+        finally:
+            pool.stop()
+
+    def worker_probes(self) -> list[dict]:
+        """Per-worker observability rows (empty without workers)."""
+        pool = self._pool
+        if pool is None:
+            return []
+        return pool.probes()
+
+    @staticmethod
+    def _engine_template(name: str, engine: StreamEngine) -> bytes:
+        """Empty configured clone of ``engine`` — the worker reset
+        template (workers accumulate pure deltas on top of it)."""
+        config = engine.sketch_config
+        if not config:
+            raise InvalidParameterError(
+                f"engine {name!r} was built from a custom factory and "
+                "carries no recorded configuration; shard workers need "
+                "one to build their empty reset template"
+            )
+        kind = config.get("kind")
+        if kind == "bottom_k":
+            template = StreamEngine.bottom_k(
+                k=config["k"],
+                rank_family=config.get("rank_family"),
+                seed_assigner=config.get("seed_assigner"),
+                n_shards=engine.n_shards,
+            )
+        elif kind == "poisson":
+            template = StreamEngine.poisson(
+                threshold=config["threshold"],
+                rank_family=config.get("rank_family"),
+                seed_assigner=config.get("seed_assigner"),
+                n_shards=engine.n_shards,
+            )
+        else:
+            raise InvalidParameterError(
+                f"engine {name!r} has unknown sketch kind {kind!r}"
+            )
+        return codec.to_bytes(template)
+
+    def _sync_one(self, name: str, entry: _StoreEntry) -> None:
+        """Fold worker deltas for ``name`` into the parent engine.
+
+        Caller holds ``pool.lock``, so no dispatch can interleave and
+        the fold frontier lands exactly on the current version.  Crashed
+        workers are healed (respawn + WAL-tail replay) and the collect
+        retried; deltas a crash-interrupted collect already reset out of
+        live workers are preserved by the pool and folded here too.
+        """
+        from repro.cluster import WorkerCrashError
+
+        pool = self._pool
+        with entry.cond:
+            if entry.synced_version == entry.version:
+                return
+        for _ in range(8):
+            try:
+                states = pool.collect(name)
+                break
+            except WorkerCrashError:
+                self._heal_workers()
+        else:
+            raise RuntimeError(
+                f"shard workers kept crashing while folding {name!r}; "
+                "giving up after 8 heal attempts"
+            )
+        with entry.cond:
+            with span(
+                "store.fold", engine=name, deltas=len(states)
+            ):
+                for blob in states:
+                    # ownership-transferring fold: untouched shards adopt
+                    # the decoded delta sketch bit-exactly
+                    entry.engine.fold_delta(codec.from_bytes(blob))
+            entry.synced_version = entry.version
+            entry.shard_locks.clear()
+
+    def _heal_workers(self) -> None:
+        """Respawn dead workers and replay their un-folded WAL tail.
+
+        Caller holds ``pool.lock``.  A respawned worker restarts from
+        empty templates, so every batch in ``(synced_version, version]``
+        of every engine — the delta the dead incarnation held — is
+        re-dispatched to it from the log.  Those windows never contain
+        engine records: ``adopt``/``merge_store`` advance the fold
+        frontier to the version they write.
+        """
+        from repro.wal.log import RECORD_BATCH
+
+        pool = self._pool
+        dead = pool.dead_workers()
+        if not dead:
+            return
+        if self._wal is None:
+            raise RuntimeError(
+                f"shard worker(s) {dead} died with no write-ahead log "
+                "attached; their un-folded deltas are unrecoverable — "
+                "serve with a WAL to make worker crashes survivable"
+            )
+        windows: dict[str, tuple[int, int]] = {}
+        for name, entry in list(self._entries.items()):
+            with entry.cond:
+                if entry.synced_version < entry.version:
+                    windows[name] = (entry.synced_version, entry.version)
+        records = []
+        if windows:
+            records, _ = self._wal.read_all()
+        with span("store.heal_workers", dead=len(dead)) as attrs:
+            replayed = 0
+            for index in dead:
+                pool.respawn(index)
+                for record in records:
+                    if record.kind != RECORD_BATCH:
+                        continue
+                    window = windows.get(record.name)
+                    if window is None:
+                        continue
+                    low, high = window
+                    if low < record.version <= high:
+                        pool.dispatch_to(index, record.name, record.payload)
+                        replayed += 1
+            attrs["replayed_batches"] = replayed
 
     # ------------------------------------------------------------------
     # Registry
@@ -241,6 +602,10 @@ class SketchStore:
             raise InvalidParameterError(
                 f"expected a StreamEngine, got {type(engine).__name__}"
             )
+        pool = self._pool
+        template = (
+            self._engine_template(name, engine) if pool is not None else None
+        )
         with self._lock:
             if name in self._entries:
                 raise InvalidParameterError(
@@ -251,6 +616,16 @@ class SketchStore:
                     name, int(version), codec.to_bytes(engine)
                 )
             self._entries[name] = _StoreEntry(engine, version)
+            if template is not None:
+                from repro.cluster import WorkerCrashError
+
+                with pool.lock:
+                    try:
+                        pool.register_engine(name, template)
+                    except WorkerCrashError:
+                        # respawn re-sends every template, this one
+                        # included
+                        self._heal_workers()
 
     def adopt(
         self, name: str, engine: StreamEngine, version: int = 0
@@ -278,7 +653,20 @@ class SketchStore:
                 )
             entry.engine = engine
             entry.version = new_version
+            entry.synced_version = new_version
             entry.shard_locks.clear()
+            pool = self._pool
+            if pool is not None:
+                # the read already folded and reset the workers; replace
+                # their template so future deltas match the new config
+                from repro.cluster import WorkerCrashError
+
+                try:
+                    pool.register_engine(
+                        name, self._engine_template(name, engine)
+                    )
+                except WorkerCrashError:
+                    self._heal_workers()
 
     def names(self) -> list[str]:
         """Registered engine names, in registration order."""
@@ -299,8 +687,19 @@ class SketchStore:
                     f"{list(self._entries)}"
                 ) from None
 
-    def engine(self, name: str) -> StreamEngine:
-        """The live engine registered under ``name`` (not a copy)."""
+    def engine(self, name: str, *, sync: bool = False) -> StreamEngine:
+        """The live engine registered under ``name`` (not a copy).
+
+        With shard workers running the parent's engine object lags the
+        dispatched batches until a quiescent read folds the workers'
+        deltas in; ``sync=True`` forces that fold first.  The default
+        stays cheap (no worker round-trip) for observability probes
+        that tolerate staleness — query paths all read through
+        :meth:`snapshot_view` / :meth:`merged_sketch`, which sync.
+        """
+        if sync:
+            with self._read(name) as entry:
+                return entry.engine
         return self._entry(name).engine
 
     def version(self, name: str) -> int:
@@ -324,21 +723,62 @@ class SketchStore:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def ingest(
-        self, name: str, instance: object, keys: Sequence[object], values
-    ) -> int:
-        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+    def submit(self, request: IngestRequest) -> int:
+        """Run one :class:`IngestRequest` — the single ingest choke point.
 
-        Safe to call from many threads at once: batch planning (hashing,
-        sharding, sketch creation) is serialized on the engine, while the
-        per-shard sketch updates run under per-(instance, shard) locks so
-        different shards make progress in parallel.  Returns the new
-        version.
+        Every surface funnels here: per-batch API ingest, grouped binary
+        batches, row triples (via the thin legacy shims), and recovery
+        replay (``request.version`` set).  Dispatches to the thread
+        backend or the multiprocess shard workers, whichever is active.
+        Returns the engine version after the request (the current
+        version when ``request.batches`` is empty).
         """
-        entry = self._entry(name)
+        if not isinstance(request, IngestRequest):
+            raise InvalidParameterError(
+                f"submit() takes an IngestRequest, got "
+                f"{type(request).__name__}"
+            )
+        if request.version is not None:
+            instance, keys, values = request.batches[0]
+            return self._replay(request, instance, keys, values)
+        entry = self._entry(request.engine)
+        triples = (
+            _coalesce_batches(request.batches)
+            if request.coalesce
+            else list(request.batches)
+        )
+        version: int | None = None
+        for instance, keys, values in triples:
+            version = self._ingest_one(
+                entry, request, instance, keys, values
+            )
+        if version is None:
+            with entry.cond:
+                return entry.version
+        return version
+
+    def _ingest_one(
+        self,
+        entry: _StoreEntry,
+        request: IngestRequest,
+        instance: object,
+        keys: Sequence[object],
+        values,
+    ) -> int:
+        """One live batch through whichever backend is active.
+
+        Thread backend: safe to call from many threads at once — batch
+        planning (hashing, sharding, sketch creation) is serialized on
+        the engine, while the per-shard sketch updates run under
+        per-(instance, shard) locks so different shards make progress in
+        parallel.  Returns the new version.
+        """
+        name = request.engine
+        if self._pool is not None:
+            return self._dispatch_one(entry, request, instance, keys, values)
         with entry.cond:
             jobs = entry.engine.ingest_jobs(instance, keys, values)
-            if self._wal is not None:
+            if self._wal is not None and not request.wal_bypass:
                 # append-before-apply: the version this batch will carry
                 # once applied is the idempotence key recovery replays
                 # against.  version + in_flight is invariant under
@@ -369,6 +809,139 @@ class SketchStore:
                 entry.cond.notify_all()
         return version
 
+    def _dispatch_one(
+        self,
+        entry: _StoreEntry,
+        request: IngestRequest,
+        instance: object,
+        keys: Sequence[object],
+        values,
+    ) -> int:
+        """Wire-encode one batch and broadcast it to the shard workers.
+
+        Append-before-dispatch: with a WAL attached the batch is logged
+        (byte-identical to the record the thread backend writes) before
+        any worker sees it, so a parent crash after the ack replays it
+        on restart and a worker crash replays the un-folded tail to the
+        respawned slot.  The version bump lands *before* crash healing
+        so the healed worker's replay window includes this batch.
+        """
+        from repro.cluster import WorkerCrashError
+        from repro.server.wire import encode_batches
+
+        name = request.engine
+        pool = self._pool
+        # workers apply after the ack, so the rejections ingest_jobs
+        # would have raised must happen parent-side first
+        column = _checked_columns(keys, values)
+        blob = encode_batches([(instance, keys, column)])
+        with pool.lock:
+            with entry.cond:
+                version = entry.version + 1
+                if self._wal is not None and not request.wal_bypass:
+                    self._wal.append_batch_blob(name, version, blob)
+            crashed = False
+            with span(
+                "store.dispatch", engine=name, rows=int(column.shape[0])
+            ):
+                try:
+                    pool.dispatch(name, blob)
+                except WorkerCrashError:
+                    crashed = True
+            with entry.cond:
+                entry.version = version
+                entry.cond.notify_all()
+            if crashed:
+                self._heal_workers()
+        return version
+
+    def _replay(
+        self,
+        request: IngestRequest,
+        instance: object,
+        keys: Sequence[object],
+        values,
+    ) -> int:
+        """Apply a logged ingest batch, forcing its recorded version.
+
+        Recovery and replica catch-up re-apply batches that already have
+        a version assigned by the origin store; applying them as live
+        ingest would re-number them.  Runs quiescently (no concurrent
+        ingest can interleave), bumps the version to the record's value,
+        and — when this store has its *own* WAL attached (a durable
+        follower) and the request does not bypass it — logs the batch
+        before applying, same as a live ingest.  Returns the new
+        version.
+        """
+        name = request.engine
+        entry = self._entry(name)
+        version = int(request.version)  # type: ignore[arg-type]
+        pool = self._pool
+        if pool is not None:
+            from repro.cluster import WorkerCrashError
+            from repro.server.wire import encode_batches
+
+            column = _checked_columns(keys, values)
+            blob = encode_batches([(instance, keys, column)])
+            with pool.lock:
+                with entry.cond:
+                    if version <= entry.version:
+                        raise InvalidParameterError(
+                            f"replayed batch for {name!r} carries version "
+                            f"{version} but the store is already at "
+                            f"{entry.version}; skip-checks belong to the "
+                            "caller"
+                        )
+                    if self._wal is not None and not request.wal_bypass:
+                        self._wal.append_batch_blob(name, version, blob)
+                crashed = False
+                with span("store.replay", engine=name, rows=len(column)):
+                    try:
+                        pool.dispatch(name, blob)
+                    except WorkerCrashError:
+                        crashed = True
+                with entry.cond:
+                    entry.version = version
+                    entry.cond.notify_all()
+                if crashed:
+                    self._heal_workers()
+                return version
+        with entry.cond:
+            while entry.in_flight:
+                entry.cond.wait()
+            if version <= entry.version:
+                raise InvalidParameterError(
+                    f"replayed batch for {name!r} carries version "
+                    f"{version} but the store is already at "
+                    f"{entry.version}; skip-checks belong to the caller"
+                )
+            if self._wal is not None and not request.wal_bypass:
+                self._wal.append_batch(name, version, instance, keys, values)
+            jobs = entry.engine.ingest_jobs(instance, keys, values)
+            with span("store.replay", engine=name, shards=len(jobs)):
+                for job in jobs:
+                    StreamEngine.run_job(job)
+            entry.version = version
+            entry.cond.notify_all()
+            return entry.version
+
+    # -- deprecated shims (pre-IngestRequest surface) -------------------
+    def ingest(
+        self, name: str, instance: object, keys: Sequence[object], values
+    ) -> int:
+        """Ingest one batch of ``(key, value)`` updates for ``instance``.
+
+        .. deprecated:: use :meth:`submit` with an
+           :class:`IngestRequest`; this shim forwards to it unchanged.
+        """
+        return self.submit(
+            IngestRequest(
+                engine=name,
+                batches=((instance, keys, values),),
+                coalesce=False,
+            )
+        )
+
     def replay_batch(
         self,
         name: str,
@@ -379,34 +952,17 @@ class SketchStore:
     ) -> int:
         """Apply a logged ingest batch, forcing its recorded version.
 
-        Recovery and replica catch-up re-apply batches that already have
-        a version assigned by the origin store; applying them through
-        :meth:`ingest` would re-number them.  Runs quiescently (no
-        concurrent ingest can interleave), bumps the version to the
-        record's value, and — when this store has its *own* WAL attached
-        (a durable follower) — logs the batch before applying, same as a
-        live ingest.  Returns the new version.
+        .. deprecated:: use :meth:`submit` with a version-forced
+           :class:`IngestRequest`; this shim forwards to it unchanged.
         """
-        entry = self._entry(name)
-        version = int(version)
-        with entry.cond:
-            while entry.in_flight:
-                entry.cond.wait()
-            if version <= entry.version:
-                raise InvalidParameterError(
-                    f"replayed batch for {name!r} carries version "
-                    f"{version} but the store is already at "
-                    f"{entry.version}; skip-checks belong to the caller"
-                )
-            if self._wal is not None:
-                self._wal.append_batch(name, version, instance, keys, values)
-            jobs = entry.engine.ingest_jobs(instance, keys, values)
-            with span("store.replay", engine=name, shards=len(jobs)):
-                for job in jobs:
-                    StreamEngine.run_job(job)
-            entry.version = version
-            entry.cond.notify_all()
-            return entry.version
+        return self.submit(
+            IngestRequest(
+                engine=name,
+                batches=((instance, keys, values),),
+                source="replay",
+                version=int(version),
+            )
+        )
 
     def ingest_rows(
         self, name: str, rows: Iterable[tuple[object, object, float]]
@@ -415,18 +971,17 @@ class SketchStore:
 
         Returns the version after the last batch (the current version if
         ``rows`` is empty).
+
+        .. deprecated:: use :meth:`submit` with an
+           :class:`IngestRequest`; this shim forwards to it unchanged.
         """
-        groups: dict[object, tuple[list, list]] = {}
-        for instance, key, value in rows:
-            columns = groups.get(instance)
-            if columns is None:
-                columns = groups[instance] = ([], [])
-            columns[0].append(key)
-            columns[1].append(float(value))
-        version = None
-        for instance, (keys, values) in groups.items():
-            version = self.ingest(name, instance, keys, values)
-        return self.version(name) if version is None else version
+        batches = tuple(
+            (instance, [key], [float(value)])
+            for instance, key, value in rows
+        )
+        return self.submit(
+            IngestRequest(engine=name, batches=batches, source="rows")
+        )
 
     def ingest_batches(
         self,
@@ -445,32 +1000,15 @@ class SketchStore:
         is state-identical to ingesting every batch separately.  Returns
         the version after the last instance (the current version if
         ``batches`` is empty).
+
+        .. deprecated:: use :meth:`submit` with an
+           :class:`IngestRequest`; this shim forwards to it unchanged.
         """
-        groups: dict[object, tuple[list, list]] = {}
-        for instance, keys, values in batches:
-            columns = groups.get(instance)
-            if columns is None:
-                columns = groups[instance] = ([], [])
-            columns[0].append(keys)
-            columns[1].append(values)
-        version = None
-        for instance, (key_columns, value_columns) in groups.items():
-            if len(key_columns) == 1:
-                keys, values = key_columns[0], value_columns[0]
-            elif all(
-                isinstance(column, np.ndarray) for column in key_columns
-            ):
-                keys = np.concatenate(key_columns)
-                values = np.concatenate(
-                    [np.asarray(col, dtype=float) for col in value_columns]
-                )
-            else:
-                keys = [key for column in key_columns for key in column]
-                values = np.concatenate(
-                    [np.asarray(col, dtype=float) for col in value_columns]
-                )
-            version = self.ingest(name, instance, keys, values)
-        return self.version(name) if version is None else version
+        return self.submit(
+            IngestRequest(
+                engine=name, batches=tuple(batches), source="batches"
+            )
+        )
 
     # ------------------------------------------------------------------
     # Quiescent reads
@@ -478,8 +1016,24 @@ class SketchStore:
     @contextmanager
     def _read(self, name: str):
         """Yield the entry once no ingest is in flight, blocking new
-        ingests for the duration (they queue on the condition lock)."""
+        ingests for the duration (they queue on the condition lock).
+
+        With shard workers attached, first folds outstanding worker
+        deltas into the parent engine — under the pool lock, so no
+        dispatch can interleave: the yielded engine is then the exact
+        serial-ingest state at the yielded version.
+        """
         entry = self._entry(name)
+        pool = self._pool
+        if pool is not None:
+            with pool.lock:
+                if self._pool is pool:  # raced a stop_workers()
+                    self._sync_one(name, entry)
+                with entry.cond:
+                    while entry.in_flight:
+                        entry.cond.wait()
+                    yield entry
+            return
         with entry.cond:
             while entry.in_flight:
                 entry.cond.wait()
@@ -637,6 +1191,9 @@ class SketchStore:
             with self._read(name) as entry:
                 entry.engine.merge_from(peer_engine)
                 entry.version = max(entry.version, peer_version) + 1
+                # the read folded the workers' deltas, so the peer state
+                # merged into the parent is the whole story
+                entry.synced_version = entry.version
                 entry.shard_locks.clear()
                 if self._wal is not None:
                     # a merge is not replayable from batches — log the

@@ -471,7 +471,17 @@ class WriteAheadLog:
         marks.
         """
         payload = encode_batches([(instance, keys, values)])
-        return self._append(RECORD_BATCH, name, version, payload)
+        return self.append_batch_blob(name, version, payload)
+
+    def append_batch_blob(self, name: str, version: int, payload: bytes) -> int:
+        """Append an already wire-encoded batch payload; returns its LSN.
+
+        The multiprocess dispatch path encodes a batch once and reuses
+        the same bytes for the log record and the worker rings, so the
+        record body is the :func:`repro.server.wire.encode_batches`
+        blob the caller already holds.
+        """
+        return self._append(RECORD_BATCH, name, version, bytes(payload))
 
     def append_engine(self, name: str, version: int, engine_blob: bytes) -> int:
         """Append a full engine-state record (create / merge / adopt);

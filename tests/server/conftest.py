@@ -31,7 +31,7 @@ def run_scenario():
             server = SketchServer(target_store, ServerConfig(**config_kwargs))
             await server.start()
             try:
-                client = AsyncSketchClient("127.0.0.1", server.port)
+                client = AsyncSketchClient(host="127.0.0.1", port=server.port)
                 async with client:
                     return await scenario(server, client)
             finally:

@@ -1,0 +1,222 @@
+"""The versioned ``/v1`` API surface and its legacy aliases.
+
+Every endpoint in :data:`repro.server.app.ROUTE_SPEC` must serve under
+``/v1`` and under its bare legacy path; the legacy twin returns the
+identical body plus a ``Deprecation`` header and a
+``Link: <successor>; rel="successor-version"`` pointer.  Also covers
+the client-side half of the redesign: ``base_url`` construction and
+the deprecation of positional ``host``/``port``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import AsyncSketchClient
+from repro.server.app import ROUTE_SPEC
+from repro.server.routing import V1_PREFIX
+
+from test_app import make_columns, make_store, raw_request
+
+
+async def raw_post(
+    port: int, target: str, body: bytes, content_type: str = "application/json"
+) -> tuple[int, dict, bytes]:
+    """One raw POST round-trip exposing the response headers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = (
+            f"POST {target} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1:{port}\r\n"
+            "Connection: close\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+        raw_head = await reader.readuntil(b"\r\n\r\n")
+        lines = raw_head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        payload = await reader.read()
+        return status, headers, payload
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+class TestV1Surface:
+    def test_route_table_mounts_every_spec_entry_twice(self, run_scenario):
+        async def scenario(server, client):
+            registered = set(server.router.routes())
+            for method, path, _handler in ROUTE_SPEC:
+                assert (method, V1_PREFIX + path) in registered
+                assert (method, path) in registered
+            assert len(registered) == 2 * len(ROUTE_SPEC)
+
+        run_scenario(scenario)
+
+    def test_client_traffic_flows_through_v1(self, run_scenario):
+        async def scenario(server, client):
+            assert client.api_prefix == "/v1"
+            keys, values = make_columns(120)
+            await client.ingest("traffic", "monday", keys, values)
+            result = await client.query("traffic", "sum", ["monday"])
+            assert result["version"] == 1
+            assert result["value"] is not None
+            health = await client.healthz()
+            assert health["status"] == "ok"
+            metrics = await client.metrics()
+            assert metrics["ingest"]["rows"] == 120
+            server.series.collect(
+                server.metrics.series_sample(
+                    server.store, server.planner, dict(server._pending)
+                )
+            )
+            history = await client.metrics_history("repro_ingest_rows_total")
+            assert history["metric"] == "repro_ingest_rows_total"
+            page = await client.statusz()
+            assert "<html" in page.lower()
+            # the route labels prove the requests really hit /v1 paths
+            labels = set(metrics["requests"])
+            assert "POST /v1/ingest" in labels
+            assert "GET /v1/query" in labels
+
+        run_scenario(scenario, store=make_store())
+
+    def test_get_bodies_identical_legacy_adds_deprecation(self, run_scenario):
+        async def scenario(server, client):
+            keys, values = make_columns(150)
+            await client.ingest("traffic", "monday", keys, values)
+            target = "/query?name=traffic&kind=sum&instances=monday&variant=l"
+            # warm the planner cache so both raw requests below re-serve
+            # the same cached result (otherwise from_cache would differ)
+            await client.query("traffic", "sum", ["monday"])
+            v1_status, v1_headers, v1_body = await raw_request(
+                server.port, "GET", V1_PREFIX + target
+            )
+            old_status, old_headers, old_body = await raw_request(
+                server.port, "GET", target
+            )
+            assert v1_status == old_status == 200
+            assert v1_body == old_body
+            assert "deprecation" not in v1_headers
+            assert old_headers["deprecation"] == "true"
+            assert (
+                old_headers["link"]
+                == '</v1/query>; rel="successor-version"'
+            )
+
+        run_scenario(scenario, store=make_store())
+
+    def test_legacy_post_ingest_serves_with_deprecation(self, run_scenario):
+        async def scenario(server, client):
+            keys, values = make_columns(40)
+            body = json.dumps(
+                {
+                    "name": "traffic",
+                    "instance": "monday",
+                    "keys": keys,
+                    "values": values,
+                }
+            ).encode()
+            status, headers, payload = await raw_post(
+                server.port, "/ingest", body
+            )
+            assert status == 200
+            assert headers["deprecation"] == "true"
+            assert headers["link"] == '</v1/ingest>; rel="successor-version"'
+            assert json.loads(payload)["version"] == 1
+            status, headers, payload = await raw_post(
+                server.port, "/v1/ingest", body
+            )
+            assert status == 200
+            assert "deprecation" not in headers
+            assert json.loads(payload)["version"] == 2
+
+        run_scenario(scenario, store=make_store())
+
+    def test_deprecation_rides_on_legacy_405(self, run_scenario):
+        async def scenario(server, client):
+            status, headers, _body = await raw_request(
+                server.port, "DELETE", "/ingest"
+            )
+            assert status == 405
+            assert headers["deprecation"] == "true"
+            status, headers, _body = await raw_request(
+                server.port, "DELETE", "/v1/ingest"
+            )
+            assert status == 405
+            assert "deprecation" not in headers
+
+        run_scenario(scenario)
+
+    def test_unknown_version_prefix_is_404(self, run_scenario):
+        async def scenario(server, client):
+            status, _headers, _body = await raw_request(
+                server.port, "GET", "/v2/healthz"
+            )
+            assert status == 404
+
+        run_scenario(scenario)
+
+
+class TestClientConstruction:
+    def test_base_url_defaults_to_v1(self):
+        client = AsyncSketchClient(base_url="http://10.0.0.7:8080")
+        assert (client.host, client.port) == ("10.0.0.7", 8080)
+        assert client.api_prefix == "/v1"
+        assert client._path("/query") == "/v1/query"
+
+    def test_base_url_explicit_prefix(self):
+        client = AsyncSketchClient(base_url="http://10.0.0.7:8080/v1/")
+        assert client.api_prefix == "/v1"
+        client = AsyncSketchClient(base_url="http://10.0.0.7/v2")
+        assert (client.port, client.api_prefix) == (80, "/v2")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["https://10.0.0.7:8080", "10.0.0.7:8080", "http://"],
+    )
+    def test_base_url_must_be_http(self, bad):
+        with pytest.raises(ValueError, match="base_url"):
+            AsyncSketchClient(base_url=bad)
+
+    def test_base_url_conflicts_with_host_port(self):
+        with pytest.raises(ValueError, match="not both"):
+            AsyncSketchClient(
+                host="127.0.0.1", port=1, base_url="http://127.0.0.1:1"
+            )
+
+    def test_positional_host_port_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            client = AsyncSketchClient("127.0.0.1", 8080)
+        assert (client.host, client.port) == ("127.0.0.1", 8080)
+        assert client.api_prefix == "/v1"
+
+    def test_positional_and_keyword_conflict(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="positional"):
+                AsyncSketchClient("127.0.0.1", 8080, host="other")
+
+    def test_missing_endpoint_arguments(self):
+        with pytest.raises(TypeError, match="host"):
+            AsyncSketchClient()
+
+    def test_base_url_used_against_live_server(self, run_scenario):
+        async def scenario(server, client):
+            url = f"http://127.0.0.1:{server.port}"
+            async with AsyncSketchClient(base_url=url) as second:
+                keys, values = make_columns(30)
+                await second.ingest("traffic", "monday", keys, values)
+                result = await second.query("traffic", "sum", ["monday"])
+                assert result["version"] == 1
+
+        run_scenario(scenario, store=make_store())

@@ -599,9 +599,9 @@ class GatedStore(SketchStore):
         super().__init__()
         self.gate = threading.Event()
 
-    def ingest(self, name, instance, keys, values):
+    def submit(self, request):
         assert self.gate.wait(timeout=30), "test gate never opened"
-        return super().ingest(name, instance, keys, values)
+        return super().submit(request)
 
 
 class TestBackpressure:
@@ -616,7 +616,7 @@ class TestBackpressure:
         )
 
         async def scenario(server, client):
-            blocked = AsyncSketchClient("127.0.0.1", server.port)
+            blocked = AsyncSketchClient(host="127.0.0.1", port=server.port)
             async with blocked:
                 first = asyncio.ensure_future(
                     blocked.ingest("traffic", "d", ["a"], [1.0])
@@ -837,7 +837,7 @@ class TestObservability:
             text = body.decode()
             assert text.endswith("\n")
             assert "repro_request_duration_seconds_bucket" in text
-            assert 'repro_requests_total{route="POST /ingest"} 1' in text
+            assert 'repro_requests_total{route="POST /v1/ingest"} 1' in text
             assert 'repro_engine_version{engine="traffic"} 1' in text
             assert "repro_ingest_rows_total 100" in text
 
@@ -884,7 +884,7 @@ class TestObservability:
             # id of the HTTP request that triggered them
             assert ingest_span.trace_id is not None
             routes = {span.attrs.get("route") for span in http_spans}
-            assert "POST /ingest" in routes
+            assert "POST /v1/ingest" in routes
 
         run_scenario(scenario, store=make_store())
 

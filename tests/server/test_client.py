@@ -72,7 +72,7 @@ class TestMalformedContentLength:
         async def scenario():
             responses = [response("Content-Length: banana")] * 2
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     with pytest.raises(ConnectionResetError, match="banana"):
                         await client.request("GET", "/healthz")
 
@@ -82,7 +82,7 @@ class TestMalformedContentLength:
         async def scenario():
             responses = [response("Content-Length: -5")] * 2
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     with pytest.raises(ConnectionResetError, match="-5"):
                         await client.request("GET", "/healthz")
 
@@ -95,7 +95,7 @@ class TestMalformedContentLength:
         async def scenario():
             responses = [response("Content-Length: nope")] * 2
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     with pytest.raises(ConnectionResetError):
                         await client.request(
                             "POST", "/ingest", json_body={"name": "x"}
@@ -116,7 +116,7 @@ class TestMalformedContentLength:
                 )
             ] * 2
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     with pytest.raises(
                         ConnectionResetError, match="duplicate"
                     ):
@@ -134,7 +134,7 @@ class TestMalformedContentLength:
                 )
             ]
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     status, payload = await client.request("GET", "/healthz")
                     assert status == 200
                     assert payload == {}
@@ -151,7 +151,7 @@ class TestMalformedContentLength:
                 )
             ]
             async with ScriptedServer(responses) as server:
-                async with AsyncSketchClient("127.0.0.1", server.port) as client:
+                async with AsyncSketchClient(host="127.0.0.1", port=server.port) as client:
                     status, payload = await client.request("GET", "/healthz")
                     assert status == 200
                     assert payload == {"status": "ok"}
@@ -201,7 +201,7 @@ class TestBackpressureRetry:
             responses = [overloaded(), overloaded(), ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_base=0.1
+                    host="127.0.0.1", port=server.port, retry_base=0.1
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -217,7 +217,7 @@ class TestBackpressureRetry:
             responses = [overloaded(), ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_base=0.1
+                    host="127.0.0.1", port=server.port, retry_base=0.1
                 )
                 delays = self.instrument(client, jitter=1.0)
                 async with client:
@@ -232,8 +232,8 @@ class TestBackpressureRetry:
             responses = [overloaded() for _ in range(5)] + [ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1",
-                    server.port,
+                    host="127.0.0.1",
+                    port=server.port,
                     retry_attempts=5,
                     retry_base=1.0,
                     retry_cap=2.0,
@@ -251,7 +251,7 @@ class TestBackpressureRetry:
             responses = [overloaded() for _ in range(3)]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_attempts=2
+                    host="127.0.0.1", port=server.port, retry_attempts=2
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -268,7 +268,7 @@ class TestBackpressureRetry:
             responses = [overloaded()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_attempts=0
+                    host="127.0.0.1", port=server.port, retry_attempts=0
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -284,7 +284,7 @@ class TestBackpressureRetry:
             responses = [overloaded("Retry-After: 0.8"), ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_base=0.1
+                    host="127.0.0.1", port=server.port, retry_base=0.1
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -301,7 +301,7 @@ class TestBackpressureRetry:
             responses = [overloaded("Retry-After: 3600"), ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_cap=1.5
+                    host="127.0.0.1", port=server.port, retry_cap=1.5
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -316,7 +316,7 @@ class TestBackpressureRetry:
             responses = [overloaded("Retry-After: soon"), ok()]
             async with ScriptedServer(responses) as server:
                 client = AsyncSketchClient(
-                    "127.0.0.1", server.port, retry_base=0.1
+                    host="127.0.0.1", port=server.port, retry_base=0.1
                 )
                 delays = self.instrument(client)
                 async with client:
@@ -332,7 +332,7 @@ class TestBackpressureRetry:
                 status_response(404, body=b'{"error":"no such route"}')
             ]
             async with ScriptedServer(responses) as server:
-                client = AsyncSketchClient("127.0.0.1", server.port)
+                client = AsyncSketchClient(host="127.0.0.1", port=server.port)
                 delays = self.instrument(client)
                 async with client:
                     with pytest.raises(ClientResponseError) as err:
@@ -353,4 +353,4 @@ class TestBackpressureRetry:
     )
     def test_bad_retry_configuration_rejected(self, kwargs):
         with pytest.raises(ValueError):
-            AsyncSketchClient("127.0.0.1", 1, **kwargs)
+            AsyncSketchClient(host="127.0.0.1", port=1, **kwargs)

@@ -78,7 +78,7 @@ def interleaved_query(kind: str) -> tuple[str, list]:
 async def client_worker(port: int, kind: str, batches: list, results: list) -> None:
     """One client: ingest its batches, interleaving queries throughout."""
     query_kind, query_instances = interleaved_query(kind)
-    async with AsyncSketchClient("127.0.0.1", port) as client:
+    async with AsyncSketchClient(host="127.0.0.1", port=port) as client:
         for position, (instance, keys, values) in enumerate(batches):
             report = await client.ingest("load", instance, keys, values)
             assert report["rows"] == len(keys)
